@@ -1,0 +1,133 @@
+// Reproduces Fig. 7: random-guessing and gesture-mimicking success rates as
+// a function of the quantization bin count N_b (SVI-C2). For each N_b the
+// bench recalibrates the quantizer bins and eta (the 99th percentile of the
+// benign mismatch, keeping the benign success rate ~99% by construction),
+// then computes P_g from Eq. (4) and replays a fixed set of mimic attacks.
+// The latent features are extracted once and re-quantized per N_b, exactly
+// as the paper reuses its dataset D across the sweep.
+//
+// Also prints the equal-probability vs equal-width bin ablation called out
+// in DESIGN.md SS4.1 (per-element seed entropy).
+
+#include <cmath>
+
+#include "attacks/attack_eval.hpp"
+#include "bench/common.hpp"
+#include "core/key_seed.hpp"
+#include "numeric/stats.hpp"
+
+using namespace wavekey;
+
+int main() {
+  bench::print_header("Fig. 7 -- attack success vs quantization bins N_b",
+                      "WaveKey (ICDCS'24) SVI-C2, Fig. 7");
+
+  core::WaveKeySystem& system = bench::system();
+  core::EncoderPair& encoders = system.encoders();
+  const core::WaveKeyConfig& cfg = system.config();
+
+  // Regenerate the (deterministic) dataset and extract all latents once.
+  std::fprintf(stderr, "[fig7] extracting dataset latents...\n");
+  const core::WaveKeyDataset dataset =
+      core::WaveKeyDataset::generate(core::default_dataset_config(), cfg);
+  const std::size_t dim = encoders.latent_dim();
+  std::vector<std::vector<double>> pooled(dim);
+  std::vector<std::vector<double>> all_fm, all_fr;
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    const core::Sample& s = dataset.sample(i);
+    all_fm.push_back(encoders.imu_features(s.imu));
+    all_fr.push_back(encoders.rfid_features(s.rfid));
+    for (std::size_t d = 0; d < dim; ++d) {
+      pooled[d].push_back(all_fm.back()[d]);
+      pooled[d].push_back(all_fr.back()[d]);
+    }
+  }
+
+  // Fixed set of mimic attacks, features extracted once.
+  const int n_mimic = bench::scaled(120);
+  std::fprintf(stderr, "[fig7] running %d mimic instances...\n", n_mimic);
+  std::vector<attacks::LatentPair> mimic_pairs;
+  for (int i = 0; i < n_mimic; ++i) {
+    const auto pair =
+        attacks::mimic_latent_pair(encoders, cfg, bench::default_scenario(i),
+                                   attacks::MimicSkill::average(),
+                                   9000 + static_cast<std::uint64_t>(i) * 977);
+    if (pair) mimic_pairs.push_back(*pair);
+  }
+
+  std::printf("\n%zu benign samples, %zu mimic instances per N_b\n\n", dataset.size(),
+              mimic_pairs.size());
+  std::printf(" N_b | l_s |  p99   |  eta   | P_guess (Eq.4) | mimic success | benign success\n");
+  std::printf("-----+-----+--------+--------+----------------+---------------+---------------\n");
+
+  for (std::size_t nb = 4; nb <= 15; ++nb) {
+    const core::SeedQuantizer quantizer = core::SeedQuantizer::from_pooled(pooled, nb);
+
+    // Benign mismatch distribution -> eta at the 99th percentile.
+    std::vector<double> mismatches;
+    for (std::size_t i = 0; i < all_fm.size(); ++i) {
+      const BitVec sm = quantizer.quantize(all_fm[i]);
+      const BitVec sr = quantizer.quantize(all_fr[i]);
+      mismatches.push_back(sm.mismatch_ratio(sr));
+    }
+    // Same calibration policy as the shipped system: p99 of the benign
+    // mismatch, bounded by the security cap (see WaveKeyConfig).
+    const double p99 =
+        std::max(percentile(mismatches, 99.0), 1.0 / static_cast<double>(quantizer.seed_bits()));
+    const double eta = std::min(p99, cfg.eta_security_cap);
+    const double p_guess = core::random_guess_success_rate(quantizer.seed_bits(), eta);
+
+    int mimic_hits = 0;
+    for (const auto& pair : mimic_pairs) {
+      const BitVec sv = quantizer.quantize(pair.victim);
+      const BitVec sa = quantizer.quantize(pair.attacker);
+      if (sv.mismatch_ratio(sa) <= eta) ++mimic_hits;
+    }
+    int benign_hits = 0;
+    for (double m : mismatches)
+      if (m <= eta) ++benign_hits;
+
+    std::printf(" %3zu | %3zu | %6.4f | %6.4f |   %.3e    |    %5.2f %%    |    %5.2f %%\n",
+                nb, quantizer.seed_bits(), p99, eta, p_guess,
+                100.0 * mimic_hits / static_cast<double>(mimic_pairs.size()),
+                100.0 * benign_hits / static_cast<double>(mismatches.size()));
+  }
+
+  std::printf("\npaper shape: both attack curves are minimized near N_b = 9. Here the\n");
+  std::printf("security cap pins eta (and hence both attack rates) wherever the benign\n");
+  std::printf("p99 exceeds it, so the N_b tension shows up in the *benign success at\n");
+  std::printf("fixed security* column instead; the paper's uncapped eta is the p99\n");
+  std::printf("column (small N_b: short seeds -> guessing up; large N_b: p99 grows ->\n");
+  std::printf("mimicking up).\n");
+
+  // Ablation: equal-probability vs equal-width bins (per-element entropy).
+  std::printf("\nAblation (DESIGN.md SS4.1): per-element seed entropy at N_b = 9\n");
+  {
+    const core::SeedQuantizer eq_prob = core::SeedQuantizer::from_pooled(pooled, 9);
+    double h_prob = 0.0, h_width = 0.0;
+    for (std::size_t d = 0; d < dim; ++d) {
+      std::vector<std::size_t> c_prob(9, 0), c_width(9, 0);
+      const double lo = percentile(pooled[d], 1), hi = percentile(pooled[d], 99);
+      for (double x : pooled[d]) {
+        c_prob[eq_prob.bin_of(d, x)]++;
+        const int wbin = std::clamp(static_cast<int>((x - lo) / (hi - lo) * 9.0), 0, 8);
+        c_width[static_cast<std::size_t>(wbin)]++;
+      }
+      auto entropy = [&](const std::vector<std::size_t>& counts) {
+        double h = 0.0;
+        for (std::size_t c : counts) {
+          if (c == 0) continue;
+          const double p = static_cast<double>(c) / static_cast<double>(pooled[d].size());
+          h -= p * std::log2(p);
+        }
+        return h;
+      };
+      h_prob += entropy(c_prob);
+      h_width += entropy(c_width);
+    }
+    std::printf("  equal-probability bins: %.2f bits/element (max %.2f)\n", h_prob / dim,
+                std::log2(9.0));
+    std::printf("  equal-width bins:       %.2f bits/element\n", h_width / dim);
+  }
+  return 0;
+}

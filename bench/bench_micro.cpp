@@ -1,0 +1,123 @@
+// Micro-benchmarks (google-benchmark) of the primitives underlying the
+// headline numbers: hashing, the OT group arithmetic, Reed-Solomon,
+// Savitzky-Golay, the NN inference, and one full protocol run. These back
+// the tau/Table III measurements with per-primitive costs.
+
+#include <benchmark/benchmark.h>
+
+#include "core/dataset.hpp"
+#include "core/encoders.hpp"
+#include "crypto/drbg.hpp"
+#include "crypto/field25519.hpp"
+#include "crypto/sha256.hpp"
+#include "dsp/savitzky_golay.hpp"
+#include "ecc/reed_solomon.hpp"
+#include "protocol/session.hpp"
+#include "sim/scenario.hpp"
+
+using namespace wavekey;
+
+namespace {
+
+void BM_Sha256_1KiB(benchmark::State& state) {
+  std::vector<std::uint8_t> data(1024, 0xAB);
+  for (auto _ : state) benchmark::DoNotOptimize(crypto::Sha256::hash(data));
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_Sha256_1KiB);
+
+void BM_ChaChaDrbg_1KiB(benchmark::State& state) {
+  crypto::Drbg drbg(1);
+  std::vector<std::uint8_t> out(1024);
+  for (auto _ : state) {
+    drbg.random_bytes(out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_ChaChaDrbg_1KiB);
+
+void BM_Fe25519_Pow(benchmark::State& state) {
+  crypto::Drbg drbg(2);
+  auto e = drbg.random_scalar_bytes();
+  e[31] &= 0x7F;
+  const crypto::Fe25519 g = crypto::Fe25519::generator();
+  for (auto _ : state) benchmark::DoNotOptimize(g.pow(e));
+}
+BENCHMARK(BM_Fe25519_Pow);
+
+void BM_OtInstance(benchmark::State& state) {
+  crypto::Drbg rng(3);
+  const std::vector<std::uint8_t> s0(8, 1), s1(8, 2);
+  for (auto _ : state) {
+    crypto::OtSender sender(rng);
+    crypto::OtReceiver receiver(rng, true, sender.first_message());
+    const auto cts = sender.encrypt(receiver.response(), s0, s1);
+    benchmark::DoNotOptimize(receiver.decrypt(cts));
+  }
+}
+BENCHMARK(BM_OtInstance);
+
+void BM_ReedSolomon_Decode(benchmark::State& state) {
+  const ecc::ReedSolomon rs(16);
+  Rng rng(4);
+  std::vector<std::uint8_t> data(100);
+  for (auto& d : data) d = static_cast<std::uint8_t>(rng.uniform_u64(256));
+  auto cw = rs.encode(data);
+  for (int e = 0; e < 8; ++e) cw[e * 13] ^= 0x5A;
+  for (auto _ : state) benchmark::DoNotOptimize(rs.decode(cw));
+}
+BENCHMARK(BM_ReedSolomon_Decode);
+
+void BM_SavitzkyGolay_400(benchmark::State& state) {
+  const dsp::SavitzkyGolayFilter sg(11, 3);
+  Rng rng(5);
+  std::vector<double> xs(400);
+  for (auto& x : xs) x = rng.normal();
+  for (auto _ : state) benchmark::DoNotOptimize(sg.apply(xs));
+}
+BENCHMARK(BM_SavitzkyGolay_400);
+
+core::EncoderPair& micro_encoders() {
+  static core::EncoderPair encoders = [] {
+    Rng rng(6);
+    return core::EncoderPair(12, rng);
+  }();
+  return encoders;
+}
+
+void BM_ImuEncoderInference(benchmark::State& state) {
+  nn::Tensor input({3, 200});
+  Rng rng(7);
+  for (std::size_t i = 0; i < input.size(); ++i) input[i] = static_cast<float>(rng.normal());
+  for (auto _ : state) benchmark::DoNotOptimize(micro_encoders().imu_features(input));
+}
+BENCHMARK(BM_ImuEncoderInference);
+
+void BM_GestureSimulation(benchmark::State& state) {
+  sim::ScenarioConfig sc;
+  sc.gesture.active_s = 3.0;
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    sim::ScenarioSimulator simulator(sc, ++seed);
+    benchmark::DoNotOptimize(simulator.run());
+  }
+}
+BENCHMARK(BM_GestureSimulation);
+
+void BM_FullKeyAgreement256(benchmark::State& state) {
+  protocol::SessionConfig config;
+  config.params.seed_bits = 48;
+  config.params.key_bits = 256;
+  config.params.eta = 0.1;
+  crypto::Drbg m(8), s(9), seed_rng(10);
+  const BitVec seed = seed_rng.random_bits(48);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(protocol::run_key_agreement(config, seed, seed, m, s));
+  }
+}
+BENCHMARK(BM_FullKeyAgreement256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,79 @@
+// Reproduces SVI-D: NIST randomness evaluation of the established keys and
+// key-seeds. Each simulated volunteer performs many key establishments in a
+// static environment; per volunteer the 256-bit keys concatenate into a
+// key-chain and the seed pairs into two key-seed-chains, which then face
+// the NIST battery (the paper reports the runs test; we run the companions
+// too).
+
+#include "bench/common.hpp"
+#include "nist/nist.hpp"
+#include "numeric/stats.hpp"
+
+using namespace wavekey;
+
+int main() {
+  bench::print_header("Randomness of keys and key-seeds (NIST SP 800-22)",
+                      "WaveKey (ICDCS'24) SVI-D");
+
+  const int keys_per_volunteer = bench::scaled(60);
+  core::WaveKeySystem& system = bench::system();
+  std::printf("%d keys per volunteer, static environment\n\n", keys_per_volunteer);
+
+  std::vector<double> key_runs_p, seed_runs_p;
+  std::printf("volunteer | chain bits | monobit |  runs  | blockfreq | cusum | longest\n");
+  std::printf("----------+------------+---------+--------+-----------+-------+--------\n");
+  for (std::size_t v = 0; v < bench::cohort().size(); ++v) {
+    BitVec key_chain, seed_chain_m, seed_chain_r;
+    for (int i = 0; i < keys_per_volunteer; ++i) {
+      sim::ScenarioConfig sc = bench::default_scenario(static_cast<int>(v));
+      sc.volunteer = bench::cohort()[v];
+      const std::uint64_t seed = (v + 1) * 100000ull + static_cast<std::uint64_t>(i) * 271ull;
+      const core::WaveKeyOutcome out = system.establish_key(sc, seed);
+      if (!out.success) continue;
+      key_chain.append(out.key);
+    }
+    // Key-seed chains (paper: the seeds are security-critical too).
+    for (int i = 0; i < keys_per_volunteer; ++i) {
+      sim::ScenarioConfig sc = bench::default_scenario(static_cast<int>(v));
+      sc.volunteer = bench::cohort()[v];
+      const std::uint64_t seed = (v + 1) * 100000ull + static_cast<std::uint64_t>(i) * 271ull;
+      const auto pair = core::simulate_seed_pair(system.encoders(), system.quantizer(),
+                                                 system.config(), sc, seed);
+      if (!pair) continue;
+      seed_chain_m.append(pair->mobile_seed);
+      seed_chain_r.append(pair->server_seed);
+    }
+    if (key_chain.size() < 256 || seed_chain_m.size() < 256) {
+      std::printf("  vol %zu  | insufficient successful sessions\n", v + 1);
+      continue;
+    }
+
+    const double p_runs = nist::runs_test(key_chain);
+    key_runs_p.push_back(p_runs);
+    seed_runs_p.push_back(nist::runs_test(seed_chain_m));
+    seed_runs_p.push_back(nist::runs_test(seed_chain_r));
+    std::printf("  keys %zu  | %10zu |  %.3f  | %.3f  |   %.3f   | %.3f |  %.3f\n", v + 1,
+                key_chain.size(), nist::monobit_test(key_chain), p_runs,
+                nist::block_frequency_test(key_chain), nist::cusum_test(key_chain),
+                nist::longest_run_test(key_chain));
+    std::printf("  seeds%zu  | %10zu |  %.3f  | %.3f  |     --    |  --   |   --\n", v + 1,
+                seed_chain_m.size(), nist::monobit_test(seed_chain_m),
+                nist::runs_test(seed_chain_m));
+  }
+
+  if (!key_runs_p.empty()) {
+    std::printf("\nruns-test p-values, key chains:      avg %.3f  min %.3f\n", mean(key_runs_p),
+                percentile(key_runs_p, 0));
+    std::printf("runs-test p-values, key-seed chains: avg %.3f  min %.3f\n", mean(seed_runs_p),
+                percentile(seed_runs_p, 0));
+    std::printf("paper: key chains avg 0.92 / min 0.90; seed chains avg 0.78 / min 0.72\n");
+    std::printf("pass threshold: p >= 0.05 (paper) / 0.01 (NIST default)\n");
+    std::printf("\nNote on seed chains: with N_b = 9 bins Gray-coded into 4 bits, the 4th\n");
+    std::printf("bit of each element is 1 only for the 9th bin (P = 1/9), so raw seed\n");
+    std::printf("chains are biased *by construction* and fail frequency-family tests.\n");
+    std::printf("The effective per-seed entropy is l_f * log2(N_b) = 12 * 3.17 = 38.0\n");
+    std::printf("bits -- exactly the paper's l_s = 38 from its fractional Eq. (2). The\n");
+    std::printf("established keys are unaffected (they are OT-pad randomness).\n");
+  }
+  return 0;
+}

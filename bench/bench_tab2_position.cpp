@@ -1,0 +1,49 @@
+// Reproduces Table II: key-establishment success rates vs the user's
+// distance (1..9 m at 0 deg) and azimuth (-60..60 deg at 5 m), in static
+// and dynamic conditions. Paper: 200 gestures per configuration per
+// condition.
+
+#include "bench/common.hpp"
+
+using namespace wavekey;
+
+int main() {
+  bench::print_header("Table II -- success vs distance and azimuth",
+                      "WaveKey (ICDCS'24) SVI-F2, Table II");
+
+  const int n = bench::scaled(30);
+  std::printf("%d key establishments per cell\n\n", n);
+
+  const double distances[] = {1, 3, 5, 7, 9};
+  std::printf("Distance (m)      |    1 |    3 |    5 |    7 |    9 |\n");
+  for (const bool dynamic : {false, true}) {
+    std::printf("%-17s |", dynamic ? "Dynamic" : "Static");
+    for (double d : distances) {
+      sim::ScenarioConfig sc = bench::default_scenario(0);
+      sc.distance_m = d;
+      sc.dynamic_environment = dynamic;
+      std::printf("%5.1f |", bench::key_establishment_rate(
+                                 sc, n, 100 + static_cast<std::uint64_t>(d * 2 + dynamic)));
+    }
+    std::printf("\n");
+  }
+  std::printf("paper static      | 99.5 |  100 | 99.5 |  100 | 99.5 |\n");
+  std::printf("paper dynamic     | 99.5 | 99.5 |   99 |   99 |   99 |\n\n");
+
+  const double angles[] = {-60, -30, 0, 30, 60};
+  std::printf("Angle (deg)       |  -60 |  -30 |    0 |   30 |   60 |\n");
+  for (const bool dynamic : {false, true}) {
+    std::printf("%-17s |", dynamic ? "Dynamic" : "Static");
+    for (double a : angles) {
+      sim::ScenarioConfig sc = bench::default_scenario(0);
+      sc.azimuth_deg = a;
+      sc.dynamic_environment = dynamic;
+      std::printf("%5.1f |", bench::key_establishment_rate(
+                                 sc, n, 200 + static_cast<std::uint64_t>(a + 70 + dynamic)));
+    }
+    std::printf("\n");
+  }
+  std::printf("paper static      |  100 |  100 | 99.5 |  100 | 99.5 |\n");
+  std::printf("paper dynamic     | 99.5 |   99 |   99 | 98.5 |   99 |\n");
+  return 0;
+}

@@ -1,0 +1,29 @@
+#pragma once
+
+// Shared setup for the examples: obtain a trained WaveKey system. If the
+// bench-grade model cache (wavekey_models.bin, produced by any bench binary
+// or a previous example run) exists it is reused; otherwise a reduced
+// training run (~2 minutes) produces a usable model and caches it under a
+// separate name so benches still train their full model.
+
+#include <cstdio>
+
+#include "core/model_store.hpp"
+
+namespace wavekey::examples {
+
+inline core::WaveKeySystem make_system() {
+  // Prefer the full bench model if it is already cached.
+  if (auto cached = core::load_system("wavekey_models.bin", core::WaveKeyConfig{})) {
+    std::fprintf(stderr, "[example] using cached bench model (wavekey_models.bin)\n");
+    return std::move(*cached);
+  }
+  core::DatasetConfig dc;
+  dc.gestures_per_pair = 6;
+  dc.windows_per_gesture = 10;
+  core::TrainConfig tc;
+  tc.epochs = 30;
+  return core::load_or_train("wavekey_example_model.bin", dc, tc, core::WaveKeyConfig{});
+}
+
+}  // namespace wavekey::examples

@@ -1,0 +1,74 @@
+// Context 3 of the paper: RFID-assisted secure mobile system access. A
+// vehicle owner uses the car's key fob to register *arbitrary* mobile
+// devices with the vehicle: each registration is one WaveKey session with
+// the fob. The example registers a phone and a watch, then shows a
+// man-in-the-middle on the wireless link failing to hijack a registration.
+
+#include <cstdio>
+
+#include "attacks/attack_eval.hpp"
+#include "examples/example_common.hpp"
+#include "sim/scenario.hpp"
+
+using namespace wavekey;
+
+int main() {
+  core::WaveKeySystem system = examples::make_system();
+
+  std::printf("=== registering devices with the car via its key fob ===\n\n");
+  const auto devices = sim::MobileDeviceProfile::standard_devices();
+  const sim::TagProfile fob = sim::TagProfile::standard_tags()[2];  // one specific fob
+
+  Rng style_rng(55);
+  const sim::VolunteerStyle owner = sim::VolunteerStyle::sample(style_rng);
+
+  std::vector<std::pair<std::string, BitVec>> registered;
+  for (const auto& device_name : {std::string("pixel8"), std::string("galaxy_watch")}) {
+    sim::ScenarioConfig scenario;
+    scenario.volunteer = owner;
+    scenario.tag = fob;
+    scenario.distance_m = 1.0;  // standing next to the car
+    scenario.gesture.active_s = 3.5;
+    for (const auto& d : devices)
+      if (d.name == device_name) scenario.device = d;
+
+    const core::WaveKeyOutcome outcome =
+        system.establish_key(scenario, 600 + registered.size() * 29);
+    if (outcome.success) {
+      std::printf("%-13s registered; vehicle stored a fresh %zu-bit credential\n",
+                  device_name.c_str(), outcome.key.size());
+      registered.emplace_back(device_name, outcome.key);
+    } else {
+      std::printf("%-13s registration failed (wave again)\n", device_name.c_str());
+    }
+  }
+
+  if (registered.size() == 2) {
+    std::printf("\ncredentials are independent: %s\n",
+                registered[0].second == registered[1].second
+                    ? "NO -- investigate!"
+                    : "yes, phone and watch hold different keys");
+  }
+
+  // A man in the middle on the car<->phone link tampers with the OT
+  // exchange during a registration. The protocol detects it.
+  std::printf("\n=== MitM attempts to hijack a registration ===\n\n");
+  int failed = 0, total = 0;
+  for (std::size_t bit = 0; bit < 5; ++bit) {
+    sim::ScenarioConfig scenario;
+    scenario.volunteer = owner;
+    scenario.tag = fob;
+    scenario.distance_m = 1.0;
+    scenario.gesture.active_s = 3.5;
+    scenario.device = devices[0];
+    const auto tamper = attacks::make_tamperer(protocol::MessageType::kMsgE, bit * 333 + 7);
+    const core::WaveKeyOutcome outcome =
+        system.establish_key(scenario, 700 + bit, tamper);
+    if (!outcome.pipelines_ok) continue;
+    ++total;
+    if (!outcome.success) ++failed;
+  }
+  std::printf("%d / %d tampered registrations aborted (HMAC/reconciliation caught the MitM)\n",
+              failed, total);
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Context 1 of the paper: an RFID line-up service. Visitors to a service
+// center receive tickets with unique RFID tags; each visitor pairs their
+// own phone with the backend by waving phone + ticket together, then
+// submits paperwork over the resulting secure channel, tied to their ticket
+// number. This example walks three visitors through the queue and shows
+// the per-visitor keys protecting (simulated) document uploads.
+
+#include <cstdio>
+#include <string>
+
+#include "crypto/hmac.hpp"
+#include "crypto/stream_cipher.hpp"
+#include "examples/example_common.hpp"
+#include "sim/scenario.hpp"
+
+using namespace wavekey;
+
+namespace {
+
+// The backend's view of one ticket holder.
+struct TicketSession {
+  int ticket_number;
+  BitVec key;
+};
+
+std::vector<std::uint8_t> ascii(const std::string& s) {
+  return std::vector<std::uint8_t>(s.begin(), s.end());
+}
+
+}  // namespace
+
+int main() {
+  core::WaveKeySystem system = examples::make_system();
+
+  const auto tags = sim::TagProfile::standard_tags();
+  const auto devices = sim::MobileDeviceProfile::standard_devices();
+  std::vector<TicketSession> sessions;
+
+  std::printf("=== RFID line-up service: 3 visitors take tickets ===\n\n");
+  for (int visitor = 0; visitor < 3; ++visitor) {
+    // Each visitor gets a fresh ticket (tag) and brings their own phone.
+    sim::ScenarioConfig scenario;
+    Rng style_rng(900 + static_cast<std::uint64_t>(visitor));
+    scenario.volunteer = sim::VolunteerStyle::sample(style_rng);
+    scenario.tag = tags[static_cast<std::size_t>(visitor) % tags.size()];
+    scenario.device = devices[static_cast<std::size_t>(visitor) % devices.size()];
+    scenario.distance_m = 2.0 + visitor;  // they stand at different spots
+    scenario.gesture.active_s = 3.5;
+
+    const core::WaveKeyOutcome outcome =
+        system.establish_key(scenario, 5000 + static_cast<std::uint64_t>(visitor) * 17);
+    if (!outcome.success) {
+      std::printf("visitor %d: pairing failed, retrying is a wave away\n", visitor + 1);
+      continue;
+    }
+    sessions.push_back({100 + visitor, outcome.key});
+    std::printf("visitor %d: ticket #%d paired with %s + %s in %.0f ms\n", visitor + 1,
+                100 + visitor, scenario.device.name.c_str(), scenario.tag.name.c_str(),
+                outcome.elapsed_s * 1000.0);
+  }
+
+  std::printf("\n=== paperwork submission over the per-ticket secure channels ===\n\n");
+  for (const TicketSession& s : sessions) {
+    const std::string document =
+        "TAX-FORM-2026 for ticket #" + std::to_string(s.ticket_number);
+    const auto key_bytes = s.key.to_bytes();
+    const auto ciphertext = crypto::stream_crypt(key_bytes, ascii(document));
+    const auto mac = crypto::hmac_sha256(key_bytes, ciphertext);
+
+    // Backend decrypts with the key it established for this ticket.
+    const auto decrypted = crypto::stream_crypt(key_bytes, ciphertext);
+    const bool mac_ok = crypto::digest_equal(mac, crypto::hmac_sha256(key_bytes, ciphertext));
+    std::printf("ticket #%d: %zu-byte document, MAC %s, round-trips to \"%.*s\"\n",
+                s.ticket_number, ciphertext.size(), mac_ok ? "verified" : "BROKEN",
+                static_cast<int>(decrypted.size()), decrypted.data());
+  }
+
+  // The keys are per-visitor: ticket #100's key cannot read #101's upload.
+  if (sessions.size() >= 2) {
+    const auto ct =
+        crypto::stream_crypt(sessions[1].key.to_bytes(), ascii("visitor-2 secret"));
+    const auto wrong = crypto::stream_crypt(sessions[0].key.to_bytes(), ct);
+    std::printf("\ncross-ticket isolation: decrypting #%d's upload with #%d's key -> \"%.*s\"\n",
+                sessions[1].ticket_number, sessions[0].ticket_number,
+                static_cast<int>(wrong.size()), wrong.data());
+  }
+  return 0;
+}

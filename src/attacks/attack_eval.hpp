@@ -1,0 +1,84 @@
+#pragma once
+
+// Attack campaign drivers for the security evaluation (SV / SVI-E):
+// device spoofing by random guessing, gesture mimicking, camera recovery,
+// RFID signal spoofing, and protocol-level interceptors (eavesdrop, MitM).
+
+#include <cstdint>
+#include <optional>
+
+#include "attacks/camera_attack.hpp"
+#include "attacks/mimic.hpp"
+#include "core/config.hpp"
+#include "core/encoders.hpp"
+#include "core/pairing.hpp"
+#include "core/seed_quantizer.hpp"
+#include "protocol/session.hpp"
+#include "sim/scenario.hpp"
+
+namespace wavekey::attacks {
+
+/// Result of one device-spoofing attempt against a victim session.
+struct SpoofAttemptResult {
+  double mismatch = 1.0;       ///< attacker seed vs victim S_M
+  bool seed_accepted = false;  ///< mismatch <= eta (reconciliation would pass)
+  bool within_deadline = true; ///< attack latency fits the tau window
+  bool success() const { return seed_accepted && within_deadline; }
+};
+
+/// Random-guessing spoof: draws a uniform seed (empirical check of Eq. (4)).
+SpoofAttemptResult run_random_guess_attack(const BitVec& victim_seed, double eta,
+                                           crypto::Drbg& rng);
+
+/// Gesture-mimicking spoof: simulates the victim's session, a mimic
+/// replicates the trajectory holding their own device, both run the key-seed
+/// pipeline, compare. Returns nullopt when either pipeline rejects its
+/// recording.
+std::optional<SpoofAttemptResult> run_mimic_attack(core::EncoderPair& encoders,
+                                                   const core::SeedQuantizer& quantizer,
+                                                   const core::WaveKeyConfig& config,
+                                                   const sim::ScenarioConfig& victim_scenario,
+                                                   const MimicSkill& skill, std::uint64_t seed);
+
+/// Latent feature vectors of a victim and their mimic for one attack
+/// instance (used by the N_b sweep, which re-quantizes fixed latents).
+struct LatentPair {
+  std::vector<double> victim;
+  std::vector<double> attacker;
+};
+std::optional<LatentPair> mimic_latent_pair(core::EncoderPair& encoders,
+                                            const core::WaveKeyConfig& config,
+                                            const sim::ScenarioConfig& victim_scenario,
+                                            const MimicSkill& skill, std::uint64_t seed);
+
+/// Camera-recovery spoof against a fresh victim session.
+std::optional<SpoofAttemptResult> run_camera_spoof(core::EncoderPair& encoders,
+                                                   const core::SeedQuantizer& quantizer,
+                                                   const core::WaveKeyConfig& config,
+                                                   const sim::ScenarioConfig& victim_scenario,
+                                                   const sim::CameraConfig& camera_config,
+                                                   std::uint64_t seed);
+
+/// RFID signal spoofing (SV-A): the adversary overrides the reader's input
+/// with a replayed recording of a *different* gesture. Returns the seed
+/// mismatch this induces between the mobile and the server — key
+/// establishment fails (and the attack is detected) when it exceeds eta.
+std::optional<double> run_signal_spoof(core::EncoderPair& encoders,
+                                       const core::SeedQuantizer& quantizer,
+                                       const core::WaveKeyConfig& config,
+                                       const sim::ScenarioConfig& victim_scenario,
+                                       std::uint64_t seed);
+
+/// Protocol interceptor that records all traffic (eavesdropper). The
+/// returned blob is the concatenated transcript, for entropy/leakage checks.
+protocol::Interceptor make_eavesdropper(protocol::Bytes* transcript);
+
+/// Protocol interceptor that flips bits in every payload of the given type
+/// (man-in-the-middle tampering).
+protocol::Interceptor make_tamperer(protocol::MessageType target, std::size_t flip_bit);
+
+/// Protocol interceptor that delays messages of the given type (used to
+/// drive the tau-deadline defense).
+protocol::Interceptor make_delayer(protocol::MessageType target, double delay_s);
+
+}  // namespace wavekey::attacks

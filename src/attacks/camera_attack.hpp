@@ -1,0 +1,38 @@
+#pragma once
+
+// Camera-aided data-recovery attack (SV-B3 / SVI-E2): the adversary films
+// the victim's gesture, reconstructs the 3-D (remote / Complexer-YOLO) or
+// 2-D (in-situ / YoloV5) hand track, derives linear accelerations by double
+// differentiation, runs the victim's own key-seed pipeline on the estimate,
+// and attempts device spoofing with the resulting seed. Success requires
+// both (a) a seed within the ECC tolerance of the victim's S_M and (b)
+// meeting the protocol's tau deadline despite the video-processing latency.
+
+#include <optional>
+
+#include "core/config.hpp"
+#include "core/encoders.hpp"
+#include "core/seed_quantizer.hpp"
+#include "numeric/bitvec.hpp"
+#include "sim/camera.hpp"
+#include "sim/trajectory.hpp"
+
+namespace wavekey::attacks {
+
+struct CameraAttackResult {
+  BitVec seed;                ///< the attacker's recovered key-seed
+  double processing_latency_s = 0.0;
+  bool within_deadline = false;  ///< latency <= gesture window + tau
+};
+
+/// Runs the full camera-recovery pipeline against a victim gesture.
+/// Returns nullopt when the attacker cannot even assemble a window (track
+/// too short, onset not found).
+std::optional<CameraAttackResult> run_camera_attack(core::EncoderPair& encoders,
+                                                    const core::SeedQuantizer& quantizer,
+                                                    const core::WaveKeyConfig& config,
+                                                    const sim::Trajectory& victim,
+                                                    const sim::CameraConfig& camera_config,
+                                                    const Vec3& view_direction, Rng& rng);
+
+}  // namespace wavekey::attacks

@@ -1,0 +1,118 @@
+#include "attacks/mimic.hpp"
+
+#include <cmath>
+
+namespace wavekey::attacks {
+
+MimicSkill MimicSkill::skilled() {
+  MimicSkill s;
+  s.reaction_delay_s = 0.15;
+  s.reaction_jitter_s = 0.04;
+  s.tracking_bandwidth_hz = 1.5;
+  s.tempo_error = 0.03;
+  s.drift_amp_s = 0.05;
+  s.amplitude_error = 0.10;
+  s.extra_motion_ratio = 0.15;
+  return s;
+}
+
+MimicSkill MimicSkill::average() { return {}; }
+
+MimicTrajectory::MimicTrajectory(const sim::Trajectory& victim, const MimicSkill& skill,
+                                 Rng& rng)
+    : victim_(&victim) {
+  delay_ = std::max(0.05, skill.reaction_delay_s + rng.normal(0.0, skill.reaction_jitter_s));
+  const double tempo = 1.0 + rng.normal(0.0, skill.tempo_error);
+  const sim::SinusoidSum drift = sim::SinusoidSum::random(rng, 3, 0.1, 0.6, skill.drift_amp_s);
+  const Vec3 scale{1.0 + rng.normal(0.0, skill.amplitude_error),
+                   1.0 + rng.normal(0.0, skill.amplitude_error),
+                   1.0 + rng.normal(0.0, skill.amplitude_error)};
+  sim::SinusoidSum extra[3];
+  // Extra (involuntary) motion amplitude relative to a nominal 10 cm gesture.
+  for (auto& e : extra)
+    e = sim::SinusoidSum::random(rng, 5, 0.4, 3.0, 0.1 * skill.extra_motion_ratio);
+
+  // Precompute the mimic's hand track. The human visuomotor loop cannot
+  // anticipate a random signal: we model tracking as the victim's (time
+  // warped, amplitude-misjudged) trajectory passed through a *causal*
+  // second-order low-pass with the skill's tracking bandwidth — high
+  // frequency submovements are simply not reproduced — plus additive
+  // involuntary motion.
+  const double t_end = victim.total_duration();
+  const std::size_t n = static_cast<std::size_t>(t_end / track_dt_) + 2;
+  track_.resize(n);
+
+  const double tau = 1.0 / (2.0 * M_PI * skill.tracking_bandwidth_hz);
+  const double alpha = track_dt_ / (tau + track_dt_);
+  const double t0 = victim.motion_start();
+  Vec3 stage1, stage2;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) * track_dt_;
+    // What the mimic is *trying* to do right now: the victim's pose at the
+    // warped time (reaction delay + tempo error + slow drift).
+    double tv = t0;
+    if (t > t0 + delay_) tv = t0 + (t - t0 - delay_) / tempo + drift.value(t);
+    const Vec3 target = victim.position(tv);
+    const Vec3 scaled{target.x * scale.x, target.y * scale.y, target.z * scale.z};
+    // Two cascaded one-pole stages = second-order causal tracking dynamics.
+    stage1 += (scaled - stage1) * alpha;
+    stage2 += (stage1 - stage2) * alpha;
+    Vec3 p = stage2;
+    if (t > t0 + delay_) {
+      p += Vec3{extra[0].value(t) - extra[0].value(t0 + delay_),
+                extra[1].value(t) - extra[1].value(t0 + delay_),
+                extra[2].value(t) - extra[2].value(t0 + delay_)};
+    }
+    track_[i] = p;
+  }
+
+  for (auto& om : omega_) om = sim::SinusoidSum::random(rng, 4, 0.4, 3.0, 0.5);
+  q0_ = Quaternion::from_axis_angle({rng.normal(), rng.normal(), rng.normal()},
+                                    rng.uniform(0.0, 0.9));
+
+  const std::size_t steps = static_cast<std::size_t>(t_end / fine_dt_) + 2;
+  attitude_track_.reserve(steps);
+  Quaternion q = q0_;
+  attitude_track_.push_back(q);
+  for (std::size_t i = 1; i < steps; ++i) {
+    const double t = static_cast<double>(i - 1) * fine_dt_;
+    q = q.integrated(angular_rate_body(t), fine_dt_);
+    attitude_track_.push_back(q);
+  }
+}
+
+Vec3 MimicTrajectory::position(double t) const {
+  if (t <= 0.0) return track_.front();
+  const double idx_f = t / track_dt_;
+  const auto idx = static_cast<std::size_t>(idx_f);
+  if (idx + 1 >= track_.size()) return track_.back();
+  const double frac = idx_f - static_cast<double>(idx);
+  return track_[idx] * (1.0 - frac) + track_[idx + 1] * frac;
+}
+
+Vec3 MimicTrajectory::velocity(double t) const {
+  const double h = 2.0 * track_dt_;
+  return (position(t + h) - position(t - h)) / (2.0 * h);
+}
+
+Vec3 MimicTrajectory::acceleration(double t) const {
+  const double h = 2.0 * track_dt_;
+  return (position(t + h) - position(t) * 2.0 + position(t - h)) / (h * h);
+}
+
+Vec3 MimicTrajectory::angular_rate_body(double t) const {
+  if (t <= victim_->motion_start() + delay_) return {};
+  return {omega_[0].value(t), omega_[1].value(t), omega_[2].value(t)};
+}
+
+Quaternion MimicTrajectory::orientation(double t) const {
+  if (t <= 0.0) return attitude_track_.front();
+  const auto idx = static_cast<std::size_t>(t / fine_dt_);
+  if (idx + 1 >= attitude_track_.size()) return attitude_track_.back();
+  const double t_grid = static_cast<double>(idx) * fine_dt_;
+  return attitude_track_[idx].integrated(angular_rate_body(t_grid), t - t_grid);
+}
+
+double MimicTrajectory::motion_start() const { return victim_->motion_start() + delay_; }
+
+}  // namespace wavekey::attacks

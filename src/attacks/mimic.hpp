@@ -1,0 +1,63 @@
+#pragma once
+
+// Gesture-mimicking adversary (SV-B2 / SVI-E1 of the paper): an attacker
+// watches the victim's gesture and replicates it with their own device. The
+// replica differs from the original by human motor limitations, which we
+// model explicitly from the motor-control literature's error categories:
+// reaction delay, tempo error, slow timing drift, per-axis amplitude error,
+// and additive uncorrelated motion. The mimicking device also has its own
+// (unrelated) wrist-rotation profile and attitude.
+
+#include <memory>
+
+#include "numeric/rng.hpp"
+#include "sim/gesture.hpp"
+#include "sim/trajectory.hpp"
+
+namespace wavekey::attacks {
+
+/// Skill model of the mimicking human. The dominant limitation is the
+/// visuomotor tracking bandwidth: a human shadowing an *unpredictable*
+/// signal reproduces only its sub-bandwidth content, with reaction lag
+/// (manual pursuit-tracking literature: ~1 Hz bandwidth, 150-300 ms lag).
+struct MimicSkill {
+  double reaction_delay_s = 0.25;     ///< mean start lag behind the victim
+  double reaction_jitter_s = 0.08;
+  double tracking_bandwidth_hz = 0.9; ///< causal low-pass on the copied motion
+  double tempo_error = 0.06;          ///< 1 sigma relative speed error
+  double drift_amp_s = 0.08;          ///< slow timing drift amplitude
+  double amplitude_error = 0.20;      ///< 1 sigma per-axis scale error
+  double extra_motion_ratio = 0.30;   ///< involuntary motion / nominal gesture
+
+  /// A practiced mimic (lower errors; used for sensitivity sweeps).
+  static MimicSkill skilled();
+  /// A casual observer-mimic (paper's volunteers).
+  static MimicSkill average();
+};
+
+/// The mimicking hand's trajectory: a distorted copy of the victim's.
+class MimicTrajectory final : public sim::Trajectory {
+ public:
+  /// @param victim  the observed gesture (must outlive this object)
+  MimicTrajectory(const sim::Trajectory& victim, const MimicSkill& skill, Rng& rng);
+
+  Vec3 position(double t) const override;
+  Vec3 velocity(double t) const override;
+  Vec3 acceleration(double t) const override;
+  Vec3 angular_rate_body(double t) const override;
+  Quaternion orientation(double t) const override;
+  double motion_start() const override;
+  double total_duration() const override { return victim_->total_duration(); }
+
+ private:
+  const sim::Trajectory* victim_;
+  double delay_ = 0.0;
+  double track_dt_ = 5e-3;        // precomputed hand-track step
+  std::vector<Vec3> track_;       // the mimic's actual hand positions
+  sim::SinusoidSum omega_[3];     // mimic's own wrist rotation
+  Quaternion q0_;
+  double fine_dt_ = 1e-3;
+  std::vector<Quaternion> attitude_track_;
+};
+
+}  // namespace wavekey::attacks

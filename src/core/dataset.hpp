@@ -1,0 +1,64 @@
+#pragma once
+
+// Training-dataset generation mirroring SIV-E1 of the paper: a cohort of
+// simulated volunteers performs long gestures with several mobile devices
+// across static and dynamic environments; each gesture contributes multiple
+// overlapping 2 s windows; every window is pushed through the *real* mobile
+// and server pipelines to produce a paired sample <A_i, R_i>.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config.hpp"
+#include "nn/tensor.hpp"
+#include "numeric/matrix.hpp"
+
+namespace wavekey::core {
+
+/// One paired training sample.
+struct Sample {
+  nn::Tensor imu;       ///< [3, 200]: linear accelerations, channels-first
+  nn::Tensor rfid;      ///< [2, 400]: processed phase + magnitude
+  nn::Tensor rfid_mag;  ///< [400]: the decoder's reconstruction target
+};
+
+/// Scale of the simulated data-collection campaign. The paper's campaign is
+/// volunteers=6, devices=4, gestures=30, windows=20 (14,400 samples); the
+/// defaults below are a compute-friendly slice with the same diversity.
+struct DatasetConfig {
+  std::size_t volunteers = 6;
+  std::size_t devices = 4;
+  std::size_t gestures_per_pair = 4;  ///< gestures per (volunteer, device)
+  std::size_t windows_per_gesture = 8;
+  double gesture_active_s = 15.0;
+  bool include_dynamic = true;  ///< 1/3 of gestures in a dynamic environment
+  std::uint64_t seed = 0x5EED;
+};
+
+class WaveKeyDataset {
+ public:
+  /// Runs the simulated campaign. Windows whose pipelines fail (no detected
+  /// start etc.) are skipped, as a real campaign would discard bad trials.
+  static WaveKeyDataset generate(const DatasetConfig& dataset_config,
+                                 const WaveKeyConfig& wavekey_config = {});
+
+  std::size_t size() const { return samples_.size(); }
+  const Sample& sample(std::size_t i) const { return samples_.at(i); }
+  const std::vector<Sample>& samples() const { return samples_; }
+
+  /// Assembles minibatch tensors from sample indices.
+  void batch(const std::vector<std::size_t>& indices, nn::Tensor& imu, nn::Tensor& rfid,
+             nn::Tensor& mag) const;
+
+  /// Converts a pipeline output pair into network input tensors (shared by
+  /// dataset generation and live key establishment).
+  static Sample make_sample(const Matrix& linear_accel, const Matrix& rfid_processed,
+                            const WaveKeyConfig& config);
+
+  void add(Sample s) { samples_.push_back(std::move(s)); }
+
+ private:
+  std::vector<Sample> samples_;
+};
+
+}  // namespace wavekey::core

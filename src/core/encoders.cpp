@@ -1,0 +1,336 @@
+#include "core/encoders.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <numeric>
+#include <stdexcept>
+
+#include "nn/batchnorm.hpp"
+#include "nn/conv1d.hpp"
+#include "nn/dense.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+#include "numeric/stats.hpp"
+
+namespace wavekey::core {
+namespace {
+
+constexpr char kMagic[] = "WKEP1";
+
+// Indices of the surgery-relevant layers inside each Sequential (see build()).
+constexpr std::size_t kEncoderDenseIdx = 7;
+constexpr std::size_t kEncoderBnIdx = 8;
+constexpr std::size_t kDecoderDeconvIdx = 1;
+
+nn::Tensor add_tensors(const nn::Tensor& a, const nn::Tensor& b) {
+  if (!a.same_shape(b)) throw std::logic_error("add_tensors: shape mismatch");
+  nn::Tensor out = a;
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] += b[i];
+  return out;
+}
+
+nn::Tensor scale_tensor(const nn::Tensor& a, float s) {
+  nn::Tensor out = a;
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] *= s;
+  return out;
+}
+
+// Gradient of gamma * sum_{i != j} Cov_ij^2 over a batch of latents f
+// ([B, D], approximately zero-mean after batch-norm):
+//   dL/df_bi = gamma * (4/B) * sum_{j != i} Cov_ij * f_bj.
+nn::Tensor decorrelation_grad(const nn::Tensor& f, float gamma) {
+  const std::size_t b = f.dim(0), d = f.dim(1);
+  // Column means (BN leaves them ~0, but subtract for exactness).
+  std::vector<float> mean_col(d, 0.0f);
+  for (std::size_t s = 0; s < b; ++s)
+    for (std::size_t j = 0; j < d; ++j) mean_col[j] += f.at2(s, j);
+  for (float& m : mean_col) m /= static_cast<float>(b);
+
+  std::vector<float> cov(d * d, 0.0f);
+  for (std::size_t s = 0; s < b; ++s)
+    for (std::size_t i = 0; i < d; ++i)
+      for (std::size_t j = 0; j < d; ++j)
+        cov[i * d + j] += (f.at2(s, i) - mean_col[i]) * (f.at2(s, j) - mean_col[j]);
+  for (float& c : cov) c /= static_cast<float>(b);
+
+  nn::Tensor grad(f.shape());
+  const float scale = gamma * 4.0f / static_cast<float>(b);
+  for (std::size_t s = 0; s < b; ++s)
+    for (std::size_t i = 0; i < d; ++i) {
+      float g = 0.0f;
+      for (std::size_t j = 0; j < d; ++j) {
+        if (j == i) continue;
+        g += cov[i * d + j] * (f.at2(s, j) - mean_col[j]);
+      }
+      grad.at2(s, i) = scale * g;
+    }
+  return grad;
+}
+
+}  // namespace
+
+EncoderPair::EncoderPair(std::size_t latent_dim, Rng& rng) : latent_dim_(latent_dim) {
+  if (latent_dim_ == 0) throw std::invalid_argument("EncoderPair: latent_dim must be > 0");
+  build(rng);
+}
+
+void EncoderPair::build(Rng& rng) {
+  // IMU-En: [3, 200] -> conv -> conv -> dense -> dense -> batch-norm ->
+  // [l_f]. (The hidden dense layer is our one deviation from the paper's
+  // two-conv + one-FC sketch: the latent must normalize away the gesture's
+  // dominant direction and scale, which needs one extra nonlinear stage.)
+  imu_en_.add<nn::Conv1D>(3, 16, 7, 2, 3, rng);
+  imu_en_.add<nn::ReLU>();
+  imu_en_.add<nn::Conv1D>(16, 24, 5, 2, 2, rng);
+  imu_en_.add<nn::ReLU>();
+  imu_en_.add<nn::Flatten>();
+  imu_en_.add<nn::Dense>(24 * 50, 128, rng);
+  imu_en_.add<nn::ReLU>();
+  imu_en_.add<nn::Dense>(128, latent_dim_, rng);
+  imu_en_.add<nn::BatchNorm1D>(latent_dim_, /*affine=*/false);
+
+  // RF-En: [2, 400] -> conv -> conv -> dense -> dense -> batch-norm -> [l_f].
+  rf_en_.add<nn::Conv1D>(2, 16, 9, 4, 4, rng);
+  rf_en_.add<nn::ReLU>();
+  rf_en_.add<nn::Conv1D>(16, 24, 5, 2, 2, rng);
+  rf_en_.add<nn::ReLU>();
+  rf_en_.add<nn::Flatten>();
+  rf_en_.add<nn::Dense>(24 * 50, 128, rng);
+  rf_en_.add<nn::ReLU>();
+  rf_en_.add<nn::Dense>(128, latent_dim_, rng);
+  rf_en_.add<nn::BatchNorm1D>(latent_dim_, /*affine=*/false);
+
+  // De: deconv -> FC -> deconv -> FC, ReLU after the first three parametric
+  // layers (paper Fig. 5). Reconstructs the 400 magnitude samples from f_M.
+  de_.add<nn::Reshape>(std::vector<std::size_t>{latent_dim_, 1});
+  de_.add<nn::ConvTranspose1D>(latent_dim_, 8, 8, 1, rng);  // -> [8, 8]
+  de_.add<nn::ReLU>();
+  de_.add<nn::Flatten>();                                   // -> [64]
+  de_.add<nn::Dense>(64, 96, rng);
+  de_.add<nn::ReLU>();
+  de_.add<nn::Reshape>(std::vector<std::size_t>{8, 12});
+  de_.add<nn::ConvTranspose1D>(8, 4, 7, 4, rng);            // -> [4, 51]
+  de_.add<nn::ReLU>();
+  de_.add<nn::Flatten>();                                   // -> [204]
+  de_.add<nn::Dense>(204, 400, rng);
+}
+
+LossBreakdown EncoderPair::train(const WaveKeyDataset& dataset, const TrainConfig& config) {
+  if (dataset.size() < config.batch_size)
+    throw std::invalid_argument("EncoderPair::train: dataset smaller than one batch");
+
+  std::vector<nn::Param> params = imu_en_.params();
+  {
+    const auto rp = rf_en_.params();
+    params.insert(params.end(), rp.begin(), rp.end());
+    const auto dp = de_.params();
+    params.insert(params.end(), dp.begin(), dp.end());
+  }
+  nn::Adam optimizer(std::move(params), config.learning_rate);
+
+  Rng rng(config.seed);
+  std::vector<std::size_t> order(dataset.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  LossBreakdown last;
+  last.decoder_weight = config.lambda;
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    // Fisher-Yates shuffle with our deterministic Rng.
+    for (std::size_t i = order.size(); i-- > 1;)
+      std::swap(order[i], order[rng.uniform_u64(i + 1)]);
+
+    double epoch_feature = 0.0, epoch_decoder = 0.0;
+    std::size_t batches = 0;
+    for (std::size_t start = 0; start + config.batch_size <= order.size();
+         start += config.batch_size) {
+      const std::vector<std::size_t> idx(order.begin() + static_cast<std::ptrdiff_t>(start),
+                                         order.begin() +
+                                             static_cast<std::ptrdiff_t>(start + config.batch_size));
+      nn::Tensor imu, rfid, mag;
+      dataset.batch(idx, imu, rfid, mag);
+      if (config.input_noise > 0.0f) {
+        for (std::size_t j = 0; j < imu.size(); ++j)
+          imu[j] += static_cast<float>(rng.normal(0.0, config.input_noise));
+        for (std::size_t j = 0; j < rfid.size(); ++j)
+          rfid[j] += static_cast<float>(rng.normal(0.0, config.input_noise));
+      }
+
+      const nn::Tensor fm = imu_en_.forward(imu, true);
+      const nn::Tensor fr = rf_en_.forward(rfid, true);
+      const nn::Tensor rec = de_.forward(fm, true);
+
+      const auto [feat_loss, feat_grad] = nn::euclidean_loss(fm, fr);
+      const auto [dec_loss, dec_grad] = nn::euclidean_loss(rec, mag);
+
+      const nn::Tensor de_grad_in = de_.backward(scale_tensor(dec_grad, config.lambda));
+      nn::Tensor imu_grad = add_tensors(feat_grad, de_grad_in);
+      nn::Tensor rf_grad = scale_tensor(feat_grad, -1.0f);
+      if (config.decorrelation > 0.0f) {
+        imu_grad = add_tensors(imu_grad, decorrelation_grad(fm, config.decorrelation));
+        rf_grad = add_tensors(rf_grad, decorrelation_grad(fr, config.decorrelation));
+      }
+      imu_en_.backward(imu_grad);
+      rf_en_.backward(rf_grad);
+      optimizer.step();
+
+      epoch_feature += feat_loss;
+      epoch_decoder += dec_loss;
+      ++batches;
+    }
+    if (batches > 0) {
+      last.feature = epoch_feature / static_cast<double>(batches);
+      last.decoder = epoch_decoder / static_cast<double>(batches);
+      if (config.verbose) {
+        std::fprintf(stderr, "[train] epoch %zu/%zu  feature=%.4f  decoder=%.4f\n", epoch + 1,
+                     config.epochs, last.feature, last.decoder);
+      }
+    }
+  }
+  return last;
+}
+
+LossBreakdown EncoderPair::evaluate(const WaveKeyDataset& dataset, float lambda) {
+  LossBreakdown result;
+  result.decoder_weight = lambda;
+  if (dataset.size() == 0) return result;
+
+  constexpr std::size_t kEvalBatch = 64;
+  double feat = 0.0, dec = 0.0;
+  std::size_t count = 0;
+  for (std::size_t start = 0; start < dataset.size(); start += kEvalBatch) {
+    std::vector<std::size_t> idx;
+    for (std::size_t i = start; i < std::min(start + kEvalBatch, dataset.size()); ++i)
+      idx.push_back(i);
+    nn::Tensor imu, rfid, mag;
+    dataset.batch(idx, imu, rfid, mag);
+    const nn::Tensor fm = imu_en_.forward(imu, false);
+    const nn::Tensor fr = rf_en_.forward(rfid, false);
+    const nn::Tensor rec = de_.forward(fm, false);
+    const auto [f, g1] = nn::euclidean_loss(fm, fr);
+    const auto [d, g2] = nn::euclidean_loss(rec, mag);
+    feat += f * static_cast<double>(idx.size());
+    dec += d * static_cast<double>(idx.size());
+    count += idx.size();
+  }
+  result.feature = feat / static_cast<double>(count);
+  result.decoder = dec / static_cast<double>(count);
+  return result;
+}
+
+std::vector<double> EncoderPair::features_of(nn::Sequential& net, const nn::Tensor& input) {
+  std::vector<std::size_t> shape{1};
+  for (std::size_t d = 0; d < input.rank(); ++d) shape.push_back(input.dim(d));
+  const nn::Tensor batched = input.reshaped(shape);
+  const nn::Tensor out = net.forward(batched, false);
+  std::vector<double> f(out.size());
+  for (std::size_t i = 0; i < out.size(); ++i) f[i] = out[i];
+  return f;
+}
+
+std::vector<double> EncoderPair::imu_features(const nn::Tensor& imu_input) {
+  return features_of(imu_en_, imu_input);
+}
+
+std::vector<double> EncoderPair::rfid_features(const nn::Tensor& rfid_input) {
+  return features_of(rf_en_, rfid_input);
+}
+
+std::size_t EncoderPair::prune_lowest_variance_unit(const WaveKeyDataset& dataset) {
+  if (latent_dim_ <= 1) throw std::logic_error("prune: cannot go below one unit");
+  if (dataset.size() == 0) throw std::invalid_argument("prune: empty dataset");
+
+  // Output variance of the *dense* layer neurons (pre-batch-norm, as the
+  // paper measures), accumulated over the dataset for both encoders.
+  std::vector<std::vector<double>> imu_outs(latent_dim_), rf_outs(latent_dim_);
+  constexpr std::size_t kEvalBatch = 64;
+  for (std::size_t start = 0; start < dataset.size(); start += kEvalBatch) {
+    std::vector<std::size_t> idx;
+    for (std::size_t i = start; i < std::min(start + kEvalBatch, dataset.size()); ++i)
+      idx.push_back(i);
+    nn::Tensor imu, rfid, mag;
+    dataset.batch(idx, imu, rfid, mag);
+
+    auto dense_out = [&](nn::Sequential& net, const nn::Tensor& in) {
+      nn::Tensor x = in;
+      for (std::size_t l = 0; l <= kEncoderDenseIdx; ++l) x = net.layer(l).forward(x, false);
+      return x;
+    };
+    const nn::Tensor om = dense_out(imu_en_, imu);
+    const nn::Tensor orf = dense_out(rf_en_, rfid);
+    for (std::size_t b = 0; b < idx.size(); ++b)
+      for (std::size_t j = 0; j < latent_dim_; ++j) {
+        imu_outs[j].push_back(om.at2(b, j));
+        rf_outs[j].push_back(orf.at2(b, j));
+      }
+  }
+
+  std::size_t worst = 0;
+  double worst_var = 1e300;
+  for (std::size_t j = 0; j < latent_dim_; ++j) {
+    const double v = variance(imu_outs[j]) + variance(rf_outs[j]);
+    if (v < worst_var) {
+      worst_var = v;
+      worst = j;
+    }
+  }
+
+  auto& imu_dense = dynamic_cast<nn::Dense&>(imu_en_.layer(kEncoderDenseIdx));
+  auto& imu_bn = dynamic_cast<nn::BatchNorm1D&>(imu_en_.layer(kEncoderBnIdx));
+  auto& rf_dense = dynamic_cast<nn::Dense&>(rf_en_.layer(kEncoderDenseIdx));
+  auto& rf_bn = dynamic_cast<nn::BatchNorm1D&>(rf_en_.layer(kEncoderBnIdx));
+  auto& de_reshape = dynamic_cast<nn::Reshape&>(de_.layer(0));
+  auto& de_deconv = dynamic_cast<nn::ConvTranspose1D&>(de_.layer(kDecoderDeconvIdx));
+
+  imu_dense.remove_output_unit(worst);
+  imu_bn.remove_unit(worst);
+  rf_dense.remove_output_unit(worst);
+  rf_bn.remove_unit(worst);
+  de_deconv.remove_input_channel(worst);
+  --latent_dim_;
+  de_reshape = nn::Reshape(std::vector<std::size_t>{latent_dim_, 1});
+  return worst;
+}
+
+void EncoderPair::save(std::ostream& os) const {
+  os.write(kMagic, sizeof(kMagic));
+  nn::write_u64(os, latent_dim_);
+  imu_en_.save(os);
+  rf_en_.save(os);
+  de_.save(os);
+}
+
+void EncoderPair::save_file(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("EncoderPair::save_file: cannot open " + path);
+  save(os);
+}
+
+void EncoderPair::load(std::istream& is) {
+  char magic[sizeof(kMagic)];
+  is.read(magic, sizeof(kMagic));
+  if (!is || std::string(magic, sizeof(kMagic)) != std::string(kMagic, sizeof(kMagic)))
+    throw std::runtime_error("EncoderPair::load: bad magic");
+  const std::uint64_t dim = nn::read_u64(is);
+  if (dim != latent_dim_) throw std::runtime_error("EncoderPair::load: latent_dim mismatch");
+  imu_en_.load(is);
+  rf_en_.load(is);
+  de_.load(is);
+}
+
+EncoderPair EncoderPair::load_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("EncoderPair::load_file: cannot open " + path);
+  char magic[sizeof(kMagic)];
+  is.read(magic, sizeof(kMagic));
+  if (!is || std::string(magic, sizeof(kMagic)) != std::string(kMagic, sizeof(kMagic)))
+    throw std::runtime_error("EncoderPair::load_file: bad magic");
+  const std::uint64_t dim = nn::read_u64(is);
+  Rng rng(0);
+  EncoderPair pair(dim, rng);
+  pair.imu_en_.load(is);
+  pair.rf_en_.load(is);
+  pair.de_.load(is);
+  return pair;
+}
+
+}  // namespace wavekey::core

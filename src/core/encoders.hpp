@@ -1,0 +1,100 @@
+#pragma once
+
+// The WaveKey model pair: IMU-En, RF-En, and the training-time decoder De
+// (SIV-E, Fig. 5/6 of the paper). Both encoders are two-conv CNNs ending in
+// a dense layer and an (affine-free) batch-norm, so inference-time latents
+// are approximately standard normal per element — the property the
+// quantizer's bin layout assumes. De reconstructs the RFID *magnitude*
+// (phase is too environment-sensitive, as the paper found) from the IMU
+// latent, forcing the shared latent to retain gesture information.
+//
+// Joint objective (Eq. (3)):
+//   L = sum_i ||f_M,i - f_R,i||_2 + lambda * ||De(f_M,i) - R_i^Mag||_2
+
+#include <iosfwd>
+#include <string>
+
+#include "core/config.hpp"
+#include "core/dataset.hpp"
+#include "nn/sequential.hpp"
+#include "numeric/rng.hpp"
+
+namespace wavekey::core {
+
+struct TrainConfig {
+  std::size_t epochs = 70;
+  std::size_t batch_size = 32;
+  float learning_rate = 1.5e-3f;
+  float lambda = 0.4f;  ///< decoder-loss weight (paper: 0.4)
+  /// Latent decorrelation penalty gamma * sum_{i != j} Cov(f_i, f_j)^2,
+  /// applied to both encoders' batch outputs. This is our differentiable
+  /// analog of the paper's redundancy control (they prune correlated latent
+  /// units in the l_f study, SVI-C1); it directly raises the entropy of the
+  /// quantized key-seeds.
+  float decorrelation = 0.015f;
+  /// Input-noise augmentation (1 sigma, applied to both modality tensors
+  /// each step). The simulator is cheap but finite; jittering inputs is the
+  /// classic defense against the encoders memorizing individual gestures.
+  float input_noise = 0.05f;
+  bool verbose = false;
+  std::uint64_t seed = 0xC0FFEE;
+};
+
+/// Loss components on a dataset (eval semantics for reporting).
+struct LossBreakdown {
+  double feature = 0.0;   ///< mean ||f_M - f_R||_2
+  double decoder = 0.0;   ///< mean ||De(f_M) - R_mag||_2
+  double total() const { return feature + decoder_weight * decoder; }
+  double decoder_weight = 0.4;
+};
+
+/// The trained model pair with its hyperparameters.
+class EncoderPair {
+ public:
+  /// Builds freshly-initialized models for the given latent width.
+  EncoderPair(std::size_t latent_dim, Rng& rng);
+
+  std::size_t latent_dim() const { return latent_dim_; }
+
+  /// Jointly trains IMU-En, RF-En, and De on the dataset. Returns the final
+  /// epoch's mean training losses.
+  LossBreakdown train(const WaveKeyDataset& dataset, const TrainConfig& config);
+
+  /// Evaluates the Eq. (3) components on a dataset without training.
+  LossBreakdown evaluate(const WaveKeyDataset& dataset, float lambda = 0.4f);
+
+  /// Inference: latent feature vector of one IMU sample ([3, L] tensor).
+  std::vector<double> imu_features(const nn::Tensor& imu_input);
+
+  /// Inference: latent feature vector of one RFID sample ([2, L] tensor).
+  std::vector<double> rfid_features(const nn::Tensor& rfid_input);
+
+  /// One pruning round of the paper's l_f study: removes the lowest
+  /// output-variance latent unit from *both* encoders (and fixes up De's
+  /// input layer). Variances are measured over the dataset. Returns the
+  /// removed unit's index.
+  std::size_t prune_lowest_variance_unit(const WaveKeyDataset& dataset);
+
+  /// Serialization of all three models (+ latent width tag).
+  void save(std::ostream& os) const;
+  void save_file(const std::string& path) const;
+
+  /// Loads weights; the stored latent width must match this instance.
+  void load(std::istream& is);
+  static EncoderPair load_file(const std::string& path);
+
+  nn::Sequential& imu_encoder() { return imu_en_; }
+  nn::Sequential& rfid_encoder() { return rf_en_; }
+  nn::Sequential& decoder() { return de_; }
+
+ private:
+  void build(Rng& rng);
+  std::vector<double> features_of(nn::Sequential& net, const nn::Tensor& single_input);
+
+  std::size_t latent_dim_;
+  nn::Sequential imu_en_;
+  nn::Sequential rf_en_;
+  nn::Sequential de_;
+};
+
+}  // namespace wavekey::core

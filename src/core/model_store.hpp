@@ -1,0 +1,35 @@
+#pragma once
+
+// Model persistence: bundles the trained encoder pair, the calibrated
+// quantizer, and the calibrated eta into one file so that benches and
+// examples share a single training run. The dataset itself is regenerated
+// deterministically from its config when needed (simulation is cheap;
+// training is what the cache amortizes).
+
+#include <optional>
+#include <string>
+
+#include "core/system.hpp"
+
+namespace wavekey::core {
+
+/// Saves the system's trained state (encoders + quantizer + eta).
+void save_system(const WaveKeySystem& system, const std::string& path);
+
+/// Loads a system saved by save_system; returns nullopt when the file is
+/// missing or malformed (caller then trains from scratch).
+std::optional<WaveKeySystem> load_system(const std::string& path, const WaveKeyConfig& config);
+
+/// One-stop entry used by benches/examples: loads the cached system at
+/// `path` if present, otherwise generates the dataset, trains, calibrates,
+/// and saves. Progress goes to stderr when `verbose`.
+WaveKeySystem load_or_train(const std::string& path, const DatasetConfig& dataset_config,
+                            const TrainConfig& train_config, const WaveKeyConfig& config,
+                            bool verbose = true);
+
+/// The canonical bench/example defaults: the model every table in
+/// EXPERIMENTS.md is generated with.
+DatasetConfig default_dataset_config();
+TrainConfig default_train_config();
+
+}  // namespace wavekey::core

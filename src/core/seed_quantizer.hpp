@@ -1,0 +1,65 @@
+#pragma once
+
+// Seed quantizer with two bin-placement modes:
+//
+//  * normal mode — the paper's assumption: the encoders end in batch-norm,
+//    so every latent element is ~N(0,1) and one shared bin layout solving
+//    Phi(b_i) = i/N_b (Eq. (1)) applies to all dimensions;
+//  * calibrated mode — bins placed at the *empirical* per-dimension
+//    quantiles of the latent over the training corpus. This guarantees the
+//    equal-occupancy property Eq. (1) is after (maximal per-element seed
+//    entropy) even when the eval-time latent distribution deviates from the
+//    batch-norm ideal. The boundaries are public constants shipped with the
+//    trained model (they leak nothing about any session).
+//
+// Both sides of a session must use the identical quantizer instance
+// (serialized alongside the encoder weights).
+
+#include <iosfwd>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/dataset.hpp"
+#include "core/encoders.hpp"
+#include "numeric/bitvec.hpp"
+
+namespace wavekey::core {
+
+class SeedQuantizer {
+ public:
+  /// The paper's standard-normal layout, identical for every dimension.
+  static SeedQuantizer from_normal(const WaveKeyConfig& config);
+
+  /// Empirical per-dimension quantile layout, computed from the pooled
+  /// f_M / f_R latents of the dataset (eval-mode inference).
+  static SeedQuantizer calibrated(EncoderPair& encoders, const WaveKeyDataset& dataset,
+                                  const WaveKeyConfig& config);
+
+  /// Same, from pre-extracted per-dimension value pools (used by the N_b
+  /// sweep bench, which re-bins fixed latents for each candidate N_b).
+  static SeedQuantizer from_pooled(std::vector<std::vector<double>> pooled,
+                                   std::size_t num_bins);
+
+  std::size_t latent_dim() const { return boundaries_.size(); }
+  std::size_t num_bins() const { return num_bins_; }
+  std::size_t bits_per_element() const { return bits_per_element_; }
+  std::size_t seed_bits() const { return latent_dim() * bits_per_element_; }
+
+  /// Quantizes a latent vector into the key-seed. Throws on length mismatch.
+  BitVec quantize(const std::vector<double>& features) const;
+
+  /// Bin index of one value in one dimension (for tests / entropy audits).
+  std::size_t bin_of(std::size_t dim, double x) const;
+
+  void save(std::ostream& os) const;
+  static SeedQuantizer load(std::istream& is);
+
+ private:
+  SeedQuantizer() = default;
+
+  std::size_t num_bins_ = 0;
+  std::size_t bits_per_element_ = 0;
+  std::vector<std::vector<double>> boundaries_;  // [dim][num_bins-1]
+};
+
+}  // namespace wavekey::core

@@ -1,0 +1,56 @@
+#include "core/system.hpp"
+
+namespace wavekey::core {
+
+WaveKeySystem::WaveKeySystem(EncoderPair encoders, WaveKeyConfig config)
+    : encoders_(std::move(encoders)),
+      config_(config),
+      quantizer_(SeedQuantizer::from_normal(config)) {
+  if (encoders_.latent_dim() != config_.latent_dim)
+    throw std::invalid_argument("WaveKeySystem: encoder latent_dim != config latent_dim");
+}
+
+EtaCalibration WaveKeySystem::calibrate(const WaveKeyDataset& dataset) {
+  quantizer_ = SeedQuantizer::calibrated(encoders_, dataset, config_);
+  const EtaCalibration cal =
+      calibrate_eta(encoders_, dataset, quantizer_, config_.eta_security_cap);
+  config_.eta = cal.eta;
+  return cal;
+}
+
+protocol::AgreementParams WaveKeySystem::agreement_params() const {
+  protocol::AgreementParams params;
+  params.seed_bits = config_.seed_bits();
+  params.key_bits = config_.key_bits;
+  params.eta = config_.eta;
+  return params;
+}
+
+WaveKeyOutcome WaveKeySystem::establish_key(const sim::ScenarioConfig& scenario,
+                                            std::uint64_t seed,
+                                            const protocol::Interceptor& interceptor) {
+  WaveKeyOutcome outcome;
+
+  const auto seeds = simulate_seed_pair(encoders_, quantizer_, config_, scenario, seed);
+  if (!seeds) return outcome;  // pipelines rejected the recording
+  outcome.pipelines_ok = true;
+  outcome.seed_mismatch = seeds->mismatch;
+
+  protocol::SessionConfig session;
+  session.params = agreement_params();
+  session.gesture_window_s = config_.gesture_window_s;
+  session.tau_s = config_.tau_s;
+
+  crypto::Drbg mobile_rng(seed ^ 0xAB1Eull);
+  crypto::Drbg server_rng(seed ^ 0x5E44ull);
+  const protocol::SessionResult result = protocol::run_key_agreement(
+      session, seeds->mobile_seed, seeds->server_seed, mobile_rng, server_rng, interceptor);
+
+  outcome.success = result.success;
+  outcome.failure = result.failure;
+  outcome.elapsed_s = result.elapsed_s;
+  if (result.success) outcome.key = result.mobile_key;
+  return outcome;
+}
+
+}  // namespace wavekey::core

@@ -1,0 +1,64 @@
+#pragma once
+
+// The top-level WaveKey public API: one object owning the trained encoder
+// pair and the scheme hyperparameters, able to run complete simulated
+// key-establishment sessions (data acquisition -> key-seed generation ->
+// OT key agreement, Fig. 2 of the paper) and exposing the calibration
+// procedure that fixes eta.
+
+#include <cstdint>
+#include <optional>
+
+#include "core/config.hpp"
+#include "core/encoders.hpp"
+#include "core/key_seed.hpp"
+#include "core/pairing.hpp"
+#include "core/seed_quantizer.hpp"
+#include "protocol/session.hpp"
+#include "sim/scenario.hpp"
+
+namespace wavekey::core {
+
+/// Outcome of one full key-establishment session.
+struct WaveKeyOutcome {
+  bool success = false;
+  protocol::FailureReason failure = protocol::FailureReason::kNone;
+  BitVec key;                ///< the established l_k-bit key (on success)
+  double seed_mismatch = 1.0;///< S_M vs S_R bit mismatch of this session
+  double elapsed_s = 0.0;    ///< gesture start -> key established
+  bool pipelines_ok = false; ///< both sides produced a seed
+};
+
+class WaveKeySystem {
+ public:
+  /// Takes ownership of a trained encoder pair. The quantizer defaults to
+  /// the paper's standard-normal layout; call calibrate() to switch to the
+  /// empirical-quantile layout and fix eta.
+  WaveKeySystem(EncoderPair encoders, WaveKeyConfig config);
+
+  const WaveKeyConfig& config() const { return config_; }
+  WaveKeyConfig& config() { return config_; }
+  EncoderPair& encoders() { return encoders_; }
+  const SeedQuantizer& quantizer() const { return quantizer_; }
+  void set_quantizer(SeedQuantizer q) { quantizer_ = std::move(q); }
+
+  /// Calibrates the quantizer bins (empirical quantiles) and eta on a
+  /// dataset (SVI-C2); stores both in the system.
+  EtaCalibration calibrate(const WaveKeyDataset& dataset);
+
+  /// Runs one complete simulated session: gesture + sensors + pipelines +
+  /// encoders + the full OT key agreement over the simulated link.
+  /// `interceptor` optionally interposes an adversary on the channel.
+  WaveKeyOutcome establish_key(const sim::ScenarioConfig& scenario, std::uint64_t seed,
+                               const protocol::Interceptor& interceptor = {});
+
+  /// Protocol parameters implied by the current config.
+  protocol::AgreementParams agreement_params() const;
+
+ private:
+  EncoderPair encoders_;
+  WaveKeyConfig config_;
+  SeedQuantizer quantizer_;
+};
+
+}  // namespace wavekey::core

@@ -1,0 +1,35 @@
+#pragma once
+
+// ChaCha20 block function (RFC 8439) — the keystream generator behind the
+// library's CSPRNG and the hash-stream cipher's nonce expansion.
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace wavekey::crypto {
+
+/// Raw ChaCha20 keystream generator.
+class ChaCha20 {
+ public:
+  /// @param key    32 bytes
+  /// @param nonce  12 bytes
+  /// @param counter initial 32-bit block counter
+  ChaCha20(std::span<const std::uint8_t> key, std::span<const std::uint8_t> nonce,
+           std::uint32_t counter = 0);
+
+  /// Produces the next keystream bytes (any length; spans blocks as needed).
+  void keystream(std::span<std::uint8_t> out);
+
+  /// XORs `data` in place with the keystream (encrypt == decrypt).
+  void crypt(std::span<std::uint8_t> data);
+
+ private:
+  void refill();
+
+  std::array<std::uint32_t, 16> state_;
+  std::array<std::uint8_t, 64> block_;
+  std::size_t block_pos_ = 64;  // empty
+};
+
+}  // namespace wavekey::crypto

@@ -1,0 +1,65 @@
+#include "crypto/drbg.hpp"
+
+#include <random>
+
+#include "crypto/sha256.hpp"
+
+namespace wavekey::crypto {
+namespace {
+
+constexpr std::uint8_t kZeroNonce[12] = {};
+
+std::array<std::uint8_t, 32> entropy_key() {
+  std::random_device rd;
+  std::array<std::uint8_t, 64> raw;
+  for (std::size_t i = 0; i < raw.size(); i += 4) {
+    const std::uint32_t w = rd();
+    raw[i] = static_cast<std::uint8_t>(w);
+    raw[i + 1] = static_cast<std::uint8_t>(w >> 8);
+    raw[i + 2] = static_cast<std::uint8_t>(w >> 16);
+    raw[i + 3] = static_cast<std::uint8_t>(w >> 24);
+  }
+  const Digest256 d = Sha256::hash(raw);
+  std::array<std::uint8_t, 32> key;
+  std::copy(d.begin(), d.end(), key.begin());
+  return key;
+}
+
+std::array<std::uint8_t, 32> seed_key(std::uint64_t seed) {
+  std::array<std::uint8_t, 8> raw;
+  for (int i = 0; i < 8; ++i) raw[i] = static_cast<std::uint8_t>(seed >> (8 * i));
+  const Digest256 d = Sha256::hash(raw);
+  std::array<std::uint8_t, 32> key;
+  std::copy(d.begin(), d.end(), key.begin());
+  return key;
+}
+
+}  // namespace
+
+Drbg::Drbg() : stream_(entropy_key(), kZeroNonce) {}
+
+Drbg::Drbg(std::uint64_t seed) : stream_(seed_key(seed), kZeroNonce) {}
+
+void Drbg::random_bytes(std::span<std::uint8_t> out) { stream_.keystream(out); }
+
+BitVec Drbg::random_bits(std::size_t nbits) {
+  std::vector<std::uint8_t> bytes((nbits + 7) / 8);
+  random_bytes(bytes);
+  return BitVec::from_bytes(bytes, nbits);
+}
+
+std::uint64_t Drbg::random_u64() {
+  std::uint8_t b[8];
+  random_bytes(b);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= std::uint64_t{b[i]} << (8 * i);
+  return v;
+}
+
+std::vector<std::uint8_t> Drbg::random_scalar_bytes() {
+  std::vector<std::uint8_t> out(32);
+  random_bytes(out);
+  return out;
+}
+
+}  // namespace wavekey::crypto

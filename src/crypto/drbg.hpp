@@ -1,0 +1,42 @@
+#pragma once
+
+// Deterministic random bit generator for the *cryptographic* side of the
+// system (OT exponents, pad sequences x_i/y_i, nonces). Backed by ChaCha20
+// keyed from std::random_device entropy by default; tests and deterministic
+// benches inject an explicit seed.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "crypto/chacha20.hpp"
+#include "numeric/bitvec.hpp"
+
+namespace wavekey::crypto {
+
+/// ChaCha20-based CSPRNG.
+class Drbg {
+ public:
+  /// Seeds from std::random_device (mixed through SHA-256).
+  Drbg();
+
+  /// Deterministic seeding for tests/benches.
+  explicit Drbg(std::uint64_t seed);
+
+  /// Fills a buffer with random bytes.
+  void random_bytes(std::span<std::uint8_t> out);
+
+  /// Random bit vector of the given length.
+  BitVec random_bits(std::size_t nbits);
+
+  /// Uniform 64-bit value.
+  std::uint64_t random_u64();
+
+  /// 32 uniformly random bytes, convenient for scalars/keys.
+  std::vector<std::uint8_t> random_scalar_bytes();
+
+ private:
+  ChaCha20 stream_;
+};
+
+}  // namespace wavekey::crypto

@@ -1,0 +1,64 @@
+#pragma once
+
+// Arithmetic in the prime field F_p with p = 2^255 - 19.
+//
+// The paper's OT (Fig. 3) performs modular exponentiations g^a mod u for a
+// large prime u. We instantiate u with the Mersenne-like curve25519 prime:
+// its special form makes reduction a couple of carry chains instead of a
+// general bignum division, which keeps this dependency-free implementation
+// small and fast. The OT code is written against this type but is otherwise
+// group-generic.
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace wavekey::crypto {
+
+/// An element of F_{2^255-19}, stored as four 64-bit little-endian limbs in
+/// canonical (fully reduced) form after every public operation.
+class Fe25519 {
+ public:
+  /// Zero element.
+  constexpr Fe25519() = default;
+
+  /// Small-integer constructor.
+  explicit Fe25519(std::uint64_t v) : limbs_{v, 0, 0, 0} {}
+
+  /// Interprets 32 little-endian bytes, reducing mod p.
+  static Fe25519 from_bytes(std::span<const std::uint8_t> bytes32);
+
+  /// Canonical 32-byte little-endian encoding.
+  std::array<std::uint8_t, 32> to_bytes() const;
+
+  /// The fixed generator used by the OT protocol.
+  static Fe25519 generator() { return Fe25519(5); }
+
+  static Fe25519 zero() { return Fe25519(); }
+  static Fe25519 one() { return Fe25519(1); }
+
+  bool is_zero() const { return (limbs_[0] | limbs_[1] | limbs_[2] | limbs_[3]) == 0; }
+  bool operator==(const Fe25519&) const = default;
+
+  Fe25519 operator+(const Fe25519& o) const;
+  Fe25519 operator-(const Fe25519& o) const;
+  Fe25519 operator*(const Fe25519& o) const;
+
+  /// Modular exponentiation with a 256-bit exponent (32 little-endian bytes).
+  Fe25519 pow(std::span<const std::uint8_t> exponent32) const;
+
+  /// Multiplicative inverse via Fermat (x^(p-2)). Throws std::domain_error
+  /// on zero.
+  Fe25519 inverse() const;
+
+  /// Hex string (big-endian, for debugging/tests).
+  std::string to_hex() const;
+
+ private:
+  void reduce_once();
+
+  std::array<std::uint64_t, 4> limbs_{0, 0, 0, 0};
+};
+
+}  // namespace wavekey::crypto

@@ -1,0 +1,36 @@
+#include "crypto/hmac.hpp"
+
+namespace wavekey::crypto {
+
+Digest256 hmac_sha256(std::span<const std::uint8_t> key, std::span<const std::uint8_t> data) {
+  constexpr std::size_t kBlock = 64;
+  std::vector<std::uint8_t> k(kBlock, 0);
+  if (key.size() > kBlock) {
+    const Digest256 kh = Sha256::hash(key);
+    std::copy(kh.begin(), kh.end(), k.begin());
+  } else {
+    std::copy(key.begin(), key.end(), k.begin());
+  }
+
+  std::vector<std::uint8_t> ipad(kBlock), opad(kBlock);
+  for (std::size_t i = 0; i < kBlock; ++i) {
+    ipad[i] = k[i] ^ 0x36;
+    opad[i] = k[i] ^ 0x5c;
+  }
+
+  Sha256 inner;
+  inner.update(ipad).update(data);
+  const Digest256 inner_digest = inner.finalize();
+
+  Sha256 outer;
+  outer.update(opad).update(inner_digest);
+  return outer.finalize();
+}
+
+bool digest_equal(const Digest256& a, const Digest256& b) {
+  std::uint8_t diff = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) diff |= static_cast<std::uint8_t>(a[i] ^ b[i]);
+  return diff == 0;
+}
+
+}  // namespace wavekey::crypto

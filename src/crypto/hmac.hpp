@@ -1,0 +1,22 @@
+#pragma once
+
+// HMAC-SHA256 (RFC 2104). The key-agreement protocol's final confirmation
+// step is "HMAC of the nonce N using the established key as the password"
+// (SIV-D2 / Fig. 4).
+
+#include <span>
+#include <vector>
+
+#include "crypto/sha256.hpp"
+
+namespace wavekey::crypto {
+
+/// HMAC-SHA256 of `data` under `key`. Keys longer than the block size are
+/// pre-hashed per the RFC.
+Digest256 hmac_sha256(std::span<const std::uint8_t> key, std::span<const std::uint8_t> data);
+
+/// Constant-time digest comparison (avoids leaking the mismatch position to
+/// a timing observer during key confirmation).
+bool digest_equal(const Digest256& a, const Digest256& b);
+
+}  // namespace wavekey::crypto

@@ -1,0 +1,56 @@
+#include "crypto/oblivious_transfer.hpp"
+
+#include <stdexcept>
+
+#include "crypto/sha256.hpp"
+#include "crypto/stream_cipher.hpp"
+
+namespace wavekey::crypto {
+namespace {
+
+std::array<std::uint8_t, 32> draw_exponent(Drbg& rng) {
+  std::array<std::uint8_t, 32> e;
+  rng.random_bytes(e);
+  // Clear the top bit so the exponent is < 2^255; uniform enough over the
+  // (p-1)-order group for this protocol.
+  e[31] &= 0x7F;
+  return e;
+}
+
+}  // namespace
+
+Bytes ot_derive_key(const Fe25519& element) {
+  const auto bytes = element.to_bytes();
+  const Digest256 d = Sha256::hash(bytes);
+  return Bytes(d.begin(), d.end());
+}
+
+OtSender::OtSender(Drbg& rng) : a_(draw_exponent(rng)) {
+  ma_ = Fe25519::generator().pow(a_);
+}
+
+std::pair<Bytes, Bytes> OtSender::encrypt(const Fe25519& mb,
+                                          std::span<const std::uint8_t> secret0,
+                                          std::span<const std::uint8_t> secret1) const {
+  if (mb.is_zero()) throw std::invalid_argument("OtSender::encrypt: zero M_b");
+  const Fe25519 k0_elem = mb.pow(a_);
+  const Fe25519 k1_elem = (mb * ma_.inverse()).pow(a_);
+  const Bytes k0 = ot_derive_key(k0_elem);
+  const Bytes k1 = ot_derive_key(k1_elem);
+  return {stream_crypt(k0, secret0), stream_crypt(k1, secret1)};
+}
+
+OtReceiver::OtReceiver(Drbg& rng, bool choice, const Fe25519& ma)
+    : choice_(choice), b_(draw_exponent(rng)), ma_(ma) {
+  if (ma.is_zero()) throw std::invalid_argument("OtReceiver: zero M_a");
+  const Fe25519 gb = Fe25519::generator().pow(b_);
+  mb_ = choice_ ? ma_ * gb : gb;
+}
+
+Bytes OtReceiver::decrypt(const std::pair<Bytes, Bytes>& ciphertexts) const {
+  const Bytes k = ot_derive_key(ma_.pow(b_));
+  const Bytes& chosen = choice_ ? ciphertexts.second : ciphertexts.first;
+  return stream_crypt(k, chosen);
+}
+
+}  // namespace wavekey::crypto

@@ -1,0 +1,73 @@
+#pragma once
+
+// 1-out-of-2 Oblivious Transfer, following the computationally efficient
+// protocol of Chou & Orlandi that the paper adopts (SIV-D1, Fig. 3):
+//
+//   sender:    a <- Z_u,  M_a = g^a
+//   receiver:  b <- Z_u,  M_b = g^b            (to get secret 0)
+//                          M_b = M_a * g^b      (to get secret 1)
+//   sender:    k_0 = H(M_b^a), k_1 = H((M_b / M_a)^a)
+//              e_i = E(secret_i, k_i)
+//   receiver:  k   = H(M_a^b)  decrypts exactly the chosen e.
+//
+// The group is Z_p^* with p = 2^255 - 19 (see field25519.hpp). The classes
+// below expose the three protocol messages explicitly so the key-agreement
+// layer can batch many instances into single network messages.
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "crypto/drbg.hpp"
+#include "crypto/field25519.hpp"
+
+namespace wavekey::crypto {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Sender side of one OT instance.
+class OtSender {
+ public:
+  /// Draws the ephemeral exponent `a` from the DRBG and precomputes M_a.
+  explicit OtSender(Drbg& rng);
+
+  /// The first protocol message M_a.
+  const Fe25519& first_message() const { return ma_; }
+
+  /// Given the receiver's M_b, encrypts the two secrets. Element i of the
+  /// result can only be decrypted by a receiver that chose i.
+  /// Throws std::invalid_argument if M_b is zero (malformed/forged message).
+  std::pair<Bytes, Bytes> encrypt(const Fe25519& mb, std::span<const std::uint8_t> secret0,
+                                  std::span<const std::uint8_t> secret1) const;
+
+ private:
+  std::array<std::uint8_t, 32> a_;
+  Fe25519 ma_;
+};
+
+/// Receiver side of one OT instance.
+class OtReceiver {
+ public:
+  /// @param choice  which of the sender's two secrets to obtain
+  /// @param ma      the sender's first message
+  /// Throws std::invalid_argument if M_a is zero.
+  OtReceiver(Drbg& rng, bool choice, const Fe25519& ma);
+
+  /// The response message M_b.
+  const Fe25519& response() const { return mb_; }
+
+  /// Decrypts the chosen ciphertext from the sender's pair.
+  Bytes decrypt(const std::pair<Bytes, Bytes>& ciphertexts) const;
+
+ private:
+  bool choice_;
+  std::array<std::uint8_t, 32> b_;
+  Fe25519 ma_;
+  Fe25519 mb_;
+};
+
+/// Derives the symmetric key for a group element: SHA256(canonical bytes).
+Bytes ot_derive_key(const Fe25519& element);
+
+}  // namespace wavekey::crypto

@@ -1,0 +1,44 @@
+#pragma once
+
+// SHA-256 (FIPS 180-4), implemented from scratch. Used as the hash H(.) in
+// the OT protocol, inside HMAC for the key-confirmation step, and to derive
+// stream-cipher keystreams.
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace wavekey::crypto {
+
+using Digest256 = std::array<std::uint8_t, 32>;
+
+/// Incremental SHA-256 hasher.
+class Sha256 {
+ public:
+  Sha256();
+
+  /// Absorbs more input.
+  Sha256& update(std::span<const std::uint8_t> data);
+
+  /// Finalizes and returns the digest. The hasher must not be updated after
+  /// finalizing; call reset() to reuse.
+  Digest256 finalize();
+
+  /// Restores the initial state.
+  void reset();
+
+  /// One-shot convenience.
+  static Digest256 hash(std::span<const std::uint8_t> data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace wavekey::crypto

@@ -1,0 +1,27 @@
+#include "crypto/stream_cipher.hpp"
+
+#include "crypto/sha256.hpp"
+
+namespace wavekey::crypto {
+
+std::vector<std::uint8_t> stream_crypt(std::span<const std::uint8_t> key,
+                                       std::span<const std::uint8_t> message) {
+  std::vector<std::uint8_t> out(message.begin(), message.end());
+  std::uint32_t counter = 0;
+  std::size_t pos = 0;
+  while (pos < out.size()) {
+    Sha256 h;
+    h.update(key);
+    const std::uint8_t ctr_be[4] = {
+        static_cast<std::uint8_t>(counter >> 24), static_cast<std::uint8_t>(counter >> 16),
+        static_cast<std::uint8_t>(counter >> 8), static_cast<std::uint8_t>(counter)};
+    h.update(ctr_be);
+    const Digest256 block = h.finalize();
+    for (std::size_t i = 0; i < block.size() && pos < out.size(); ++i, ++pos)
+      out[pos] ^= block[i];
+    ++counter;
+  }
+  return out;
+}
+
+}  // namespace wavekey::crypto

@@ -1,0 +1,20 @@
+#pragma once
+
+// The symmetric encryption E(m, k) used inside the OT protocol (Fig. 3):
+// each OT pad x_i^b is encrypted under a hash-derived key. We expand the key
+// into a keystream with SHA-256 in counter mode and XOR — a one-time-pad
+// style construction, safe here because every key is a fresh DH-derived
+// secret used exactly once.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace wavekey::crypto {
+
+/// XORs `message` with a keystream derived as SHA256(key || counter_be32)
+/// blocks. Encryption and decryption are the same operation.
+std::vector<std::uint8_t> stream_crypt(std::span<const std::uint8_t> key,
+                                       std::span<const std::uint8_t> message);
+
+}  // namespace wavekey::crypto

@@ -1,0 +1,58 @@
+#include "dsp/gesture_detect.hpp"
+
+#include <algorithm>
+
+#include "numeric/stats.hpp"
+
+namespace wavekey::dsp {
+
+std::vector<double> moving_variance(std::span<const double> xs, std::size_t window) {
+  std::vector<double> out;
+  if (window == 0 || xs.size() < window) return out;
+  out.reserve(xs.size() - window + 1);
+
+  // Rolling sums; numerically fine for the short windows used here.
+  double s = 0.0, s2 = 0.0;
+  for (std::size_t i = 0; i < window; ++i) {
+    s += xs[i];
+    s2 += xs[i] * xs[i];
+  }
+  const double inv = 1.0 / static_cast<double>(window);
+  auto push = [&] {
+    const double m = s * inv;
+    out.push_back(std::max(0.0, s2 * inv - m * m));
+  };
+  push();
+  for (std::size_t i = window; i < xs.size(); ++i) {
+    s += xs[i] - xs[i - window];
+    s2 += xs[i] * xs[i] - xs[i - window] * xs[i - window];
+    push();
+  }
+  return out;
+}
+
+std::optional<std::size_t> detect_gesture_start(std::span<const double> xs,
+                                                const GestureDetectConfig& cfg) {
+  const auto mv = moving_variance(xs, cfg.window);
+  if (mv.empty()) return std::nullopt;
+
+  const std::size_t nbase = std::min(cfg.baseline_len, mv.size());
+  double baseline = 0.0;
+  for (std::size_t i = 0; i < nbase; ++i) baseline += mv[i];
+  baseline = std::max(baseline / static_cast<double>(nbase), cfg.min_baseline);
+
+  for (std::size_t i = 0; i < mv.size(); ++i) {
+    if (mv[i] > cfg.threshold_ratio * baseline) {
+      // Coarse trigger confirmed. Refine: walk back to the first window of
+      // the contiguous departure that contains this trigger.
+      std::size_t onset = i;
+      while (onset > 0 && mv[onset - 1] > cfg.refine_ratio * baseline) --onset;
+      // Window [onset, onset+window) is the first to depart; the newest
+      // sample in it is where the motion actually began.
+      return onset + cfg.window - 1;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace wavekey::dsp

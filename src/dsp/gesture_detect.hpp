@@ -1,0 +1,46 @@
+#pragma once
+
+// Gesture-start detection (SIV-B1). WaveKey synchronizes the mobile device
+// and RFID server without a shared clock: the user pauses the hand briefly,
+// then starts the random gesture. Both sides detect the start as a
+// significant increase in the moving variance of their own signal and begin
+// recording there, so the two recordings are aligned to within a sample.
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace wavekey::dsp {
+
+/// Parameters of the variance-jump detector.
+///
+/// Detection is two-stage: a *coarse trigger* fires when the moving variance
+/// exceeds threshold_ratio x baseline (proof a gesture is happening), then
+/// the onset is *refined* by walking back to the first window in which the
+/// variance departed the baseline (refine_ratio x baseline). The refinement
+/// matters because the two modalities have different trigger latencies (the
+/// accelerometer sees the motion onset instantly, the RFID phase only after
+/// the hand has displaced measurably); anchoring both sides to the first
+/// departure keeps their windows aligned to within a few samples.
+struct GestureDetectConfig {
+  std::size_t window = 10;      ///< moving-variance window, in samples
+  double threshold_ratio = 6.0; ///< coarse trigger: var > ratio * baseline
+  double refine_ratio = 2.0;    ///< onset: first window above this ratio
+  double min_baseline = 1e-12;  ///< floor for the baseline variance estimate
+  std::size_t baseline_len = 20;///< samples used to estimate the idle baseline
+};
+
+/// Moving (population) variance of `xs` with the given window; entry i covers
+/// samples [i, i+window). Result has xs.size() - window + 1 entries (empty if
+/// the window does not fit).
+std::vector<double> moving_variance(std::span<const double> xs, std::size_t window);
+
+/// Returns the index of the first sample at which the signal's moving
+/// variance exceeds `threshold_ratio` times the baseline (idle) variance, or
+/// nullopt if the signal never wakes up. For multi-channel signals, call with
+/// the per-sample Euclidean magnitude.
+std::optional<std::size_t> detect_gesture_start(std::span<const double> xs,
+                                                const GestureDetectConfig& cfg = {});
+
+}  // namespace wavekey::dsp

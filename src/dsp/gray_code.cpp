@@ -1,0 +1,24 @@
+#include "dsp/gray_code.hpp"
+
+#include <stdexcept>
+
+namespace wavekey::dsp {
+
+std::uint32_t gray_encode(std::uint32_t i) { return i ^ (i >> 1); }
+
+std::uint32_t gray_decode(std::uint32_t g) {
+  std::uint32_t i = g;
+  for (std::uint32_t shift = 1; shift < 32; shift <<= 1) i ^= i >> shift;
+  return i;
+}
+
+BitVec gray_bits(std::uint32_t index, std::size_t nbits) {
+  const std::uint32_t g = gray_encode(index);
+  if (nbits < 32 && (g >> nbits) != 0)
+    throw std::invalid_argument("gray_bits: codeword does not fit");
+  BitVec v(nbits);
+  for (std::size_t b = 0; b < nbits; ++b) v.set(b, (g >> b) & 1);
+  return v;
+}
+
+}  // namespace wavekey::dsp

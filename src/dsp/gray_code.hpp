@@ -1,0 +1,23 @@
+#pragma once
+
+// Binary-reflected Gray code (SIV-C). Adjacent quantization bins receive
+// codewords differing in exactly one bit, so a feature value that lands one
+// bin away from its counterpart costs only a single seed-bit mismatch.
+
+#include <cstdint>
+
+#include "numeric/bitvec.hpp"
+
+namespace wavekey::dsp {
+
+/// i-th binary-reflected Gray codeword: g = i ^ (i >> 1).
+std::uint32_t gray_encode(std::uint32_t i);
+
+/// Inverse of gray_encode.
+std::uint32_t gray_decode(std::uint32_t g);
+
+/// The Gray codeword of `index` as `nbits` bits (LSB first). Throws
+/// std::invalid_argument if the codeword does not fit in nbits.
+BitVec gray_bits(std::uint32_t index, std::size_t nbits);
+
+}  // namespace wavekey::dsp

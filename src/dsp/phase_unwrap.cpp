@@ -1,0 +1,38 @@
+#include "dsp/phase_unwrap.hpp"
+
+#include <cmath>
+
+namespace wavekey::dsp {
+
+std::vector<double> unwrap_phase(std::span<const double> wrapped) {
+  std::vector<double> out;
+  out.reserve(wrapped.size());
+  if (wrapped.empty()) return out;
+
+  constexpr double kTwoPi = 2.0 * M_PI;
+  out.push_back(wrapped[0]);
+  double offset = 0.0;
+  for (std::size_t i = 1; i < wrapped.size(); ++i) {
+    double delta = wrapped[i] - wrapped[i - 1];
+    // Correct by however many full turns bring the step into (-pi, pi].
+    while (delta > M_PI) {
+      delta -= kTwoPi;
+      offset -= kTwoPi;
+    }
+    while (delta < -M_PI) {
+      delta += kTwoPi;
+      offset += kTwoPi;
+    }
+    out.push_back(wrapped[i] + offset);
+  }
+  return out;
+}
+
+double wrap_phase(double phase) {
+  constexpr double kTwoPi = 2.0 * M_PI;
+  double w = std::fmod(phase, kTwoPi);
+  if (w < 0.0) w += kTwoPi;
+  return w;
+}
+
+}  // namespace wavekey::dsp

@@ -1,0 +1,26 @@
+#pragma once
+
+// RFID phase unwrapping (SIV-B2 of the paper). Impinj-class readers report
+// backscatter phase wrapped into [0, 2*pi); unwrapping removes the 2*pi jumps
+// so the series reflects the true radial movement of the tag.
+
+#include <span>
+#include <vector>
+
+namespace wavekey::dsp {
+
+/// Unwraps a phase series measured modulo 2*pi.
+///
+/// Any step between consecutive samples whose magnitude exceeds pi is treated
+/// as a wrap and corrected by the nearest multiple of 2*pi — exactly the
+/// "eliminate any phase jumping point by adding 2*pi or -2*pi" rule in the
+/// paper (generalized to multiple wraps per step for robustness against
+/// dropped reads).
+std::vector<double> unwrap_phase(std::span<const double> wrapped);
+
+/// Wraps an arbitrary phase into [0, 2*pi). Used by the channel simulator and
+/// as the inverse for property tests (unwrap(wrap(x)) recovers x up to a
+/// global 2*pi offset when |dx| < pi between samples).
+double wrap_phase(double phase);
+
+}  // namespace wavekey::dsp

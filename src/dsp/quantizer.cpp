@@ -1,0 +1,46 @@
+#include "dsp/quantizer.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+#include "dsp/gray_code.hpp"
+#include "numeric/stats.hpp"
+
+namespace wavekey::dsp {
+
+NormalQuantizer::NormalQuantizer(std::size_t num_bins, BinPlacement placement)
+    : num_bins_(num_bins) {
+  if (num_bins_ < 2) throw std::invalid_argument("NormalQuantizer: need >= 2 bins");
+  bits_per_element_ = static_cast<std::size_t>(std::bit_width(num_bins_ - 1));
+
+  boundaries_.reserve(num_bins_ - 1);
+  if (placement == BinPlacement::kEqualProbability) {
+    // Phi(b_i) = i / N_b  (Eq. (1)).
+    for (std::size_t i = 1; i < num_bins_; ++i)
+      boundaries_.push_back(
+          normal_quantile(static_cast<double>(i) / static_cast<double>(num_bins_)));
+  } else {
+    constexpr double kRange = 3.0;  // +/- 3 sigma
+    const double width = 2.0 * kRange / static_cast<double>(num_bins_);
+    for (std::size_t i = 1; i < num_bins_; ++i)
+      boundaries_.push_back(-kRange + width * static_cast<double>(i));
+  }
+}
+
+std::size_t NormalQuantizer::bin_of(double x) const {
+  const auto it = std::upper_bound(boundaries_.begin(), boundaries_.end(), x);
+  return static_cast<std::size_t>(it - boundaries_.begin());
+}
+
+BitVec NormalQuantizer::quantize_value(double x) const {
+  return gray_bits(static_cast<std::uint32_t>(bin_of(x)), bits_per_element_);
+}
+
+BitVec NormalQuantizer::quantize(std::span<const double> feature) const {
+  BitVec seed;
+  for (double x : feature) seed.append(quantize_value(x));
+  return seed;
+}
+
+}  // namespace wavekey::dsp

@@ -1,0 +1,59 @@
+#pragma once
+
+// Feature-vector quantization (SIV-C, Eq. (1)). The encoders end in
+// batch-norm layers, so each latent element is ~N(0,1) at inference time.
+// The quantizer splits the real line into N_b bins of equal probability
+// under the standard normal (boundaries solve Phi(b_i) = i/N_b) and encodes
+// the bin index with a Gray code, maximizing per-element seed entropy while
+// keeping near-miss quantizations one bit apart.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "numeric/bitvec.hpp"
+
+namespace wavekey::dsp {
+
+/// How bin boundaries are placed. EqualProbability is the paper's scheme;
+/// EqualWidth is kept as an ablation (bench_fig7 compares seed entropy).
+enum class BinPlacement {
+  kEqualProbability,
+  kEqualWidth,
+};
+
+/// Quantizer from standard-normal-distributed reals to Gray-coded bits.
+class NormalQuantizer {
+ public:
+  /// @param num_bins  N_b in the paper; must be >= 2.
+  /// @param placement bin-boundary rule (paper uses equal probability)
+  /// For kEqualWidth the bins tile [-3, 3] sigma with open outer bins.
+  explicit NormalQuantizer(std::size_t num_bins,
+                           BinPlacement placement = BinPlacement::kEqualProbability);
+
+  std::size_t num_bins() const { return num_bins_; }
+
+  /// Bits per quantized element: ceil(log2(N_b)). (The paper's Eq. (2) uses
+  /// the fractional log2; see DESIGN.md for the discrepancy note.)
+  std::size_t bits_per_element() const { return bits_per_element_; }
+
+  /// Bin index in [0, N_b) for a real value.
+  std::size_t bin_of(double x) const;
+
+  /// Interior bin boundaries (N_b - 1 ascending values).
+  std::span<const double> boundaries() const { return boundaries_; }
+
+  /// Quantizes one value to its Gray-coded bits (LSB first).
+  BitVec quantize_value(double x) const;
+
+  /// Quantizes a whole feature vector into the concatenated key-seed:
+  /// l_s = len(f) * bits_per_element() bits.
+  BitVec quantize(std::span<const double> feature) const;
+
+ private:
+  std::size_t num_bins_;
+  std::size_t bits_per_element_;
+  std::vector<double> boundaries_;
+};
+
+}  // namespace wavekey::dsp

@@ -1,0 +1,100 @@
+#include "dsp/resample.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace wavekey::dsp {
+namespace {
+
+void check_series(std::span<const double> ts, std::span<const double> xs) {
+  if (ts.size() != xs.size()) throw std::invalid_argument("interp: ts/xs length mismatch");
+  if (ts.empty()) throw std::invalid_argument("interp: empty series");
+  for (std::size_t i = 1; i < ts.size(); ++i)
+    if (ts[i] <= ts[i - 1]) throw std::invalid_argument("interp: ts must be strictly increasing");
+}
+
+}  // namespace
+
+std::vector<double> interp_linear(std::span<const double> ts, std::span<const double> xs,
+                                  std::span<const double> query_ts) {
+  check_series(ts, xs);
+  std::vector<double> out;
+  out.reserve(query_ts.size());
+  for (double q : query_ts) {
+    if (q <= ts.front()) {
+      out.push_back(xs.front());
+      continue;
+    }
+    if (q >= ts.back()) {
+      out.push_back(xs.back());
+      continue;
+    }
+    const auto it = std::upper_bound(ts.begin(), ts.end(), q);
+    const std::size_t hi = static_cast<std::size_t>(it - ts.begin());
+    const std::size_t lo = hi - 1;
+    const double f = (q - ts[lo]) / (ts[hi] - ts[lo]);
+    out.push_back(xs[lo] * (1.0 - f) + xs[hi] * f);
+  }
+  return out;
+}
+
+std::vector<double> interp_cubic(std::span<const double> ts, std::span<const double> xs,
+                                 std::span<const double> query_ts) {
+  check_series(ts, xs);
+  const std::size_t n = ts.size();
+  if (n < 3) return interp_linear(ts, xs, query_ts);
+
+  // Natural cubic spline: solve the tridiagonal system for second
+  // derivatives M_i with M_0 = M_{n-1} = 0 (Thomas algorithm).
+  std::vector<double> h(n - 1);
+  for (std::size_t i = 0; i + 1 < n; ++i) h[i] = ts[i + 1] - ts[i];
+
+  std::vector<double> diag(n, 2.0), upper(n, 0.0), rhs(n, 0.0);
+  for (std::size_t i = 1; i + 1 < n; ++i) {
+    const double hl = h[i - 1], hr = h[i];
+    diag[i] = 2.0 * (hl + hr);
+    upper[i] = hr;
+    rhs[i] = 6.0 * ((xs[i + 1] - xs[i]) / hr - (xs[i] - xs[i - 1]) / hl);
+  }
+  // Forward elimination on interior rows (boundary rows stay M=0).
+  std::vector<double> m(n, 0.0);
+  std::vector<double> cprime(n, 0.0), dprime(n, 0.0);
+  for (std::size_t i = 1; i + 1 < n; ++i) {
+    const double lower = (i > 1) ? h[i - 1] : 0.0;
+    const double denom = diag[i] - lower * cprime[i - 1];
+    cprime[i] = upper[i] / denom;
+    dprime[i] = (rhs[i] - lower * dprime[i - 1]) / denom;
+  }
+  for (std::size_t i = n - 1; i-- > 1;) m[i] = dprime[i] - cprime[i] * m[i + 1];
+
+  std::vector<double> out;
+  out.reserve(query_ts.size());
+  for (double q : query_ts) {
+    if (q <= ts.front()) {
+      out.push_back(xs.front());
+      continue;
+    }
+    if (q >= ts.back()) {
+      out.push_back(xs.back());
+      continue;
+    }
+    const auto it = std::upper_bound(ts.begin(), ts.end(), q);
+    const std::size_t hi = static_cast<std::size_t>(it - ts.begin());
+    const std::size_t lo = hi - 1;
+    const double hseg = h[lo];
+    const double a = (ts[hi] - q) / hseg;
+    const double b = (q - ts[lo]) / hseg;
+    const double val = a * xs[lo] + b * xs[hi] +
+                       ((a * a * a - a) * m[lo] + (b * b * b - b) * m[hi]) * hseg * hseg / 6.0;
+    out.push_back(val);
+  }
+  return out;
+}
+
+std::vector<double> uniform_grid(double t0, double rate_hz, std::size_t n) {
+  std::vector<double> ts(n);
+  for (std::size_t i = 0; i < n; ++i) ts[i] = t0 + static_cast<double>(i) / rate_hz;
+  return ts;
+}
+
+}  // namespace wavekey::dsp

@@ -1,0 +1,29 @@
+#pragma once
+
+// Resampling / interpolation utilities. The mobile pipeline aligns the
+// gyroscope, accelerometer, and magnetometer streams (whose hardware rates
+// and timestamps differ) onto a common 100 Hz grid by interpolation
+// (SIV-B2), and the camera attacker resamples its frame-rate position track.
+
+#include <span>
+#include <vector>
+
+namespace wavekey::dsp {
+
+/// Linearly interpolates the samples (ts[i], xs[i]) at the query times.
+/// `ts` must be strictly increasing and the same length as `xs`.
+/// Queries outside [ts.front(), ts.back()] clamp to the boundary value.
+/// Throws std::invalid_argument on malformed input.
+std::vector<double> interp_linear(std::span<const double> ts, std::span<const double> xs,
+                                  std::span<const double> query_ts);
+
+/// Natural cubic-spline interpolation at the query times, same contract as
+/// interp_linear. Used where double differentiation follows (camera attack),
+/// since linear interpolation has zero second derivative almost everywhere.
+std::vector<double> interp_cubic(std::span<const double> ts, std::span<const double> xs,
+                                 std::span<const double> query_ts);
+
+/// Convenience: uniform time grid [t0, t0 + (n-1)/rate_hz] with n points.
+std::vector<double> uniform_grid(double t0, double rate_hz, std::size_t n);
+
+}  // namespace wavekey::dsp

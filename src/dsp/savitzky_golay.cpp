@@ -1,0 +1,115 @@
+#include "dsp/savitzky_golay.hpp"
+
+#include <stdexcept>
+
+#include "numeric/matrix.hpp"
+
+namespace wavekey::dsp {
+namespace {
+
+// Least-squares fit weights: for window positions t_0..t_{w-1} (centered
+// integers) and evaluation offset t_eval, the smoothed value is
+// sum_j c_j x_j with c = e_eval^T (V^T V)^{-1} V^T where V is the
+// Vandermonde matrix of the positions. We compute each row by solving the
+// small normal-equation system directly.
+std::vector<double> fit_weights(std::size_t window, std::size_t order, double t_eval) {
+  const auto w = static_cast<std::ptrdiff_t>(window);
+  const std::ptrdiff_t half = w / 2;
+  const std::size_t m = order + 1;
+
+  // Normal matrix N(i,j) = sum_t t^(i+j); moment vector handled per-column.
+  wavekey::Matrix normal(m, m);
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < m; ++j) {
+      double s = 0.0;
+      for (std::ptrdiff_t t = -half; t <= half; ++t) {
+        double p = 1.0;
+        for (std::size_t k = 0; k < i + j; ++k) p *= static_cast<double>(t);
+        s += p;
+      }
+      normal(i, j) = s;
+    }
+
+  // Solve N a = v_k for each basis vector is equivalent to computing
+  // c_j = p(t_j) where p solves the normal equations with rhs powers of
+  // t_eval. Instead: weight for sample at position t_j is
+  // sum_i (N^{-1} T(t_eval))_i * t_j^i, with T(t_eval) = (1, t_eval, ...).
+  std::vector<double> rhs(m);
+  {
+    double p = 1.0;
+    for (std::size_t i = 0; i < m; ++i) {
+      rhs[i] = p;
+      p *= t_eval;
+    }
+  }
+  const std::vector<double> a = wavekey::solve_linear_system(normal, rhs);
+
+  std::vector<double> coeffs(window);
+  for (std::ptrdiff_t t = -half; t <= half; ++t) {
+    double s = 0.0;
+    double p = 1.0;
+    for (std::size_t i = 0; i < m; ++i) {
+      s += a[i] * p;
+      p *= static_cast<double>(t);
+    }
+    coeffs[static_cast<std::size_t>(t + half)] = s;
+  }
+  return coeffs;
+}
+
+}  // namespace
+
+SavitzkyGolayFilter::SavitzkyGolayFilter(std::size_t window_length, std::size_t poly_order)
+    : window_(window_length), order_(poly_order) {
+  if (window_ < 3 || window_ % 2 == 0)
+    throw std::invalid_argument("SavitzkyGolayFilter: window must be odd and >= 3");
+  if (order_ >= window_)
+    throw std::invalid_argument("SavitzkyGolayFilter: order must be < window length");
+
+  center_coeffs_ = fit_weights(window_, order_, 0.0);
+
+  // Edge evaluation points: offsets -half .. -1 (mirrored for the right edge).
+  const auto half = static_cast<std::ptrdiff_t>(window_ / 2);
+  edge_coeffs_.reserve(static_cast<std::size_t>(half));
+  for (std::ptrdiff_t j = -half; j < 0; ++j)
+    edge_coeffs_.push_back(fit_weights(window_, order_, static_cast<double>(j)));
+}
+
+std::vector<double> SavitzkyGolayFilter::apply(std::span<const double> xs) const {
+  const std::size_t n = xs.size();
+  std::vector<double> out(n, 0.0);
+  if (n == 0) return out;
+  const std::size_t half = window_ / 2;
+  if (n < window_) {
+    // Window does not fit: degrade gracefully to the identity (the paper's
+    // streams are hundreds of samples, this path only guards tiny inputs).
+    out.assign(xs.begin(), xs.end());
+    return out;
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    std::span<const double> coeffs;
+    std::size_t start;
+    if (i < half) {
+      coeffs = edge_coeffs_[i];
+      start = 0;
+    } else if (i >= n - half) {
+      // Right edge: mirror the left-edge weights.
+      const std::size_t dist = n - 1 - i;  // < half
+      const auto& fwd = edge_coeffs_[dist];
+      static thread_local std::vector<double> reversed;
+      reversed.assign(fwd.rbegin(), fwd.rend());
+      coeffs = reversed;
+      start = n - window_;
+    } else {
+      coeffs = center_coeffs_;
+      start = i - half;
+    }
+    double s = 0.0;
+    for (std::size_t j = 0; j < window_; ++j) s += coeffs[j] * xs[start + j];
+    out[i] = s;
+  }
+  return out;
+}
+
+}  // namespace wavekey::dsp

@@ -1,0 +1,42 @@
+#pragma once
+
+// Savitzky-Golay smoothing filter (Savitzky & Golay, 1964), the denoiser the
+// paper applies to both RFID phase and magnitude streams (SIV-B2). It fits a
+// low-order polynomial to a sliding window by least squares and evaluates it
+// at the window center, which preserves local extrema far better than a
+// moving average -- the property the paper relies on for key generation.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace wavekey::dsp {
+
+/// A Savitzky-Golay filter with precomputed convolution coefficients.
+class SavitzkyGolayFilter {
+ public:
+  /// @param window_length  odd number of samples in the sliding window (>= 3)
+  /// @param poly_order     polynomial order (< window_length)
+  /// Throws std::invalid_argument on malformed parameters.
+  SavitzkyGolayFilter(std::size_t window_length, std::size_t poly_order);
+
+  /// Applies the filter. The first/last half-window samples are handled by
+  /// fitting the window polynomial anchored at the series edge (no phantom
+  /// zero padding), so edges are not dragged toward zero.
+  std::vector<double> apply(std::span<const double> xs) const;
+
+  std::size_t window_length() const { return window_; }
+  std::size_t poly_order() const { return order_; }
+
+  /// The center-point convolution coefficients (exposed for tests: they must
+  /// sum to 1 and reproduce polynomials up to `poly_order` exactly).
+  std::span<const double> coefficients() const { return center_coeffs_; }
+
+ private:
+  std::size_t window_;
+  std::size_t order_;
+  std::vector<double> center_coeffs_;                // evaluate fit at window center
+  std::vector<std::vector<double>> edge_coeffs_;     // evaluate fit at offset j from left edge
+};
+
+}  // namespace wavekey::dsp

@@ -1,0 +1,94 @@
+#include "ecc/fuzzy_commitment.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace wavekey::ecc {
+namespace {
+
+constexpr std::size_t kMaxCodeword = 255;
+
+std::size_t compute_nsym(std::size_t max_byte_errors) {
+  // RS corrects floor(nsym/2) errors; give every chunk the full budget so the
+  // worst-case clustering of errors into one chunk is still correctable.
+  const std::size_t nsym = 2 * std::max<std::size_t>(max_byte_errors, 1);
+  if (nsym >= kMaxCodeword)
+    throw std::invalid_argument("FuzzyCommitment: error budget too large for RS(255)");
+  return nsym;
+}
+
+}  // namespace
+
+FuzzyCommitment::FuzzyCommitment(std::size_t key_bits, std::size_t max_byte_errors)
+    : key_bits_(key_bits),
+      key_bytes_((key_bits + 7) / 8),
+      rs_(compute_nsym(max_byte_errors)) {
+  if (key_bits_ == 0) throw std::invalid_argument("FuzzyCommitment: empty key");
+  const std::size_t max_data = kMaxCodeword - rs_.nsym();
+  num_chunks_ = (key_bytes_ + max_data - 1) / max_data;
+  base_chunk_len_ = (key_bytes_ + num_chunks_ - 1) / num_chunks_;
+}
+
+std::size_t FuzzyCommitment::chunk_data_len(std::size_t chunk) const {
+  const std::size_t start = chunk * base_chunk_len_;
+  return std::min(base_chunk_len_, key_bytes_ - start);
+}
+
+std::size_t FuzzyCommitment::helper_size() const {
+  return key_bytes_ + num_chunks_ * rs_.nsym();
+}
+
+std::vector<std::uint8_t> FuzzyCommitment::commit(const BitVec& key, crypto::Drbg& rng) const {
+  if (key.size() != key_bits_) throw std::invalid_argument("FuzzyCommitment::commit: key size");
+  const std::vector<std::uint8_t> key_bytes = key.to_bytes();
+
+  std::vector<std::uint8_t> helper;
+  helper.reserve(helper_size());
+  for (std::size_t chunk = 0; chunk < num_chunks_; ++chunk) {
+    const std::size_t start = chunk * base_chunk_len_;
+    const std::size_t len = chunk_data_len(chunk);
+
+    // Random codeword: encode a fresh random message of the same length.
+    std::vector<std::uint8_t> msg(len);
+    rng.random_bytes(msg);
+    const std::vector<std::uint8_t> codeword = rs_.encode(msg);
+
+    // delta = (key_chunk || 0^nsym) XOR codeword.
+    for (std::size_t i = 0; i < len; ++i)
+      helper.push_back(static_cast<std::uint8_t>(key_bytes[start + i] ^ codeword[i]));
+    for (std::size_t i = len; i < codeword.size(); ++i) helper.push_back(codeword[i]);
+  }
+  return helper;
+}
+
+std::optional<BitVec> FuzzyCommitment::recover(std::span<const std::uint8_t> helper,
+                                               const BitVec& noisy_key) const {
+  if (helper.size() != helper_size() || noisy_key.size() != key_bits_) return std::nullopt;
+  const std::vector<std::uint8_t> noisy_bytes = noisy_key.to_bytes();
+
+  std::vector<std::uint8_t> recovered(key_bytes_, 0);
+  std::size_t helper_pos = 0;
+  for (std::size_t chunk = 0; chunk < num_chunks_; ++chunk) {
+    const std::size_t start = chunk * base_chunk_len_;
+    const std::size_t len = chunk_data_len(chunk);
+    const std::size_t cw_len = len + rs_.nsym();
+
+    // candidate = (noisy_chunk || 0^nsym) XOR delta = codeword XOR error.
+    std::vector<std::uint8_t> candidate(cw_len);
+    for (std::size_t i = 0; i < len; ++i)
+      candidate[i] = static_cast<std::uint8_t>(noisy_bytes[start + i] ^ helper[helper_pos + i]);
+    for (std::size_t i = len; i < cw_len; ++i) candidate[i] = helper[helper_pos + i];
+
+    const auto decoded = rs_.decode(candidate);
+    if (!decoded) return std::nullopt;
+    // Re-encode to get the codeword's data part (== decoded message since
+    // the code is systematic), then peel the offset off the helper.
+    for (std::size_t i = 0; i < len; ++i)
+      recovered[start + i] = static_cast<std::uint8_t>((*decoded)[i] ^ helper[helper_pos + i]);
+
+    helper_pos += cw_len;
+  }
+  return BitVec::from_bytes(recovered, key_bits_);
+}
+
+}  // namespace wavekey::ecc

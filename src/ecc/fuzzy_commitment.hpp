@@ -1,0 +1,58 @@
+#pragma once
+
+// Fuzzy commitment (Juels-Wattenberg code-offset construction) over the
+// Reed-Solomon code. This realizes the paper's reconciliation step
+// concretely: the mobile device sends "the ECC of its key K_M" (SIV-D2) as a
+// helper string delta = (K_M || 0-pad) XOR C(r) for a random codeword C(r);
+// the RFID server XORs its own noisy K_R onto delta, decodes the result back
+// to C(r), and thereby recovers exactly K_M. The helper reveals at most
+// nsym bytes of information about K_M (the code's redundancy), which the
+// overall key length budgets for.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "crypto/drbg.hpp"
+#include "ecc/reed_solomon.hpp"
+#include "numeric/bitvec.hpp"
+
+namespace wavekey::ecc {
+
+/// Code-offset fuzzy commitment with chunked Reed-Solomon (keys longer than
+/// one RS codeword are split across chunks; each chunk carries its own
+/// parity, sized for the worst case of all errors landing in one chunk).
+class FuzzyCommitment {
+ public:
+  /// @param key_bits          length of the committed key in bits
+  /// @param max_byte_errors   symbol-error budget the commitment must absorb
+  /// Throws std::invalid_argument if key_bits == 0 or the implied parity does
+  /// not fit an RS codeword.
+  FuzzyCommitment(std::size_t key_bits, std::size_t max_byte_errors);
+
+  std::size_t key_bits() const { return key_bits_; }
+  std::size_t num_chunks() const { return num_chunks_; }
+  std::size_t helper_size() const;  ///< helper string length in bytes
+
+  /// Commits to `key` (must be key_bits long); returns the helper string to
+  /// transmit in the clear.
+  std::vector<std::uint8_t> commit(const BitVec& key, crypto::Drbg& rng) const;
+
+  /// Recovers the committed key from the helper and a noisy candidate key
+  /// whose byte-level difference from the committed key is within the error
+  /// budget. Returns nullopt if reconciliation fails.
+  std::optional<BitVec> recover(std::span<const std::uint8_t> helper,
+                                const BitVec& noisy_key) const;
+
+ private:
+  std::size_t chunk_data_len(std::size_t chunk) const;
+
+  std::size_t key_bits_;
+  std::size_t key_bytes_;
+  std::size_t num_chunks_;
+  std::size_t base_chunk_len_;  // data bytes in all but possibly the last chunk
+  ReedSolomon rs_;
+};
+
+}  // namespace wavekey::ecc

@@ -1,0 +1,38 @@
+#pragma once
+
+// GF(2^8) arithmetic with the primitive polynomial x^8+x^4+x^3+x^2+1 (0x11D),
+// the field underlying the Reed-Solomon reconciliation code.
+
+#include <array>
+#include <cstdint>
+
+namespace wavekey::ecc {
+
+/// Table-driven GF(2^8) arithmetic. All operations are total except division
+/// by zero and log(0), which throw std::domain_error.
+class Gf256 {
+ public:
+  static std::uint8_t add(std::uint8_t a, std::uint8_t b) { return a ^ b; }
+  static std::uint8_t sub(std::uint8_t a, std::uint8_t b) { return a ^ b; }
+  static std::uint8_t mul(std::uint8_t a, std::uint8_t b);
+  static std::uint8_t div(std::uint8_t a, std::uint8_t b);
+  static std::uint8_t inv(std::uint8_t a);
+
+  /// alpha^e for the generator alpha = 0x02.
+  static std::uint8_t exp(int e);
+
+  /// Discrete log base alpha; a must be nonzero.
+  static int log(std::uint8_t a);
+
+  /// a^n with n >= 0.
+  static std::uint8_t pow(std::uint8_t a, int n);
+
+ private:
+  struct Tables {
+    std::array<std::uint8_t, 512> exp;
+    std::array<int, 256> log;
+  };
+  static const Tables& tables();
+};
+
+}  // namespace wavekey::ecc

@@ -1,0 +1,161 @@
+#include "ecc/reed_solomon.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "ecc/gf256.hpp"
+
+namespace wavekey::ecc {
+namespace {
+
+// Polynomials are stored ascending-degree: p[i] is the coefficient of x^i.
+
+std::uint8_t poly_eval(std::span<const std::uint8_t> p, std::uint8_t x) {
+  std::uint8_t acc = 0;
+  for (std::size_t i = p.size(); i-- > 0;) acc = Gf256::add(Gf256::mul(acc, x), p[i]);
+  return acc;
+}
+
+std::vector<std::uint8_t> poly_mul(std::span<const std::uint8_t> a,
+                                   std::span<const std::uint8_t> b) {
+  std::vector<std::uint8_t> r(a.size() + b.size() - 1, 0);
+  for (std::size_t i = 0; i < a.size(); ++i)
+    for (std::size_t j = 0; j < b.size(); ++j)
+      r[i + j] = Gf256::add(r[i + j], Gf256::mul(a[i], b[j]));
+  return r;
+}
+
+}  // namespace
+
+ReedSolomon::ReedSolomon(std::size_t nsym) : nsym_(nsym) {
+  if (nsym_ < 1 || nsym_ > 254) throw std::invalid_argument("ReedSolomon: nsym out of range");
+  // g(x) = prod (x - alpha^i), i = 0..nsym-1. In GF(2^8), -a == a.
+  generator_ = {1};
+  for (std::size_t i = 0; i < nsym_; ++i) {
+    const std::uint8_t root = Gf256::exp(static_cast<int>(i));
+    const std::uint8_t factor[2] = {root, 1};  // (x + root)
+    generator_ = poly_mul(generator_, factor);
+  }
+}
+
+std::vector<std::uint8_t> ReedSolomon::encode(std::span<const std::uint8_t> data) const {
+  if (data.size() > max_data_len()) throw std::invalid_argument("ReedSolomon::encode: too long");
+
+  // Systematic encoding: parity = -(data(x) * x^nsym mod g(x)). Long division
+  // with the message laid out high-degree-first.
+  std::vector<std::uint8_t> rem(nsym_, 0);
+  for (std::uint8_t d : data) {
+    const std::uint8_t factor = Gf256::add(d, rem.back());
+    // Shift remainder up by one (multiply by x) and subtract factor * g.
+    for (std::size_t i = rem.size(); i-- > 1;) {
+      rem[i] = Gf256::add(rem[i - 1], Gf256::mul(factor, generator_[i]));
+    }
+    rem[0] = Gf256::mul(factor, generator_[0]);
+  }
+
+  std::vector<std::uint8_t> out(data.begin(), data.end());
+  // Parity appended high-degree-first to match the divisor orientation.
+  for (std::size_t i = rem.size(); i-- > 0;) out.push_back(rem[i]);
+  return out;
+}
+
+std::vector<std::uint8_t> ReedSolomon::syndromes(std::span<const std::uint8_t> codeword) const {
+  // Treat the codeword as a polynomial with the FIRST byte as the HIGHEST
+  // degree coefficient (transmission order). S_i = c(alpha^i).
+  std::vector<std::uint8_t> synd(nsym_);
+  for (std::size_t i = 0; i < nsym_; ++i) {
+    const std::uint8_t x = Gf256::exp(static_cast<int>(i));
+    std::uint8_t acc = 0;
+    for (std::uint8_t c : codeword) acc = Gf256::add(Gf256::mul(acc, x), c);
+    synd[i] = acc;
+  }
+  return synd;
+}
+
+std::optional<std::vector<std::uint8_t>> ReedSolomon::decode(
+    std::span<const std::uint8_t> codeword) const {
+  if (codeword.size() <= nsym_ || codeword.size() > 255) return std::nullopt;
+  const std::size_t n = codeword.size();
+
+  const std::vector<std::uint8_t> synd = syndromes(codeword);
+  if (std::all_of(synd.begin(), synd.end(), [](std::uint8_t s) { return s == 0; }))
+    return std::vector<std::uint8_t>(codeword.begin(), codeword.end() - nsym_);
+
+  // Berlekamp-Massey: find the error-locator polynomial sigma (ascending).
+  std::vector<std::uint8_t> sigma = {1}, prev = {1};
+  std::size_t l = 0, m = 1;
+  std::uint8_t b = 1;
+  for (std::size_t i = 0; i < nsym_; ++i) {
+    std::uint8_t delta = synd[i];
+    for (std::size_t j = 1; j <= l && j < sigma.size(); ++j)
+      delta = Gf256::add(delta, Gf256::mul(sigma[j], synd[i - j]));
+    if (delta == 0) {
+      ++m;
+    } else if (2 * l <= i) {
+      const std::vector<std::uint8_t> tmp = sigma;
+      const std::uint8_t coef = Gf256::div(delta, b);
+      // sigma -= coef * x^m * prev
+      sigma.resize(std::max(sigma.size(), prev.size() + m), 0);
+      for (std::size_t j = 0; j < prev.size(); ++j)
+        sigma[j + m] = Gf256::add(sigma[j + m], Gf256::mul(coef, prev[j]));
+      l = i + 1 - l;
+      prev = tmp;
+      b = delta;
+      m = 1;
+    } else {
+      const std::uint8_t coef = Gf256::div(delta, b);
+      sigma.resize(std::max(sigma.size(), prev.size() + m), 0);
+      for (std::size_t j = 0; j < prev.size(); ++j)
+        sigma[j + m] = Gf256::add(sigma[j + m], Gf256::mul(coef, prev[j]));
+      ++m;
+    }
+  }
+  while (!sigma.empty() && sigma.back() == 0) sigma.pop_back();
+  const std::size_t num_errors = sigma.size() - 1;
+  if (num_errors == 0 || num_errors > max_errors()) return std::nullopt;
+
+  // Chien search: roots of sigma give error positions. With the first
+  // codeword byte as degree n-1, an error at byte index k corresponds to the
+  // locator X = alpha^(n-1-k); sigma has root X^{-1}.
+  std::vector<std::size_t> positions;
+  for (std::size_t k = 0; k < n; ++k) {
+    const int loc_exp = static_cast<int>(n - 1 - k);
+    const std::uint8_t x_inv = Gf256::exp(-loc_exp);
+    if (poly_eval(sigma, x_inv) == 0) positions.push_back(k);
+  }
+  if (positions.size() != num_errors) return std::nullopt;
+
+  // Forney: error magnitudes. Omega(x) = [S(x) * sigma(x)] mod x^nsym, with
+  // S(x) = sum synd[i] x^i. e_k = X_k * Omega(X_k^{-1}) / sigma'(X_k^{-1}).
+  std::vector<std::uint8_t> omega = poly_mul(synd, sigma);
+  omega.resize(nsym_);
+
+  // Formal derivative of sigma (characteristic 2: even terms vanish).
+  std::vector<std::uint8_t> dsigma;
+  for (std::size_t j = 1; j < sigma.size(); j += 2) {
+    dsigma.resize(j, 0);
+    dsigma[j - 1] = sigma[j];
+  }
+  if (dsigma.empty()) return std::nullopt;
+
+  std::vector<std::uint8_t> corrected(codeword.begin(), codeword.end());
+  for (std::size_t k : positions) {
+    const int loc_exp = static_cast<int>(n - 1 - k);
+    const std::uint8_t x = Gf256::exp(loc_exp);
+    const std::uint8_t x_inv = Gf256::exp(-loc_exp);
+    const std::uint8_t denom = poly_eval(dsigma, x_inv);
+    if (denom == 0) return std::nullopt;
+    const std::uint8_t num = poly_eval(omega, x_inv);
+    const std::uint8_t magnitude = Gf256::mul(x, Gf256::div(num, denom));
+    corrected[k] = Gf256::add(corrected[k], magnitude);
+  }
+
+  // Verify: all syndromes of the corrected word must vanish.
+  const std::vector<std::uint8_t> check = syndromes(corrected);
+  if (!std::all_of(check.begin(), check.end(), [](std::uint8_t s) { return s == 0; }))
+    return std::nullopt;
+
+  return std::vector<std::uint8_t>(corrected.begin(), corrected.end() - nsym_);
+}
+
+}  // namespace wavekey::ecc

@@ -1,0 +1,49 @@
+#pragma once
+
+// Systematic Reed-Solomon codec over GF(2^8).
+//
+// Encoder: polynomial remainder against the generator polynomial
+// g(x) = prod_{i=0}^{nsym-1} (x - alpha^i). Decoder: syndromes ->
+// Berlekamp-Massey error locator -> Chien search -> Forney error values.
+// Corrects up to nsym/2 unknown symbol errors per codeword.
+//
+// This is the workhorse behind the key-reconciliation step: a flipped
+// key-seed bit corrupts one whole key segment, i.e. a short burst of bytes,
+// which symbol-level RS absorbs efficiently (DESIGN.md SS4.3).
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace wavekey::ecc {
+
+/// Reed-Solomon code with `nsym` parity symbols (codewords up to 255 bytes).
+class ReedSolomon {
+ public:
+  /// @param nsym number of parity symbols (1..254). Corrects floor(nsym/2)
+  /// errors. Throws std::invalid_argument otherwise.
+  explicit ReedSolomon(std::size_t nsym);
+
+  std::size_t nsym() const { return nsym_; }
+  std::size_t max_errors() const { return nsym_ / 2; }
+
+  /// Maximum number of data bytes per codeword.
+  std::size_t max_data_len() const { return 255 - nsym_; }
+
+  /// Systematic encode: returns data || parity. Throws if data is too long.
+  std::vector<std::uint8_t> encode(std::span<const std::uint8_t> data) const;
+
+  /// Decodes a (possibly corrupted) codeword; returns the corrected data
+  /// portion, or nullopt if more than max_errors() symbols are corrupted
+  /// (detected via decoder failure or post-correction syndrome check).
+  std::optional<std::vector<std::uint8_t>> decode(std::span<const std::uint8_t> codeword) const;
+
+ private:
+  std::vector<std::uint8_t> syndromes(std::span<const std::uint8_t> codeword) const;
+
+  std::size_t nsym_;
+  std::vector<std::uint8_t> generator_;  // generator polynomial, ascending degree
+};
+
+}  // namespace wavekey::ecc

@@ -1,0 +1,146 @@
+#include "imu/imu_pipeline.hpp"
+
+#include <cmath>
+
+#include "dsp/resample.hpp"
+#include "numeric/mat3.hpp"
+#include "numeric/stats.hpp"
+
+namespace wavekey::imu {
+
+Quaternion triad_attitude(const Vec3& body_up, const Vec3& body_mag, const Vec3& world_gravity,
+                          const Vec3& world_mag) {
+  // World triad: t1 = up, t2 = up x mag (east-ish), t3 = t1 x t2.
+  const Vec3 w1 = (-world_gravity).normalized();
+  const Vec3 w2 = w1.cross(world_mag.normalized()).normalized();
+  const Vec3 w3 = w1.cross(w2);
+
+  const Vec3 b1 = body_up.normalized();
+  const Vec3 b2 = b1.cross(body_mag.normalized()).normalized();
+  const Vec3 b3 = b1.cross(b2);
+
+  // R maps body to world: R * b_i = w_i  =>  R = W * B^T.
+  const Mat3 w = Mat3::from_columns(w1, w2, w3);
+  const Mat3 b = Mat3::from_columns(b1, b2, b3);
+  return Quaternion::from_matrix(w * b.transposed());
+}
+
+std::optional<ImuPipelineResult> process_imu(const sim::ImuRecord& record,
+                                             const ImuPipelineConfig& config) {
+  const auto& samples = record.samples;
+  if (samples.size() < 20) return std::nullopt;
+
+  // 1. Coarse onset from the accelerometer magnitude variance jump.
+  std::vector<double> accel_mag(samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) accel_mag[i] = samples[i].accel.norm();
+  const auto onset_idx = dsp::detect_gesture_start(accel_mag, config.detect);
+  if (!onset_idx) return std::nullopt;
+  const double t_onset = samples[*onset_idx].t;
+
+  // 2. Initial attitude from the pause: average accel/mag before the onset.
+  const std::size_t pause_end =
+      *onset_idx > 4 ? *onset_idx : std::min<std::size_t>(4, samples.size());
+  Vec3 mean_accel, mean_mag;
+  std::size_t pause_count = 0;
+  for (std::size_t i = 0; i < pause_end; ++i) {
+    mean_accel += samples[i].accel;
+    mean_mag += samples[i].mag;
+    ++pause_count;
+  }
+  if (pause_count == 0) return std::nullopt;
+  mean_accel = mean_accel / static_cast<double>(pause_count);
+  mean_mag = mean_mag / static_cast<double>(pause_count);
+  const Quaternion q0 =
+      triad_attitude(mean_accel, mean_mag, config.gravity_ref, config.magnetic_ref);
+  // The pause-time accelerometer should read pure gravity reaction; any
+  // excess magnitude is bias, which we subtract along the measured direction.
+  const double bias_mag = mean_accel.norm() - config.gravity_ref.norm();
+  const Vec3 accel_bias = mean_accel.normalized() * bias_mag;
+
+  // 3. Interpolate all streams onto the 100 Hz grid from the coarse onset to
+  // the end of the recording.
+  std::vector<double> ts(samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) ts[i] = samples[i].t;
+  const double t_last = ts.back();
+  if (t_last <= t_onset) return std::nullopt;
+  const auto n_grid =
+      static_cast<std::size_t>((t_last - t_onset) * config.interp_rate_hz) + 1;
+  const std::vector<double> grid = dsp::uniform_grid(t_onset, config.interp_rate_hz, n_grid);
+
+  auto interp_axis = [&](auto getter) {
+    std::vector<double> series(samples.size());
+    for (std::size_t i = 0; i < samples.size(); ++i) series[i] = getter(samples[i]);
+    return dsp::interp_linear(ts, series, grid);
+  };
+  const auto ax = interp_axis([](const sim::ImuSample& s) { return s.accel.x; });
+  const auto ay = interp_axis([](const sim::ImuSample& s) { return s.accel.y; });
+  const auto az = interp_axis([](const sim::ImuSample& s) { return s.accel.z; });
+  const auto gx = interp_axis([](const sim::ImuSample& s) { return s.gyro.x; });
+  const auto gy = interp_axis([](const sim::ImuSample& s) { return s.gyro.y; });
+  const auto gz = interp_axis([](const sim::ImuSample& s) { return s.gyro.z; });
+
+  // 4. Gyro dead-reckoning from q0 and world-frame linear acceleration over
+  // the whole grid.
+  std::vector<Vec3> lin(n_grid);
+  Quaternion q = q0;
+  const double dt = 1.0 / config.interp_rate_hz;
+  for (std::size_t i = 0; i < n_grid; ++i) {
+    const Vec3 f_body = Vec3{ax[i], ay[i], az[i]} - accel_bias;
+    lin[i] = q.rotate(f_body) + config.gravity_ref;  // a = f + g
+    q = q.integrated({gx[i], gy[i], gz[i]}, dt);
+  }
+
+  // 5. Displacement-threshold anchoring: double-integrate from the onset
+  // (the hand starts from rest) and find where |displacement| crosses the
+  // anchor threshold. This instant is observable by both modalities.
+  // Continuation check mirrors the RFID side (see rfid_pipeline.cpp): the
+  // anchor is the first crossing that has grown to 1.6x the threshold 30 ms
+  // later, keeping the two sides' trigger semantics identical.
+  std::size_t anchor = n_grid;
+  if (!config.displacement_anchor) {
+    anchor = 0;  // ablation: window starts right at the coarse onset
+  } else {
+    std::vector<double> disp(n_grid);
+    Vec3 vel, pos;
+    for (std::size_t i = 0; i < n_grid; ++i) {
+      vel += lin[i] * dt;
+      pos += vel * dt;
+      disp[i] = pos.norm();
+    }
+    const auto cont_gap =
+        static_cast<std::size_t>(std::llround(0.03 * config.interp_rate_hz));
+    for (std::size_t i = 0; i + cont_gap < n_grid; ++i) {
+      if (disp[i] >= config.anchor_displacement_m &&
+          disp[i + cont_gap] >= 1.6 * config.anchor_displacement_m) {
+        anchor = i;
+        break;
+      }
+    }
+  }
+  if (anchor == n_grid) return std::nullopt;  // never moved far enough
+
+  // 6. Cut the window (with the requested extra offset) and de-bias.
+  const auto n_skip =
+      anchor + static_cast<std::size_t>(std::llround(config.window_offset_s * config.interp_rate_hz));
+  const auto n_window =
+      static_cast<std::size_t>(std::llround(config.window_s * config.interp_rate_hz));
+  if (n_skip + n_window > n_grid) return std::nullopt;
+
+  Matrix a(n_window, 3);
+  for (std::size_t i = 0; i < n_window; ++i) {
+    a(i, 0) = lin[n_skip + i].x;
+    a(i, 1) = lin[n_skip + i].y;
+    a(i, 2) = lin[n_skip + i].z;
+  }
+  // Residual bias / attitude error leaves a small constant offset; a
+  // gesture's mean linear acceleration over 2 s is ~0, so remove the means.
+  for (std::size_t c = 0; c < 3; ++c) {
+    const auto col = a.col(c);
+    const double m = mean(col);
+    for (std::size_t r = 0; r < a.rows(); ++r) a(r, c) -= m;
+  }
+
+  return ImuPipelineResult{std::move(a), grid[n_skip], q0};
+}
+
+}  // namespace wavekey::imu

@@ -1,0 +1,67 @@
+#pragma once
+
+// Mobile-side data processing (SIV-B2 of the paper):
+//
+//  1. detect the gesture start from the variance jump of the accelerometer
+//     magnitude (the user pauses before gesturing, so both devices can
+//     self-align without a shared clock);
+//  2. align gyro/accel/mag streams onto a common 100 Hz grid by
+//     interpolation;
+//  3. estimate the initial attitude from the pause-time accelerometer
+//     (gravity) and magnetometer (north) via the TRIAD construction;
+//  4. dead-reckon subsequent attitudes by integrating the gyroscope (drift
+//     over 2 s is negligible; the paper explicitly avoids Kalman filtering);
+//  5. rotate body accelerations to the world frame, remove gravity, and
+//     de-bias, yielding the 200 x 3 linear-acceleration matrix A.
+
+#include <optional>
+
+#include "dsp/gesture_detect.hpp"
+#include "numeric/matrix.hpp"
+#include "numeric/quaternion.hpp"
+#include "numeric/vec3.hpp"
+#include "sim/imu_sensor.hpp"
+
+namespace wavekey::imu {
+
+struct ImuPipelineConfig {
+  double window_s = 2.0;          ///< gesture window used for key generation
+  double window_offset_s = 0.0;   ///< shift of the window past the detected start
+  double interp_rate_hz = 100.0;  ///< paper's common grid
+  dsp::GestureDetectConfig detect{};
+  Vec3 gravity_ref{0.0, 0.0, -9.81};   ///< assumed world gravity
+  Vec3 magnetic_ref{22.0, 0.0, -42.0}; ///< assumed world geomagnetic field, uT
+
+  /// Displacement-threshold anchoring: both sides start their window when
+  /// the hand has displaced by this many meters past the coarse-detected
+  /// onset. Because early-ramp displacement grows ~t^3, both modalities
+  /// cross this threshold within a few milliseconds of each other, which is
+  /// what keeps S_M and S_R aligned without a shared clock.
+  double anchor_displacement_m = 0.006;
+
+  /// Ablation switch (bench_ablation_sync): false reverts to anchoring the
+  /// window at the coarse variance-trigger onset, the naive reading of the
+  /// paper's synchronization paragraph.
+  bool displacement_anchor = true;
+};
+
+struct ImuPipelineResult {
+  Matrix linear_accel;        ///< A: (window_s * rate) x 3, world frame, m/s^2
+  double gesture_start_time;  ///< detected start, seconds into the recording
+  Quaternion initial_pose;    ///< estimated attitude at gesture start
+};
+
+/// Runs the full mobile-side pipeline. Returns nullopt when no gesture start
+/// is detected or the recording is too short to cover the window.
+std::optional<ImuPipelineResult> process_imu(const sim::ImuRecord& record,
+                                             const ImuPipelineConfig& config = {});
+
+/// TRIAD attitude determination from body-frame observations of two world
+/// reference vectors. Exposed for direct testing.
+/// @param body_up      measured specific-force direction (gravity reaction)
+/// @param body_mag     measured magnetic field (body frame)
+/// @param world_gravity, world_mag  the corresponding world references
+Quaternion triad_attitude(const Vec3& body_up, const Vec3& body_mag, const Vec3& world_gravity,
+                          const Vec3& world_mag);
+
+}  // namespace wavekey::imu

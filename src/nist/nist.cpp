@@ -1,0 +1,181 @@
+#include "nist/nist.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace wavekey::nist {
+namespace {
+
+// Regularized upper incomplete gamma Q(a, x) via continued fraction /
+// series, following Numerical Recipes; accurate enough for p-values.
+double gamma_q(double a, double x) {
+  if (x < 0.0 || a <= 0.0) throw std::invalid_argument("gamma_q: bad arguments");
+  if (x == 0.0) return 1.0;
+  const double gln = std::lgamma(a);
+  if (x < a + 1.0) {
+    // Series for P(a,x); Q = 1 - P.
+    double ap = a, sum = 1.0 / a, del = sum;
+    for (int i = 0; i < 200; ++i) {
+      ap += 1.0;
+      del *= x / ap;
+      sum += del;
+      if (std::abs(del) < std::abs(sum) * 1e-15) break;
+    }
+    return 1.0 - sum * std::exp(-x + a * std::log(x) - gln);
+  }
+  // Continued fraction for Q(a,x).
+  double b = x + 1.0 - a, c = 1e300, d = 1.0 / b, h = d;
+  for (int i = 1; i < 200; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::abs(d) < 1e-300) d = 1e-300;
+    c = b + an / c;
+    if (std::abs(c) < 1e-300) c = 1e-300;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::abs(del - 1.0) < 1e-15) break;
+  }
+  return std::exp(-x + a * std::log(x) - gln) * h;
+}
+
+double std_normal_cdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
+}  // namespace
+
+double monobit_test(const BitVec& bits) {
+  const std::size_t n = bits.size();
+  if (n == 0) throw std::invalid_argument("monobit_test: empty sequence");
+  const double ones = static_cast<double>(bits.popcount());
+  const double s = 2.0 * ones - static_cast<double>(n);  // sum of +/-1
+  const double s_obs = std::abs(s) / std::sqrt(static_cast<double>(n));
+  return std::erfc(s_obs / std::sqrt(2.0));
+}
+
+double block_frequency_test(const BitVec& bits, std::size_t block_len) {
+  const std::size_t n = bits.size();
+  const std::size_t blocks = n / block_len;
+  if (blocks == 0) throw std::invalid_argument("block_frequency_test: sequence too short");
+  double chi2 = 0.0;
+  for (std::size_t b = 0; b < blocks; ++b) {
+    std::size_t ones = 0;
+    for (std::size_t i = 0; i < block_len; ++i)
+      if (bits.get(b * block_len + i)) ++ones;
+    const double pi = static_cast<double>(ones) / static_cast<double>(block_len);
+    chi2 += 4.0 * static_cast<double>(block_len) * (pi - 0.5) * (pi - 0.5);
+  }
+  return gamma_q(static_cast<double>(blocks) / 2.0, chi2 / 2.0);
+}
+
+double runs_test(const BitVec& bits) {
+  const std::size_t n = bits.size();
+  if (n < 2) throw std::invalid_argument("runs_test: sequence too short");
+  const double pi = static_cast<double>(bits.popcount()) / static_cast<double>(n);
+  // Prerequisite: the monobit proportion must be plausible.
+  if (std::abs(pi - 0.5) >= 2.0 / std::sqrt(static_cast<double>(n))) return 0.0;
+
+  std::size_t v = 1;
+  for (std::size_t i = 0; i + 1 < n; ++i)
+    if (bits.get(i) != bits.get(i + 1)) ++v;
+  const double nn = static_cast<double>(n);
+  const double expected = 2.0 * nn * pi * (1.0 - pi);
+  const double num = std::abs(static_cast<double>(v) - expected);
+  const double den = 2.0 * std::sqrt(2.0 * nn) * pi * (1.0 - pi);
+  return std::erfc(num / den);
+}
+
+double longest_run_test(const BitVec& bits) {
+  const std::size_t n = bits.size();
+  if (n < 128) throw std::invalid_argument("longest_run_test: need >= 128 bits");
+  // M = 8, K = 3 classes per SP 800-22 table 2-4.
+  constexpr std::size_t kBlock = 8;
+  static constexpr std::array<double, 4> kPi = {0.2148, 0.3672, 0.2305, 0.1875};
+  const std::size_t blocks = n / kBlock;
+  std::array<std::size_t, 4> counts{};
+  for (std::size_t b = 0; b < blocks; ++b) {
+    std::size_t longest = 0, run = 0;
+    for (std::size_t i = 0; i < kBlock; ++i) {
+      if (bits.get(b * kBlock + i)) {
+        ++run;
+        longest = std::max(longest, run);
+      } else {
+        run = 0;
+      }
+    }
+    if (longest <= 1)
+      ++counts[0];
+    else if (longest == 2)
+      ++counts[1];
+    else if (longest == 3)
+      ++counts[2];
+    else
+      ++counts[3];
+  }
+  double chi2 = 0.0;
+  for (std::size_t k = 0; k < 4; ++k) {
+    const double expected = static_cast<double>(blocks) * kPi[k];
+    const double d = static_cast<double>(counts[k]) - expected;
+    chi2 += d * d / expected;
+  }
+  return gamma_q(1.5, chi2 / 2.0);  // K/2 = 3/2
+}
+
+double cusum_test(const BitVec& bits) {
+  const std::size_t n = bits.size();
+  if (n == 0) throw std::invalid_argument("cusum_test: empty sequence");
+  long s = 0;
+  long z = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    s += bits.get(i) ? 1 : -1;
+    z = std::max(z, std::labs(s));
+  }
+  const double nn = static_cast<double>(n);
+  const double zz = static_cast<double>(z);
+  double p = 1.0;
+  const long k_lo = static_cast<long>((-nn / zz + 1.0) / 4.0);
+  const long k_hi = static_cast<long>((nn / zz - 1.0) / 4.0);
+  for (long k = k_lo; k <= k_hi; ++k) {
+    p -= std_normal_cdf((4.0 * k + 1.0) * zz / std::sqrt(nn)) -
+         std_normal_cdf((4.0 * k - 1.0) * zz / std::sqrt(nn));
+  }
+  const long k2_lo = static_cast<long>((-nn / zz - 3.0) / 4.0);
+  const long k2_hi = static_cast<long>((nn / zz - 1.0) / 4.0);
+  for (long k = k2_lo; k <= k2_hi; ++k) {
+    p += std_normal_cdf((4.0 * k + 3.0) * zz / std::sqrt(nn)) -
+         std_normal_cdf((4.0 * k + 1.0) * zz / std::sqrt(nn));
+  }
+  return std::clamp(p, 0.0, 1.0);
+}
+
+double approximate_entropy_test(const BitVec& bits, std::size_t m) {
+  const std::size_t n = bits.size();
+  if (n < 2 * (m + 1)) throw std::invalid_argument("approximate_entropy_test: too short");
+
+  auto phi = [&](std::size_t block) -> double {
+    if (block == 0) return 0.0;
+    std::vector<std::size_t> counts(std::size_t{1} << block, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      std::size_t idx = 0;
+      for (std::size_t j = 0; j < block; ++j)
+        idx = (idx << 1) | (bits.get((i + j) % n) ? 1 : 0);
+      ++counts[idx];
+    }
+    double sum = 0.0;
+    for (std::size_t c : counts) {
+      if (c == 0) continue;
+      const double p = static_cast<double>(c) / static_cast<double>(n);
+      sum += p * std::log(p);
+    }
+    return sum;
+  };
+
+  const double ap_en = phi(m) - phi(m + 1);
+  const double chi2 = 2.0 * static_cast<double>(n) * (std::log(2.0) - ap_en);
+  return gamma_q(static_cast<double>(std::size_t{1} << (m - 1)), chi2 / 2.0);
+}
+
+}  // namespace wavekey::nist

@@ -1,0 +1,36 @@
+#pragma once
+
+// NIST SP 800-22 statistical randomness tests. SVI-D of the paper evaluates
+// key-chains and key-seed-chains with the suite's runs test; we implement
+// that plus the companion tests commonly run alongside it (frequency, block
+// frequency, cumulative sums, approximate entropy, longest run of ones).
+// Each test returns a p-value; sequences pass at the conventional 0.01
+// significance level (the paper quotes 0.05).
+
+#include <cstddef>
+
+#include "numeric/bitvec.hpp"
+
+namespace wavekey::nist {
+
+/// SP 800-22 2.1: frequency (monobit) test.
+double monobit_test(const BitVec& bits);
+
+/// SP 800-22 2.2: block frequency test with block length M.
+/// Throws std::invalid_argument if the sequence is shorter than one block.
+double block_frequency_test(const BitVec& bits, std::size_t block_len = 128);
+
+/// SP 800-22 2.3: runs test (the one the paper reports). Returns 0.0 when
+/// the prerequisite frequency condition fails, per the specification.
+double runs_test(const BitVec& bits);
+
+/// SP 800-22 2.4: longest run of ones in 8-bit blocks (valid for n >= 128).
+double longest_run_test(const BitVec& bits);
+
+/// SP 800-22 2.13: cumulative sums (forward) test.
+double cusum_test(const BitVec& bits);
+
+/// SP 800-22 2.12: approximate entropy test with pattern length m.
+double approximate_entropy_test(const BitVec& bits, std::size_t m = 2);
+
+}  // namespace wavekey::nist

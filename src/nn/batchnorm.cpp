@@ -1,0 +1,142 @@
+#include "nn/batchnorm.hpp"
+
+#include <cmath>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace wavekey::nn {
+
+BatchNorm1D::BatchNorm1D(std::size_t features, bool affine, float momentum)
+    : features_(features),
+      affine_(affine),
+      momentum_(momentum),
+      gamma_({features_}),
+      beta_({features_}),
+      gamma_grad_({features_}),
+      beta_grad_({features_}),
+      running_mean_({features_}),
+      running_var_({features_}) {
+  gamma_.fill(1.0f);
+  running_var_.fill(1.0f);
+}
+
+Tensor BatchNorm1D::forward(const Tensor& input, bool training) {
+  if (input.rank() != 2 || input.dim(1) != features_)
+    throw std::invalid_argument("BatchNorm1D::forward: expected [N, F]");
+  const std::size_t n = input.dim(0);
+  last_training_ = training;
+
+  Tensor out(input.shape());
+  x_hat_ = Tensor(input.shape());
+  batch_std_ = Tensor({features_});
+
+  for (std::size_t f = 0; f < features_; ++f) {
+    float m, v;
+    if (training) {
+      if (n < 2) throw std::invalid_argument("BatchNorm1D: training needs batch size >= 2");
+      float s = 0.0f;
+      for (std::size_t i = 0; i < n; ++i) s += input.at2(i, f);
+      m = s / static_cast<float>(n);
+      float sv = 0.0f;
+      for (std::size_t i = 0; i < n; ++i) {
+        const float d = input.at2(i, f) - m;
+        sv += d * d;
+      }
+      v = sv / static_cast<float>(n);
+      running_mean_[f] = (1.0f - momentum_) * running_mean_[f] + momentum_ * m;
+      running_var_[f] = (1.0f - momentum_) * running_var_[f] + momentum_ * v;
+    } else {
+      m = running_mean_[f];
+      v = running_var_[f];
+    }
+    const float stdv = std::sqrt(v + eps_);
+    batch_std_[f] = stdv;
+    for (std::size_t i = 0; i < n; ++i) {
+      const float xh = (input.at2(i, f) - m) / stdv;
+      x_hat_.at2(i, f) = xh;
+      out.at2(i, f) = affine_ ? gamma_[f] * xh + beta_[f] : xh;
+    }
+  }
+  return out;
+}
+
+Tensor BatchNorm1D::backward(const Tensor& grad_output) {
+  if (!grad_output.same_shape(x_hat_))
+    throw std::logic_error("BatchNorm1D::backward: shape mismatch");
+  const std::size_t n = grad_output.dim(0);
+  Tensor grad_in(grad_output.shape());
+
+  for (std::size_t f = 0; f < features_; ++f) {
+    const float g = affine_ ? gamma_[f] : 1.0f;
+    // dL/dx_hat
+    float sum_dxhat = 0.0f, sum_dxhat_xhat = 0.0f;
+    for (std::size_t i = 0; i < n; ++i) {
+      const float dxh = grad_output.at2(i, f) * g;
+      sum_dxhat += dxh;
+      sum_dxhat_xhat += dxh * x_hat_.at2(i, f);
+      if (affine_) {
+        gamma_grad_[f] += grad_output.at2(i, f) * x_hat_.at2(i, f);
+        beta_grad_[f] += grad_output.at2(i, f);
+      }
+    }
+    const float inv_n = 1.0f / static_cast<float>(n);
+    const float inv_std = 1.0f / batch_std_[f];
+    for (std::size_t i = 0; i < n; ++i) {
+      const float dxh = grad_output.at2(i, f) * g;
+      if (last_training_) {
+        grad_in.at2(i, f) =
+            inv_std * (dxh - inv_n * sum_dxhat - x_hat_.at2(i, f) * inv_n * sum_dxhat_xhat);
+      } else {
+        // Eval mode: statistics are constants.
+        grad_in.at2(i, f) = dxh * inv_std;
+      }
+    }
+  }
+  return grad_in;
+}
+
+std::vector<Param> BatchNorm1D::params() {
+  if (!affine_) return {};
+  return {{&gamma_, &gamma_grad_}, {&beta_, &beta_grad_}};
+}
+
+void BatchNorm1D::save(std::ostream& os) const {
+  write_u64(os, features_);
+  write_u64(os, affine_ ? 1 : 0);
+  write_floats(os, gamma_.data());
+  write_floats(os, beta_.data());
+  write_floats(os, running_mean_.data());
+  write_floats(os, running_var_.data());
+}
+
+void BatchNorm1D::load(std::istream& is) {
+  if (read_u64(is) != features_ || (read_u64(is) != 0) != affine_)
+    throw std::runtime_error("BatchNorm1D::load: hyperparameter mismatch");
+  read_floats(is, gamma_.data());
+  read_floats(is, beta_.data());
+  read_floats(is, running_mean_.data());
+  read_floats(is, running_var_.data());
+}
+
+void BatchNorm1D::remove_unit(std::size_t unit) {
+  if (unit >= features_) throw std::out_of_range("BatchNorm1D::remove_unit");
+  auto shrink = [&](Tensor& t) {
+    Tensor nt({features_ - 1});
+    std::size_t dst = 0;
+    for (std::size_t f = 0; f < features_; ++f) {
+      if (f == unit) continue;
+      nt[dst++] = t[f];
+    }
+    t = std::move(nt);
+  };
+  shrink(gamma_);
+  shrink(beta_);
+  shrink(running_mean_);
+  shrink(running_var_);
+  --features_;
+  gamma_grad_ = Tensor({features_});
+  beta_grad_ = Tensor({features_});
+}
+
+}  // namespace wavekey::nn

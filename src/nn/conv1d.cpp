@@ -1,0 +1,246 @@
+#include "nn/conv1d.hpp"
+
+#include <cmath>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace wavekey::nn {
+namespace {
+
+float init_scale(std::size_t fan_in, std::size_t fan_out) {
+  return static_cast<float>(std::sqrt(2.0 / static_cast<double>(fan_in + fan_out)));
+}
+
+}  // namespace
+
+Conv1D::Conv1D(std::size_t in_channels, std::size_t out_channels, std::size_t kernel,
+               std::size_t stride, std::size_t padding, Rng& rng)
+    : in_ch_(in_channels),
+      out_ch_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      padding_(padding),
+      w_({out_ch_, in_ch_, kernel_}),
+      b_({out_ch_}),
+      w_grad_({out_ch_, in_ch_, kernel_}),
+      b_grad_({out_ch_}) {
+  if (kernel_ == 0 || stride_ == 0) throw std::invalid_argument("Conv1D: zero kernel/stride");
+  const float s = init_scale(in_ch_ * kernel_, out_ch_ * kernel_);
+  for (std::size_t i = 0; i < w_.size(); ++i) w_[i] = static_cast<float>(rng.normal(0.0, s));
+}
+
+std::size_t Conv1D::output_length(std::size_t input_length) const {
+  const std::size_t padded = input_length + 2 * padding_;
+  if (padded < kernel_) throw std::invalid_argument("Conv1D: input shorter than kernel");
+  return (padded - kernel_) / stride_ + 1;
+}
+
+Tensor Conv1D::forward(const Tensor& input, bool /*training*/) {
+  if (input.rank() != 3 || input.dim(1) != in_ch_)
+    throw std::invalid_argument("Conv1D::forward: expected [N, in_ch, L]");
+  input_ = input;
+  const std::size_t n = input.dim(0);
+  const std::size_t lin = input.dim(2);
+  const std::size_t lout = output_length(lin);
+
+  Tensor out({n, out_ch_, lout});
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t oc = 0; oc < out_ch_; ++oc) {
+      for (std::size_t t = 0; t < lout; ++t) {
+        float acc = b_[oc];
+        const std::ptrdiff_t start =
+            static_cast<std::ptrdiff_t>(t * stride_) - static_cast<std::ptrdiff_t>(padding_);
+        for (std::size_t ic = 0; ic < in_ch_; ++ic) {
+          const float* x = input.raw() + (s * in_ch_ + ic) * lin;
+          const float* wk = w_.raw() + (oc * in_ch_ + ic) * kernel_;
+          for (std::size_t k = 0; k < kernel_; ++k) {
+            const std::ptrdiff_t idx = start + static_cast<std::ptrdiff_t>(k);
+            if (idx >= 0 && idx < static_cast<std::ptrdiff_t>(lin))
+              acc += wk[k] * x[idx];
+          }
+        }
+        out.at3(s, oc, t) = acc;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Conv1D::backward(const Tensor& grad_output) {
+  const std::size_t n = input_.dim(0);
+  const std::size_t lin = input_.dim(2);
+  const std::size_t lout = output_length(lin);
+  if (grad_output.rank() != 3 || grad_output.dim(0) != n || grad_output.dim(1) != out_ch_ ||
+      grad_output.dim(2) != lout)
+    throw std::logic_error("Conv1D::backward: shape mismatch");
+
+  Tensor grad_in({n, in_ch_, lin});
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t oc = 0; oc < out_ch_; ++oc) {
+      for (std::size_t t = 0; t < lout; ++t) {
+        const float g = grad_output.at3(s, oc, t);
+        if (g == 0.0f) continue;
+        b_grad_[oc] += g;
+        const std::ptrdiff_t start =
+            static_cast<std::ptrdiff_t>(t * stride_) - static_cast<std::ptrdiff_t>(padding_);
+        for (std::size_t ic = 0; ic < in_ch_; ++ic) {
+          const float* x = input_.raw() + (s * in_ch_ + ic) * lin;
+          float* gx = grad_in.raw() + (s * in_ch_ + ic) * lin;
+          float* gw = w_grad_.raw() + (oc * in_ch_ + ic) * kernel_;
+          const float* wk = w_.raw() + (oc * in_ch_ + ic) * kernel_;
+          for (std::size_t k = 0; k < kernel_; ++k) {
+            const std::ptrdiff_t idx = start + static_cast<std::ptrdiff_t>(k);
+            if (idx >= 0 && idx < static_cast<std::ptrdiff_t>(lin)) {
+              gw[k] += g * x[idx];
+              gx[idx] += g * wk[k];
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+std::vector<Param> Conv1D::params() {
+  return {{&w_, &w_grad_}, {&b_, &b_grad_}};
+}
+
+void Conv1D::save(std::ostream& os) const {
+  write_u64(os, in_ch_);
+  write_u64(os, out_ch_);
+  write_u64(os, kernel_);
+  write_u64(os, stride_);
+  write_u64(os, padding_);
+  write_floats(os, w_.data());
+  write_floats(os, b_.data());
+}
+
+void Conv1D::load(std::istream& is) {
+  if (read_u64(is) != in_ch_ || read_u64(is) != out_ch_ || read_u64(is) != kernel_ ||
+      read_u64(is) != stride_ || read_u64(is) != padding_)
+    throw std::runtime_error("Conv1D::load: hyperparameter mismatch");
+  read_floats(is, w_.data());
+  read_floats(is, b_.data());
+}
+
+ConvTranspose1D::ConvTranspose1D(std::size_t in_channels, std::size_t out_channels,
+                                 std::size_t kernel, std::size_t stride, Rng& rng)
+    : in_ch_(in_channels),
+      out_ch_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      w_({in_ch_, out_ch_, kernel_}),
+      b_({out_ch_}),
+      w_grad_({in_ch_, out_ch_, kernel_}),
+      b_grad_({out_ch_}) {
+  if (kernel_ == 0 || stride_ == 0)
+    throw std::invalid_argument("ConvTranspose1D: zero kernel/stride");
+  const float s = init_scale(in_ch_ * kernel_, out_ch_ * kernel_);
+  for (std::size_t i = 0; i < w_.size(); ++i) w_[i] = static_cast<float>(rng.normal(0.0, s));
+}
+
+Tensor ConvTranspose1D::forward(const Tensor& input, bool /*training*/) {
+  if (input.rank() != 3 || input.dim(1) != in_ch_)
+    throw std::invalid_argument("ConvTranspose1D::forward: expected [N, in_ch, L]");
+  input_ = input;
+  const std::size_t n = input.dim(0);
+  const std::size_t lin = input.dim(2);
+  const std::size_t lout = output_length(lin);
+
+  Tensor out({n, out_ch_, lout});
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t oc = 0; oc < out_ch_; ++oc)
+      for (std::size_t t = 0; t < lout; ++t) out.at3(s, oc, t) = b_[oc];
+    for (std::size_t ic = 0; ic < in_ch_; ++ic) {
+      const float* x = input.raw() + (s * in_ch_ + ic) * lin;
+      for (std::size_t t = 0; t < lin; ++t) {
+        const float xv = x[t];
+        if (xv == 0.0f) continue;
+        for (std::size_t oc = 0; oc < out_ch_; ++oc) {
+          float* y = out.raw() + (s * out_ch_ + oc) * lout;
+          const float* wk = w_.raw() + (ic * out_ch_ + oc) * kernel_;
+          for (std::size_t k = 0; k < kernel_; ++k) y[t * stride_ + k] += xv * wk[k];
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor ConvTranspose1D::backward(const Tensor& grad_output) {
+  const std::size_t n = input_.dim(0);
+  const std::size_t lin = input_.dim(2);
+  const std::size_t lout = output_length(lin);
+  if (grad_output.rank() != 3 || grad_output.dim(0) != n || grad_output.dim(1) != out_ch_ ||
+      grad_output.dim(2) != lout)
+    throw std::logic_error("ConvTranspose1D::backward: shape mismatch");
+
+  Tensor grad_in({n, in_ch_, lin});
+  for (std::size_t s = 0; s < n; ++s) {
+    // Bias gradient: sum over positions.
+    for (std::size_t oc = 0; oc < out_ch_; ++oc) {
+      const float* gy = grad_output.raw() + (s * out_ch_ + oc) * lout;
+      float acc = 0.0f;
+      for (std::size_t t = 0; t < lout; ++t) acc += gy[t];
+      b_grad_[oc] += acc;
+    }
+    for (std::size_t ic = 0; ic < in_ch_; ++ic) {
+      const float* x = input_.raw() + (s * in_ch_ + ic) * lin;
+      float* gx = grad_in.raw() + (s * in_ch_ + ic) * lin;
+      for (std::size_t t = 0; t < lin; ++t) {
+        for (std::size_t oc = 0; oc < out_ch_; ++oc) {
+          const float* gy = grad_output.raw() + (s * out_ch_ + oc) * lout;
+          const float* wk = w_.raw() + (ic * out_ch_ + oc) * kernel_;
+          float* gw = w_grad_.raw() + (ic * out_ch_ + oc) * kernel_;
+          float acc = 0.0f;
+          for (std::size_t k = 0; k < kernel_; ++k) {
+            acc += gy[t * stride_ + k] * wk[k];
+            gw[k] += gy[t * stride_ + k] * x[t];
+          }
+          gx[t] += acc;
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+std::vector<Param> ConvTranspose1D::params() {
+  return {{&w_, &w_grad_}, {&b_, &b_grad_}};
+}
+
+void ConvTranspose1D::save(std::ostream& os) const {
+  write_u64(os, in_ch_);
+  write_u64(os, out_ch_);
+  write_u64(os, kernel_);
+  write_u64(os, stride_);
+  write_floats(os, w_.data());
+  write_floats(os, b_.data());
+}
+
+void ConvTranspose1D::remove_input_channel(std::size_t channel) {
+  if (channel >= in_ch_) throw std::out_of_range("ConvTranspose1D::remove_input_channel");
+  Tensor nw({in_ch_ - 1, out_ch_, kernel_});
+  std::size_t dst = 0;
+  for (std::size_t ic = 0; ic < in_ch_; ++ic) {
+    if (ic == channel) continue;
+    for (std::size_t j = 0; j < out_ch_ * kernel_; ++j)
+      nw[dst * out_ch_ * kernel_ + j] = w_[ic * out_ch_ * kernel_ + j];
+    ++dst;
+  }
+  --in_ch_;
+  w_ = std::move(nw);
+  w_grad_ = Tensor({in_ch_, out_ch_, kernel_});
+}
+
+void ConvTranspose1D::load(std::istream& is) {
+  if (read_u64(is) != in_ch_ || read_u64(is) != out_ch_ || read_u64(is) != kernel_ ||
+      read_u64(is) != stride_)
+    throw std::runtime_error("ConvTranspose1D::load: hyperparameter mismatch");
+  read_floats(is, w_.data());
+  read_floats(is, b_.data());
+}
+
+}  // namespace wavekey::nn

@@ -1,0 +1,117 @@
+#include "nn/layer.hpp"
+
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace wavekey::nn {
+
+Tensor ReLU::forward(const Tensor& input, bool /*training*/) {
+  mask_ = Tensor(input.shape());
+  Tensor out = input;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (out[i] > 0.0f) {
+      mask_[i] = 1.0f;
+    } else {
+      out[i] = 0.0f;
+    }
+  }
+  return out;
+}
+
+Tensor ReLU::backward(const Tensor& grad_output) {
+  if (!grad_output.same_shape(mask_)) throw std::logic_error("ReLU::backward: shape mismatch");
+  Tensor grad_in = grad_output;
+  for (std::size_t i = 0; i < grad_in.size(); ++i) grad_in[i] *= mask_[i];
+  return grad_in;
+}
+
+void ReLU::save(std::ostream& /*os*/) const {}
+void ReLU::load(std::istream& /*is*/) {}
+
+Tensor Flatten::forward(const Tensor& input, bool /*training*/) {
+  input_shape_ = input.shape();
+  if (input.rank() < 2) throw std::invalid_argument("Flatten: rank must be >= 2");
+  return input.reshaped({input.dim(0), input.size() / input.dim(0)});
+}
+
+Tensor Flatten::backward(const Tensor& grad_output) {
+  return grad_output.reshaped(input_shape_);
+}
+
+void Flatten::save(std::ostream& /*os*/) const {}
+void Flatten::load(std::istream& /*is*/) {}
+
+Reshape::Reshape(std::vector<std::size_t> per_sample_shape)
+    : per_sample_shape_(std::move(per_sample_shape)) {
+  if (per_sample_shape_.empty()) throw std::invalid_argument("Reshape: empty target shape");
+}
+
+Tensor Reshape::forward(const Tensor& input, bool /*training*/) {
+  input_shape_ = input.shape();
+  std::vector<std::size_t> target{input.dim(0)};
+  target.insert(target.end(), per_sample_shape_.begin(), per_sample_shape_.end());
+  return input.reshaped(std::move(target));
+}
+
+Tensor Reshape::backward(const Tensor& grad_output) {
+  return grad_output.reshaped(input_shape_);
+}
+
+void Reshape::save(std::ostream& os) const {
+  write_u64(os, per_sample_shape_.size());
+  for (std::size_t d : per_sample_shape_) write_u64(os, d);
+}
+
+void Reshape::load(std::istream& is) {
+  const std::uint64_t n = read_u64(is);
+  if (n != per_sample_shape_.size()) throw std::runtime_error("Reshape::load: rank mismatch");
+  for (std::size_t i = 0; i < n; ++i)
+    if (read_u64(is) != per_sample_shape_[i])
+      throw std::runtime_error("Reshape::load: shape mismatch");
+}
+
+void write_u64(std::ostream& os, std::uint64_t v) {
+  std::uint8_t bytes[8];
+  for (int i = 0; i < 8; ++i) bytes[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  os.write(reinterpret_cast<const char*>(bytes), 8);
+}
+
+std::uint64_t read_u64(std::istream& is) {
+  std::uint8_t bytes[8];
+  is.read(reinterpret_cast<char*>(bytes), 8);
+  if (!is) throw std::runtime_error("nn::read_u64: truncated stream");
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= std::uint64_t{bytes[i]} << (8 * i);
+  return v;
+}
+
+void write_floats(std::ostream& os, std::span<const float> xs) {
+  write_u64(os, xs.size());
+  os.write(reinterpret_cast<const char*>(xs.data()),
+           static_cast<std::streamsize>(xs.size() * sizeof(float)));
+}
+
+void read_floats(std::istream& is, std::span<float> xs) {
+  const std::uint64_t n = read_u64(is);
+  if (n != xs.size()) throw std::runtime_error("nn::read_floats: size mismatch");
+  is.read(reinterpret_cast<char*>(xs.data()),
+          static_cast<std::streamsize>(xs.size() * sizeof(float)));
+  if (!is) throw std::runtime_error("nn::read_floats: truncated stream");
+}
+
+void write_string(std::ostream& os, const std::string& s) {
+  write_u64(os, s.size());
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string read_string(std::istream& is) {
+  const std::uint64_t n = read_u64(is);
+  if (n > 4096) throw std::runtime_error("nn::read_string: implausible length");
+  std::string s(n, '\0');
+  is.read(s.data(), static_cast<std::streamsize>(n));
+  if (!is) throw std::runtime_error("nn::read_string: truncated stream");
+  return s;
+}
+
+}  // namespace wavekey::nn

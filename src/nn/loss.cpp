@@ -1,0 +1,43 @@
+#include "nn/loss.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace wavekey::nn {
+
+std::pair<float, Tensor> mse_loss(const Tensor& pred, const Tensor& target) {
+  if (!pred.same_shape(target)) throw std::invalid_argument("mse_loss: shape mismatch");
+  Tensor grad(pred.shape());
+  double loss = 0.0;
+  const float inv_n = 1.0f / static_cast<float>(pred.size());
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    const float d = pred[i] - target[i];
+    loss += 0.5 * static_cast<double>(d) * d;
+    grad[i] = d * inv_n;
+  }
+  return {static_cast<float>(loss * inv_n), std::move(grad)};
+}
+
+std::pair<float, Tensor> euclidean_loss(const Tensor& a, const Tensor& b) {
+  if (!a.same_shape(b) || a.rank() != 2)
+    throw std::invalid_argument("euclidean_loss: expected matching [N, F]");
+  const std::size_t n = a.dim(0);
+  const std::size_t f = a.dim(1);
+  Tensor grad(a.shape());
+  double loss = 0.0;
+  const float inv_batch = 1.0f / static_cast<float>(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    double d2 = 0.0;
+    for (std::size_t j = 0; j < f; ++j) {
+      const float d = a.at2(s, j) - b.at2(s, j);
+      d2 += static_cast<double>(d) * d;
+    }
+    const float dist = static_cast<float>(std::sqrt(d2));
+    loss += dist;
+    const float scale = dist > 1e-8f ? inv_batch / dist : 0.0f;
+    for (std::size_t j = 0; j < f; ++j) grad.at2(s, j) = (a.at2(s, j) - b.at2(s, j)) * scale;
+  }
+  return {static_cast<float>(loss * inv_batch), std::move(grad)};
+}
+
+}  // namespace wavekey::nn

@@ -1,0 +1,20 @@
+#pragma once
+
+// Loss functions. The WaveKey objective (Eq. (3) of the paper) is assembled
+// in core/encoders.cpp from these primitives:
+//   L = sum_i ||f_M,i - f_R,i||_2 + lambda * ||De(f_M,i) - R_i^Mag||_2
+
+#include <utility>
+
+#include "nn/tensor.hpp"
+
+namespace wavekey::nn {
+
+/// Mean squared error over all elements; returns {loss, dL/d(pred)}.
+std::pair<float, Tensor> mse_loss(const Tensor& pred, const Tensor& target);
+
+/// Batched Euclidean-distance loss: mean over the batch of ||a_n - b_n||_2.
+/// Returns {loss, dL/da}; dL/db is its negation.
+std::pair<float, Tensor> euclidean_loss(const Tensor& a, const Tensor& b);
+
+}  // namespace wavekey::nn

@@ -1,0 +1,56 @@
+#include "nn/sequential.hpp"
+
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace wavekey::nn {
+
+Tensor Sequential::forward(const Tensor& input, bool training) {
+  Tensor x = input;
+  for (auto& layer : layers_) x = layer->forward(x, training);
+  return x;
+}
+
+Tensor Sequential::backward(const Tensor& grad_output) {
+  Tensor g = grad_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) g = (*it)->backward(g);
+  return g;
+}
+
+std::vector<Param> Sequential::params() {
+  std::vector<Param> all;
+  for (auto& layer : layers_) {
+    const auto ps = layer->params();
+    all.insert(all.end(), ps.begin(), ps.end());
+  }
+  return all;
+}
+
+std::size_t Sequential::num_parameters() {
+  std::size_t n = 0;
+  for (const Param& p : params()) n += p.value->size();
+  return n;
+}
+
+void Sequential::save(std::ostream& os) const {
+  write_u64(os, layers_.size());
+  for (const auto& layer : layers_) {
+    write_string(os, layer->type_name());
+    layer->save(os);
+  }
+}
+
+void Sequential::load(std::istream& is) {
+  const std::uint64_t n = read_u64(is);
+  if (n != layers_.size()) throw std::runtime_error("Sequential::load: layer count mismatch");
+  for (auto& layer : layers_) {
+    const std::string tag = read_string(is);
+    if (tag != layer->type_name())
+      throw std::runtime_error("Sequential::load: layer type mismatch: expected " +
+                               layer->type_name() + ", got " + tag);
+    layer->load(is);
+  }
+}
+
+}  // namespace wavekey::nn

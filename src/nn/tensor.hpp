@@ -1,0 +1,79 @@
+#pragma once
+
+// Minimal dense tensor for the from-scratch neural-network framework that
+// replaces the paper's PyTorch dependency. Row-major float storage with an
+// explicit shape; just enough structure for the WaveKey encoder/decoder
+// stacks (batched 1-D convolutions and dense layers).
+
+#include <cstddef>
+#include <initializer_list>
+#include <numeric>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace wavekey::nn {
+
+/// Dense row-major float tensor. Shapes used in practice:
+///   [N, C, L]  batched multi-channel series (conv layers)
+///   [N, F]     batched feature vectors (dense / batch-norm layers)
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Zero-initialized tensor of the given shape.
+  explicit Tensor(std::vector<std::size_t> shape)
+      : shape_(std::move(shape)), data_(count(shape_), 0.0f) {}
+
+  Tensor(std::initializer_list<std::size_t> shape)
+      : Tensor(std::vector<std::size_t>(shape)) {}
+
+  static std::size_t count(const std::vector<std::size_t>& shape) {
+    return std::accumulate(shape.begin(), shape.end(), std::size_t{1}, std::multiplies<>());
+  }
+
+  const std::vector<std::size_t>& shape() const { return shape_; }
+  std::size_t rank() const { return shape_.size(); }
+  std::size_t dim(std::size_t i) const { return shape_.at(i); }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  std::span<float> data() { return data_; }
+  std::span<const float> data() const { return data_; }
+  float* raw() { return data_.data(); }
+  const float* raw() const { return data_.data(); }
+
+  float& operator[](std::size_t i) { return data_[i]; }
+  float operator[](std::size_t i) const { return data_[i]; }
+
+  /// 2-D accessor for [N, F] tensors.
+  float& at2(std::size_t n, std::size_t f) { return data_[n * shape_[1] + f]; }
+  float at2(std::size_t n, std::size_t f) const { return data_[n * shape_[1] + f]; }
+
+  /// 3-D accessor for [N, C, L] tensors.
+  float& at3(std::size_t n, std::size_t c, std::size_t l) {
+    return data_[(n * shape_[1] + c) * shape_[2] + l];
+  }
+  float at3(std::size_t n, std::size_t c, std::size_t l) const {
+    return data_[(n * shape_[1] + c) * shape_[2] + l];
+  }
+
+  /// Returns a tensor with the same data reinterpreted under a new shape of
+  /// equal element count. Throws std::invalid_argument otherwise.
+  Tensor reshaped(std::vector<std::size_t> new_shape) const {
+    if (count(new_shape) != size()) throw std::invalid_argument("Tensor::reshaped: size mismatch");
+    Tensor t = *this;
+    t.shape_ = std::move(new_shape);
+    return t;
+  }
+
+  void fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+  bool same_shape(const Tensor& o) const { return shape_ == o.shape_; }
+
+ private:
+  std::vector<std::size_t> shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace wavekey::nn

@@ -1,0 +1,89 @@
+#include "numeric/bitvec.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace wavekey {
+
+BitVec BitVec::from_string(const std::string& s) {
+  BitVec v(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '1')
+      v.set(i, true);
+    else if (s[i] != '0')
+      throw std::invalid_argument("BitVec::from_string: invalid character");
+  }
+  return v;
+}
+
+BitVec BitVec::from_bytes(std::span<const std::uint8_t> bytes, std::size_t nbits) {
+  if (nbits > bytes.size() * 8) throw std::invalid_argument("BitVec::from_bytes: too few bytes");
+  BitVec v(nbits);
+  for (std::size_t i = 0; i < nbits; ++i)
+    if ((bytes[i >> 3] >> (i & 7)) & 1) v.set(i, true);
+  return v;
+}
+
+void BitVec::push_back(bool v) {
+  if (size_ % 64 == 0) words_.push_back(0);
+  ++size_;
+  set(size_ - 1, v);
+}
+
+void BitVec::append(const BitVec& other) {
+  for (std::size_t i = 0; i < other.size_; ++i) push_back(other.get(i));
+}
+
+BitVec BitVec::slice(std::size_t start, std::size_t len) const {
+  if (start + len > size_) throw std::out_of_range("BitVec::slice");
+  BitVec v(len);
+  for (std::size_t i = 0; i < len; ++i) v.set(i, get(start + i));
+  return v;
+}
+
+BitVec BitVec::operator^(const BitVec& o) const {
+  if (size_ != o.size_) throw std::invalid_argument("BitVec^: size mismatch");
+  BitVec r = *this;
+  for (std::size_t i = 0; i < words_.size(); ++i) r.words_[i] ^= o.words_[i];
+  return r;
+}
+
+std::size_t BitVec::popcount() const {
+  std::size_t c = 0;
+  for (std::uint64_t w : words_) c += static_cast<std::size_t>(std::popcount(w));
+  return c;
+}
+
+std::size_t BitVec::hamming_distance(const BitVec& o) const {
+  if (size_ != o.size_) throw std::invalid_argument("BitVec::hamming_distance: size mismatch");
+  std::size_t c = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i)
+    c += static_cast<std::size_t>(std::popcount(words_[i] ^ o.words_[i]));
+  return c;
+}
+
+double BitVec::mismatch_ratio(const BitVec& o) const {
+  if (size_ == 0) return 0.0;
+  return static_cast<double>(hamming_distance(o)) / static_cast<double>(size_);
+}
+
+std::vector<std::uint8_t> BitVec::to_bytes() const {
+  std::vector<std::uint8_t> out((size_ + 7) / 8, 0);
+  for (std::size_t i = 0; i < size_; ++i)
+    if (get(i)) out[i >> 3] |= static_cast<std::uint8_t>(1u << (i & 7));
+  return out;
+}
+
+std::string BitVec::to_string() const {
+  std::string s(size_, '0');
+  for (std::size_t i = 0; i < size_; ++i)
+    if (get(i)) s[i] = '1';
+  return s;
+}
+
+void BitVec::mask_tail() {
+  const std::size_t tail = size_ % 64;
+  if (tail != 0 && !words_.empty()) words_.back() &= (std::uint64_t{1} << tail) - 1;
+}
+
+}  // namespace wavekey

@@ -1,0 +1,77 @@
+#pragma once
+
+// Compact bit vector with value semantics, used for key-seeds, preliminary
+// keys, ECC codewords, and NIST randomness-test inputs.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace wavekey {
+
+/// A sequence of bits, indexable MSB-of-word-agnostic (bit i is just bit i).
+class BitVec {
+ public:
+  BitVec() = default;
+
+  /// n zero bits.
+  explicit BitVec(std::size_t n) : size_(n), words_((n + 63) / 64, 0) {}
+
+  /// Parses a string of '0'/'1' characters. Throws on any other character.
+  static BitVec from_string(const std::string& s);
+
+  /// Wraps the low `nbits` of the byte buffer (byte 0 supplies bits 0..7,
+  /// bit 0 of the byte is bit 0 of the vector).
+  static BitVec from_bytes(std::span<const std::uint8_t> bytes, std::size_t nbits);
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  bool get(std::size_t i) const { return (words_[i >> 6] >> (i & 63)) & 1; }
+  void set(std::size_t i, bool v) {
+    const std::uint64_t mask = std::uint64_t{1} << (i & 63);
+    if (v)
+      words_[i >> 6] |= mask;
+    else
+      words_[i >> 6] &= ~mask;
+  }
+
+  /// Appends a single bit.
+  void push_back(bool v);
+
+  /// Appends all bits of another vector.
+  void append(const BitVec& other);
+
+  /// Contiguous sub-range [start, start+len).
+  BitVec slice(std::size_t start, std::size_t len) const;
+
+  /// Bitwise XOR; throws std::invalid_argument on size mismatch.
+  BitVec operator^(const BitVec& o) const;
+
+  bool operator==(const BitVec&) const = default;
+
+  /// Number of set bits.
+  std::size_t popcount() const;
+
+  /// Number of positions where *this and o differ; throws on size mismatch.
+  std::size_t hamming_distance(const BitVec& o) const;
+
+  /// Fraction of mismatched bits in [0,1]; 0 for empty vectors.
+  double mismatch_ratio(const BitVec& o) const;
+
+  /// Packs into bytes (bit 0 -> LSB of byte 0); final partial byte zero-padded.
+  std::vector<std::uint8_t> to_bytes() const;
+
+  /// '0'/'1' string, bit 0 first.
+  std::string to_string() const;
+
+ private:
+  void mask_tail();
+
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace wavekey

@@ -1,0 +1,72 @@
+#pragma once
+
+// 3x3 matrix for rotation/coordinate-frame math in the IMU pipeline.
+
+#include <array>
+#include <cstddef>
+
+#include "numeric/vec3.hpp"
+
+namespace wavekey {
+
+/// Row-major 3x3 double matrix with value semantics.
+///
+/// Primarily used as a rotation matrix mapping body-frame vectors to the
+/// world frame (columns are the body axes expressed in world coordinates).
+struct Mat3 {
+  std::array<double, 9> m{};  // row-major
+
+  constexpr double& operator()(std::size_t r, std::size_t c) { return m[r * 3 + c]; }
+  constexpr double operator()(std::size_t r, std::size_t c) const { return m[r * 3 + c]; }
+
+  /// The identity matrix.
+  static constexpr Mat3 identity() {
+    Mat3 I;
+    I.m = {1, 0, 0, 0, 1, 0, 0, 0, 1};
+    return I;
+  }
+
+  /// Builds a matrix whose columns are the given vectors.
+  static constexpr Mat3 from_columns(const Vec3& c0, const Vec3& c1, const Vec3& c2) {
+    Mat3 r;
+    r.m = {c0.x, c1.x, c2.x, c0.y, c1.y, c2.y, c0.z, c1.z, c2.z};
+    return r;
+  }
+
+  constexpr Vec3 col(std::size_t c) const { return {m[c], m[3 + c], m[6 + c]}; }
+  constexpr Vec3 row(std::size_t r) const { return {m[r * 3], m[r * 3 + 1], m[r * 3 + 2]}; }
+
+  /// Matrix-vector product.
+  constexpr Vec3 operator*(const Vec3& v) const {
+    return {row(0).dot(v), row(1).dot(v), row(2).dot(v)};
+  }
+
+  /// Matrix-matrix product.
+  constexpr Mat3 operator*(const Mat3& o) const {
+    Mat3 r;
+    for (std::size_t i = 0; i < 3; ++i)
+      for (std::size_t j = 0; j < 3; ++j) {
+        double s = 0.0;
+        for (std::size_t k = 0; k < 3; ++k) s += (*this)(i, k) * o(k, j);
+        r(i, j) = s;
+      }
+    return r;
+  }
+
+  /// Transpose. For a rotation matrix this is the inverse.
+  constexpr Mat3 transposed() const {
+    Mat3 r;
+    for (std::size_t i = 0; i < 3; ++i)
+      for (std::size_t j = 0; j < 3; ++j) r(i, j) = (*this)(j, i);
+    return r;
+  }
+
+  constexpr double det() const {
+    return m[0] * (m[4] * m[8] - m[5] * m[7]) - m[1] * (m[3] * m[8] - m[5] * m[6]) +
+           m[2] * (m[3] * m[7] - m[4] * m[6]);
+  }
+
+  constexpr bool operator==(const Mat3&) const = default;
+};
+
+}  // namespace wavekey

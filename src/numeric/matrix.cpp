@@ -1,0 +1,116 @@
+#include "numeric/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wavekey {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ > 0 ? rows.begin()->size() : 0;
+  data_.reserve(rows_ * cols_);
+  for (const auto& r : rows) {
+    if (r.size() != cols_) throw std::invalid_argument("Matrix: ragged initializer");
+    data_.insert(data_.end(), r.begin(), r.end());
+  }
+}
+
+double& Matrix::at(std::size_t r, std::size_t c) {
+  if (r >= rows_ || c >= cols_) throw std::out_of_range("Matrix::at");
+  return (*this)(r, c);
+}
+
+double Matrix::at(std::size_t r, std::size_t c) const {
+  if (r >= rows_ || c >= cols_) throw std::out_of_range("Matrix::at");
+  return (*this)(r, c);
+}
+
+std::vector<double> Matrix::col(std::size_t c) const {
+  std::vector<double> out(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) out[r] = (*this)(r, c);
+  return out;
+}
+
+void Matrix::set_col(std::size_t c, std::span<const double> values) {
+  if (values.size() != rows_) throw std::invalid_argument("Matrix::set_col: size mismatch");
+  for (std::size_t r = 0; r < rows_; ++r) (*this)(r, c) = values[r];
+}
+
+Matrix Matrix::operator+(const Matrix& o) const {
+  if (rows_ != o.rows_ || cols_ != o.cols_) throw std::invalid_argument("Matrix+: shape mismatch");
+  Matrix r = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) r.data_[i] += o.data_[i];
+  return r;
+}
+
+Matrix Matrix::operator-(const Matrix& o) const {
+  if (rows_ != o.rows_ || cols_ != o.cols_) throw std::invalid_argument("Matrix-: shape mismatch");
+  Matrix r = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) r.data_[i] -= o.data_[i];
+  return r;
+}
+
+Matrix Matrix::operator*(double s) const {
+  Matrix r = *this;
+  for (double& v : r.data_) v *= s;
+  return r;
+}
+
+Matrix Matrix::matmul(const Matrix& o) const {
+  if (cols_ != o.rows_) throw std::invalid_argument("Matrix::matmul: shape mismatch");
+  Matrix r(rows_, o.cols_);
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(i, k);
+      if (a == 0.0) continue;
+      for (std::size_t j = 0; j < o.cols_; ++j) r(i, j) += a * o(k, j);
+    }
+  return r;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix r(cols_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t j = 0; j < cols_; ++j) r(j, i) = (*this)(i, j);
+  return r;
+}
+
+double Matrix::frobenius_norm() const {
+  double s = 0.0;
+  for (double v : data_) s += v * v;
+  return std::sqrt(s);
+}
+
+std::vector<double> solve_linear_system(Matrix m, std::vector<double> b) {
+  const std::size_t n = m.rows();
+  if (m.cols() != n || b.size() != n)
+    throw std::invalid_argument("solve_linear_system: shape mismatch");
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivoting: bring the largest magnitude entry to the diagonal.
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r)
+      if (std::abs(m(r, col)) > std::abs(m(pivot, col))) pivot = r;
+    if (std::abs(m(pivot, col)) < 1e-12) throw std::runtime_error("solve_linear_system: singular");
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(m(pivot, c), m(col, c));
+      std::swap(b[pivot], b[col]);
+    }
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double f = m(r, col) / m(col, col);
+      if (f == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) m(r, c) -= f * m(col, c);
+      b[r] -= f * b[col];
+    }
+  }
+  // Back substitution.
+  std::vector<double> x(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    double s = b[i];
+    for (std::size_t j = i + 1; j < n; ++j) s -= m(i, j) * x[j];
+    x[i] = s / m(i, i);
+  }
+  return x;
+}
+
+}  // namespace wavekey

@@ -1,0 +1,80 @@
+#pragma once
+
+// Dynamically-sized row-major matrix of doubles. Used for the paper's data
+// matrices: the linear-acceleration matrix A (200x3) and the RFID matrix
+// R (400x2), plus miscellaneous signal-processing intermediates.
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace wavekey {
+
+/// Row-major dense matrix of doubles with value semantics.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// Creates a rows x cols matrix, zero-initialized.
+  Matrix(std::size_t rows, std::size_t cols) : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  /// Creates from nested initializer lists; all rows must have equal length.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double operator()(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  /// Bounds-checked access; throws std::out_of_range.
+  double& at(std::size_t r, std::size_t c);
+  double at(std::size_t r, std::size_t c) const;
+
+  /// Raw storage (row-major).
+  std::span<double> data() { return data_; }
+  std::span<const double> data() const { return data_; }
+
+  /// View of one row.
+  std::span<double> row(std::size_t r) { return {data_.data() + r * cols_, cols_}; }
+  std::span<const double> row(std::size_t r) const { return {data_.data() + r * cols_, cols_}; }
+
+  /// Copy of one column.
+  std::vector<double> col(std::size_t c) const;
+
+  /// Replaces column c with the given values (size must equal rows()).
+  void set_col(std::size_t c, std::span<const double> values);
+
+  Matrix operator+(const Matrix& o) const;
+  Matrix operator-(const Matrix& o) const;
+  Matrix operator*(double s) const;
+
+  /// Matrix product; throws std::invalid_argument on shape mismatch.
+  Matrix matmul(const Matrix& o) const;
+
+  Matrix transposed() const;
+
+  /// Frobenius norm.
+  double frobenius_norm() const;
+
+  bool operator==(const Matrix&) const = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Solves the square linear system M x = b by Gaussian elimination with
+/// partial pivoting. Throws std::invalid_argument on shape mismatch and
+/// std::runtime_error if M is (numerically) singular.
+///
+/// Used to derive Savitzky-Golay coefficients and least-squares fits; the
+/// systems involved are tiny (order <= ~10) so a dense solver is appropriate.
+std::vector<double> solve_linear_system(Matrix m, std::vector<double> b);
+
+}  // namespace wavekey

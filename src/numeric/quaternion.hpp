@@ -1,0 +1,102 @@
+#pragma once
+
+// Unit quaternion for attitude representation and gyroscope dead-reckoning.
+
+#include <cmath>
+
+#include "numeric/mat3.hpp"
+#include "numeric/vec3.hpp"
+
+namespace wavekey {
+
+/// Hamilton unit quaternion (w, x, y, z) representing a rotation.
+///
+/// Convention: `rotate(v)` maps a body-frame vector to the world frame when
+/// the quaternion encodes the body-to-world attitude. Integration of body
+/// angular rate `omega` over `dt` uses the standard first-order update
+/// q <- q * exp(omega*dt/2), which is accurate for the small per-sample
+/// rotations seen at IMU sampling rates.
+struct Quaternion {
+  double w = 1.0;
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  constexpr Quaternion() = default;
+  constexpr Quaternion(double w_, double x_, double y_, double z_) : w(w_), x(x_), y(y_), z(z_) {}
+
+  /// Axis-angle constructor. `axis` need not be normalized.
+  static Quaternion from_axis_angle(const Vec3& axis, double angle_rad) {
+    const Vec3 a = axis.normalized();
+    const double h = angle_rad * 0.5;
+    const double s = std::sin(h);
+    return {std::cos(h), a.x * s, a.y * s, a.z * s};
+  }
+
+  /// Builds the attitude quaternion from a rotation matrix (body->world).
+  static Quaternion from_matrix(const Mat3& r);
+
+  constexpr Quaternion operator*(const Quaternion& o) const {
+    return {w * o.w - x * o.x - y * o.y - z * o.z, w * o.x + x * o.w + y * o.z - z * o.y,
+            w * o.y - x * o.z + y * o.w + z * o.x, w * o.z + x * o.y - y * o.x + z * o.w};
+  }
+
+  constexpr Quaternion conjugate() const { return {w, -x, -y, -z}; }
+
+  double norm() const { return std::sqrt(w * w + x * x + y * y + z * z); }
+
+  Quaternion normalized() const {
+    const double n = norm();
+    if (n <= 0.0) return {};
+    return {w / n, x / n, y / n, z / n};
+  }
+
+  /// Rotates a vector by this (unit) quaternion.
+  Vec3 rotate(const Vec3& v) const {
+    // v' = q * (0, v) * q^-1, expanded to avoid temporaries.
+    const Vec3 u{x, y, z};
+    const Vec3 t = u.cross(v) * 2.0;
+    return v + t * w + u.cross(t);
+  }
+
+  /// Converts to the equivalent rotation matrix.
+  Mat3 to_matrix() const {
+    Mat3 r;
+    const double xx = x * x, yy = y * y, zz = z * z;
+    const double xy = x * y, xz = x * z, yz = y * z;
+    const double wx = w * x, wy = w * y, wz = w * z;
+    r.m = {1 - 2 * (yy + zz), 2 * (xy - wz),     2 * (xz + wy),
+           2 * (xy + wz),     1 - 2 * (xx + zz), 2 * (yz - wx),
+           2 * (xz - wy),     2 * (yz + wx),     1 - 2 * (xx + yy)};
+    return r;
+  }
+
+  /// First-order attitude update by body angular rate over a small step.
+  Quaternion integrated(const Vec3& omega_body, double dt) const {
+    const double angle = omega_body.norm() * dt;
+    if (angle < 1e-12) return *this;
+    return ((*this) * Quaternion::from_axis_angle(omega_body, angle)).normalized();
+  }
+};
+
+inline Quaternion Quaternion::from_matrix(const Mat3& r) {
+  // Shepperd's method: pick the largest diagonal combination for stability.
+  const double tr = r(0, 0) + r(1, 1) + r(2, 2);
+  Quaternion q;
+  if (tr > 0.0) {
+    const double s = std::sqrt(tr + 1.0) * 2.0;
+    q = {0.25 * s, (r(2, 1) - r(1, 2)) / s, (r(0, 2) - r(2, 0)) / s, (r(1, 0) - r(0, 1)) / s};
+  } else if (r(0, 0) > r(1, 1) && r(0, 0) > r(2, 2)) {
+    const double s = std::sqrt(1.0 + r(0, 0) - r(1, 1) - r(2, 2)) * 2.0;
+    q = {(r(2, 1) - r(1, 2)) / s, 0.25 * s, (r(0, 1) + r(1, 0)) / s, (r(0, 2) + r(2, 0)) / s};
+  } else if (r(1, 1) > r(2, 2)) {
+    const double s = std::sqrt(1.0 + r(1, 1) - r(0, 0) - r(2, 2)) * 2.0;
+    q = {(r(0, 2) - r(2, 0)) / s, (r(0, 1) + r(1, 0)) / s, 0.25 * s, (r(1, 2) + r(2, 1)) / s};
+  } else {
+    const double s = std::sqrt(1.0 + r(2, 2) - r(0, 0) - r(1, 1)) * 2.0;
+    q = {(r(1, 0) - r(0, 1)) / s, (r(0, 2) + r(2, 0)) / s, (r(1, 2) + r(2, 1)) / s, 0.25 * s};
+  }
+  return q.normalized();
+}
+
+}  // namespace wavekey

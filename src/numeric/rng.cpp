@@ -1,0 +1,88 @@
+#include "numeric/rng.hpp"
+
+#include <cmath>
+
+namespace wavekey {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+  // All-zero state would be absorbing; splitmix64 cannot produce four zeros
+  // from any seed, but keep the guard explicit.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 top bits -> double in [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+std::uint64_t Rng::uniform_u64(std::uint64_t n) {
+  if (n == 0) return 0;
+  const std::uint64_t threshold = (~n + 1) % n;  // 2^64 mod n
+  for (;;) {
+    const std::uint64_t r = next();
+    if (r >= threshold) return r % n;
+  }
+}
+
+double Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box-Muller; u1 in (0,1] to keep log finite.
+  double u1;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::normal(double mu, double sigma) { return mu + sigma * normal(); }
+
+void Rng::fill_bytes(std::span<std::uint8_t> out) {
+  std::size_t i = 0;
+  while (i < out.size()) {
+    std::uint64_t word = next();
+    for (int b = 0; b < 8 && i < out.size(); ++b, ++i) {
+      out[i] = static_cast<std::uint8_t>(word & 0xFF);
+      word >>= 8;
+    }
+  }
+}
+
+Rng Rng::split() { return Rng(next() ^ 0xD2B74407B1CE6E93ULL); }
+
+}  // namespace wavekey

@@ -1,0 +1,64 @@
+#pragma once
+
+// Deterministic pseudo-random generation for the *simulation* side of the
+// system (gestures, sensor noise, channels, attacker behaviour).
+//
+// Everything stochastic in the simulator takes an explicit Rng so that the
+// benches reproducing the paper's tables are bit-reproducible run to run.
+// Cryptographic randomness (OT exponents, pads, nonces) deliberately does NOT
+// use this class; see crypto/drbg.hpp.
+
+#include <cstdint>
+#include <span>
+
+namespace wavekey {
+
+/// xoshiro256** PRNG (Blackman & Vigna). Fast, 256-bit state, passes BigCrush.
+/// Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds via SplitMix64 expansion of a single 64-bit seed so that nearby
+  /// seeds still give decorrelated streams.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  std::uint64_t operator()() { return next(); }
+  std::uint64_t next();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Uses rejection to avoid modulo bias.
+  std::uint64_t uniform_u64(std::uint64_t n);
+
+  /// Standard normal variate (Box-Muller with caching).
+  double normal();
+
+  /// Normal variate with the given mean and standard deviation.
+  double normal(double mu, double sigma);
+
+  /// Fair coin.
+  bool coin() { return (next() >> 63) != 0; }
+
+  /// Fills a byte buffer with pseudo-random bytes.
+  void fill_bytes(std::span<std::uint8_t> out);
+
+  /// Spawns an independent child generator; the child's stream is
+  /// decorrelated from the parent's continuation (used to give each simulated
+  /// volunteer/device/environment its own stream).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace wavekey

@@ -1,0 +1,41 @@
+#pragma once
+
+// Descriptive statistics and normal-distribution helpers used by the
+// quantizer (CDF-equalized bins), the eta calibration (percentiles of the
+// bit-mismatch distribution), and the gesture-start detector (moving
+// variance).
+
+#include <span>
+#include <vector>
+
+namespace wavekey {
+
+/// Arithmetic mean; returns 0 for an empty span.
+double mean(std::span<const double> xs);
+
+/// Population variance (divides by N); returns 0 for spans of size < 1.
+double variance(std::span<const double> xs);
+
+/// Sample standard deviation derived from `variance`.
+double stddev(std::span<const double> xs);
+
+/// Pearson correlation coefficient of two equal-length series.
+/// Throws std::invalid_argument on length mismatch; returns 0 if either
+/// series is constant.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Linear-interpolated percentile, p in [0, 100]. Throws on empty input.
+double percentile(std::vector<double> xs, double p);
+
+/// Standard normal cumulative distribution function Phi(x).
+double normal_cdf(double x);
+
+/// Inverse standard normal CDF (quantile function) via the Acklam rational
+/// approximation with one Newton refinement; |error| < 1e-9 over (0, 1).
+/// Throws std::domain_error for p outside (0, 1).
+double normal_quantile(double p);
+
+/// Complementary error function wrapper (for NIST p-values).
+double erfc_scaled(double x);
+
+}  // namespace wavekey

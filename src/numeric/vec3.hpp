@@ -1,0 +1,79 @@
+#pragma once
+
+// Fixed-size 3-vector used throughout the kinematics simulation (positions,
+// velocities, accelerations, angular rates, magnetic field vectors).
+
+#include <array>
+#include <cmath>
+#include <cstddef>
+#include <ostream>
+
+namespace wavekey {
+
+/// A plain 3-component double vector with value semantics.
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  constexpr Vec3() = default;
+  constexpr Vec3(double x_, double y_, double z_) : x(x_), y(y_), z(z_) {}
+
+  constexpr double& operator[](std::size_t i) { return i == 0 ? x : (i == 1 ? y : z); }
+  constexpr double operator[](std::size_t i) const { return i == 0 ? x : (i == 1 ? y : z); }
+
+  constexpr Vec3 operator+(const Vec3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  constexpr Vec3 operator-(const Vec3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  constexpr Vec3 operator-() const { return {-x, -y, -z}; }
+  constexpr Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+  constexpr Vec3 operator/(double s) const { return {x / s, y / s, z / s}; }
+
+  Vec3& operator+=(const Vec3& o) {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+  Vec3& operator-=(const Vec3& o) {
+    x -= o.x;
+    y -= o.y;
+    z -= o.z;
+    return *this;
+  }
+  Vec3& operator*=(double s) {
+    x *= s;
+    y *= s;
+    z *= s;
+    return *this;
+  }
+
+  constexpr bool operator==(const Vec3&) const = default;
+
+  /// Dot product.
+  constexpr double dot(const Vec3& o) const { return x * o.x + y * o.y + z * o.z; }
+
+  /// Cross product (right-handed).
+  constexpr Vec3 cross(const Vec3& o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+
+  /// Euclidean norm.
+  double norm() const { return std::sqrt(dot(*this)); }
+
+  /// Squared Euclidean norm (avoids the sqrt when only comparisons matter).
+  constexpr double norm2() const { return dot(*this); }
+
+  /// Unit vector in the same direction. Returns the zero vector unchanged.
+  Vec3 normalized() const {
+    const double n = norm();
+    return n > 0.0 ? (*this) / n : *this;
+  }
+};
+
+constexpr Vec3 operator*(double s, const Vec3& v) { return v * s; }
+
+inline std::ostream& operator<<(std::ostream& os, const Vec3& v) {
+  return os << '(' << v.x << ", " << v.y << ", " << v.z << ')';
+}
+
+}  // namespace wavekey

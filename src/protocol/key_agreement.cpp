@@ -1,0 +1,221 @@
+#include "protocol/key_agreement.hpp"
+
+#include <cmath>
+
+#include "crypto/hmac.hpp"
+
+namespace wavekey::protocol {
+namespace {
+
+constexpr std::size_t kGroupElementBytes = 32;
+constexpr std::size_t kNonceBytes = 16;
+
+crypto::Fe25519 read_element(WireReader& reader) {
+  const Bytes raw = reader.bytes(kGroupElementBytes);
+  return crypto::Fe25519::from_bytes(raw);
+}
+
+}  // namespace
+
+std::size_t AgreementParams::fuzzy_byte_budget() const {
+  const auto max_bad_bits =
+      static_cast<std::size_t>(std::floor(eta * static_cast<double>(seed_bits)));
+  const std::size_t tolerated = std::max<std::size_t>(max_bad_bits, 1);
+  // A bad seed bit corrupts one contiguous 2*l_b-bit segment, which can
+  // straddle up to ceil(2*l_b/8) + 1 bytes.
+  const std::size_t segment_bits = 2 * pad_bits();
+  const std::size_t bytes_per_segment = (segment_bits + 7) / 8 + 1;
+  return tolerated * bytes_per_segment;
+}
+
+PadSender::PadSender(const AgreementParams& params, crypto::Drbg& rng) : params_(params) {
+  senders_.reserve(params_.seed_bits);
+  pads_.reserve(params_.seed_bits);
+  for (std::size_t i = 0; i < params_.seed_bits; ++i) {
+    senders_.emplace_back(rng);
+    pads_.emplace_back(rng.random_bits(params_.pad_bits()), rng.random_bits(params_.pad_bits()));
+  }
+}
+
+Bytes PadSender::message_a() const {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(MessageType::kMsgA));
+  w.u32(static_cast<std::uint32_t>(senders_.size()));
+  for (const auto& sender : senders_) w.bytes(sender.first_message().to_bytes());
+  return w.take();
+}
+
+Bytes PadSender::make_cipher_message(const Bytes& msg_b, crypto::Drbg& /*rng*/) const {
+  WireReader reader(msg_b);
+  if (reader.u8() != static_cast<std::uint8_t>(MessageType::kMsgB))
+    throw WireError("make_cipher_message: expected MsgB");
+  if (reader.u32() != senders_.size()) throw WireError("make_cipher_message: count mismatch");
+
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(MessageType::kMsgE));
+  w.u32(static_cast<std::uint32_t>(senders_.size()));
+  for (std::size_t i = 0; i < senders_.size(); ++i) {
+    const crypto::Fe25519 mb = read_element(reader);
+    const Bytes p0 = pads_[i].first.to_bytes();
+    const Bytes p1 = pads_[i].second.to_bytes();
+    const auto [e0, e1] = senders_[i].encrypt(mb, p0, p1);
+    w.blob(e0);
+    w.blob(e1);
+  }
+  reader.expect_done();
+  return w.take();
+}
+
+const BitVec& PadSender::pad(std::size_t i, bool bit) const {
+  const auto& pair = pads_.at(i);
+  return bit ? pair.second : pair.first;
+}
+
+PadReceiver::PadReceiver(const AgreementParams& params, const BitVec& seed, const Bytes& msg_a,
+                         crypto::Drbg& rng)
+    : params_(params) {
+  if (seed.size() != params_.seed_bits)
+    throw std::invalid_argument("PadReceiver: seed length mismatch");
+  WireReader reader(msg_a);
+  if (reader.u8() != static_cast<std::uint8_t>(MessageType::kMsgA))
+    throw WireError("PadReceiver: expected MsgA");
+  if (reader.u32() != params_.seed_bits) throw WireError("PadReceiver: count mismatch");
+  receivers_.reserve(params_.seed_bits);
+  for (std::size_t i = 0; i < params_.seed_bits; ++i) {
+    const crypto::Fe25519 ma = read_element(reader);
+    receivers_.emplace_back(rng, seed.get(i), ma);
+  }
+  reader.expect_done();
+}
+
+Bytes PadReceiver::message_b() const {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(MessageType::kMsgB));
+  w.u32(static_cast<std::uint32_t>(receivers_.size()));
+  for (const auto& receiver : receivers_) w.bytes(receiver.response().to_bytes());
+  return w.take();
+}
+
+std::vector<BitVec> PadReceiver::receive_pads(const Bytes& msg_e) const {
+  WireReader reader(msg_e);
+  if (reader.u8() != static_cast<std::uint8_t>(MessageType::kMsgE))
+    throw WireError("receive_pads: expected MsgE");
+  if (reader.u32() != receivers_.size()) throw WireError("receive_pads: count mismatch");
+
+  std::vector<BitVec> pads;
+  pads.reserve(receivers_.size());
+  for (const auto& receiver : receivers_) {
+    const Bytes e0 = reader.blob();
+    const Bytes e1 = reader.blob();
+    const Bytes plain = receiver.decrypt({e0, e1});
+    if (plain.size() != params_.pad_bytes()) throw WireError("receive_pads: bad pad length");
+    pads.push_back(BitVec::from_bytes(plain, params_.pad_bits()));
+  }
+  reader.expect_done();
+  return pads;
+}
+
+BitVec assemble_preliminary_key(const AgreementParams& params, const BitVec& seed,
+                                const PadSender& own, const std::vector<BitVec>& received,
+                                bool own_first) {
+  if (seed.size() != params.seed_bits || received.size() != params.seed_bits)
+    throw std::invalid_argument("assemble_preliminary_key: size mismatch");
+  BitVec key;
+  for (std::size_t i = 0; i < params.seed_bits; ++i) {
+    const BitVec& own_pad = own.pad(i, seed.get(i));
+    const BitVec& recv_pad = received[i];
+    if (own_first) {
+      key.append(own_pad);
+      key.append(recv_pad);
+    } else {
+      key.append(recv_pad);
+      key.append(own_pad);
+    }
+  }
+  return key;
+}
+
+Bytes Challenge::serialize() const {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(MessageType::kChallenge));
+  w.blob(helper);
+  w.bytes(nonce);
+  return w.take();
+}
+
+Challenge Challenge::parse(const AgreementParams& /*params*/, const Bytes& wire) {
+  WireReader reader(wire);
+  if (reader.u8() != static_cast<std::uint8_t>(MessageType::kChallenge))
+    throw WireError("Challenge::parse: wrong type");
+  Challenge c;
+  c.helper = reader.blob();
+  c.nonce = reader.bytes(kNonceBytes);
+  reader.expect_done();
+  return c;
+}
+
+Challenge make_challenge(const AgreementParams& params, const BitVec& key_m,
+                         crypto::Drbg& rng) {
+  const ecc::FuzzyCommitment fc(params.prelim_key_bits(), params.fuzzy_byte_budget());
+  Challenge c;
+  c.helper = fc.commit(key_m, rng);
+  c.nonce.resize(kNonceBytes);
+  rng.random_bytes(c.nonce);
+  return c;
+}
+
+std::optional<BitVec> recover_key(const AgreementParams& params, const Challenge& challenge,
+                                  const BitVec& key_r) {
+  const ecc::FuzzyCommitment fc(params.prelim_key_bits(), params.fuzzy_byte_budget());
+  auto recovered = fc.recover(challenge.helper, key_r);
+  if (!recovered) return std::nullopt;
+
+  // Enforce eta exactly: the RS byte budget is sized for the worst-case
+  // byte alignment, so favorable alignments could correct *more* than
+  // floor(eta * l_s) bad segments. The server therefore re-checks that the
+  // recovered key differs from its own K_R in at most the tolerated number
+  // of 2*l_b-bit segments — this makes eta the precise acceptance boundary
+  // that Eq. (4) analyzes.
+  const std::size_t segment_bits = 2 * params.pad_bits();
+  const std::size_t tolerated = static_cast<std::size_t>(
+      std::floor(params.eta * static_cast<double>(params.seed_bits)));
+  std::size_t bad_segments = 0;
+  for (std::size_t i = 0; i < params.seed_bits; ++i) {
+    const BitVec a = recovered->slice(i * segment_bits, segment_bits);
+    const BitVec b = key_r.slice(i * segment_bits, segment_bits);
+    if (!(a == b)) ++bad_segments;
+  }
+  if (bad_segments > std::max<std::size_t>(tolerated, 1)) return std::nullopt;
+  return recovered;
+}
+
+Bytes make_response(const Challenge& challenge, const BitVec& key) {
+  const auto key_bytes = key.to_bytes();
+  const crypto::Digest256 mac = crypto::hmac_sha256(key_bytes, challenge.nonce);
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(MessageType::kResponse));
+  w.bytes(mac);
+  return w.take();
+}
+
+bool verify_response(const Challenge& challenge, const BitVec& key_m, const Bytes& response) {
+  try {
+    WireReader reader(response);
+    if (reader.u8() != static_cast<std::uint8_t>(MessageType::kResponse)) return false;
+    const Bytes mac = reader.bytes(32);
+    reader.expect_done();
+    const auto key_bytes = key_m.to_bytes();
+    const crypto::Digest256 expected = crypto::hmac_sha256(key_bytes, challenge.nonce);
+    crypto::Digest256 got{};
+    std::copy(mac.begin(), mac.end(), got.begin());
+    return crypto::digest_equal(expected, got);
+  } catch (const WireError&) {
+    return false;
+  }
+}
+
+BitVec finalize_key(const AgreementParams& params, const BitVec& prelim_key) {
+  return prelim_key.slice(0, params.key_bits);
+}
+
+}  // namespace wavekey::protocol

@@ -1,0 +1,186 @@
+#include "protocol/session.hpp"
+
+#include <chrono>
+
+namespace wavekey::protocol {
+namespace {
+
+/// Runs f(), charges its real wall-clock cost to `party_clock`, returns its
+/// result. Compute time is *measured*, not assumed, so the tau-deadline and
+/// Table III numbers reflect this machine's actual crypto throughput.
+template <typename F>
+auto timed(double& party_clock, F&& f) {
+  const auto start = std::chrono::steady_clock::now();
+  auto result = f();
+  const auto stop = std::chrono::steady_clock::now();
+  party_clock += std::chrono::duration<double>(stop - start).count();
+  return result;
+}
+
+/// Sends a message through the interceptor; returns the arrival time or
+/// nullopt if the adversary dropped it.
+std::optional<double> transmit(const SessionConfig& config, const Interceptor& interceptor,
+                               const std::string& from, const std::string& to, MessageType type,
+                               Bytes& payload, double send_time) {
+  double extra = 0.0;
+  if (interceptor) {
+    InFlightMessage msg{from, to, type, std::move(payload), send_time};
+    extra = interceptor(msg);
+    payload = std::move(msg.payload);
+    if (extra < 0.0) return std::nullopt;
+  }
+  return send_time + config.link_latency_s + extra;
+}
+
+}  // namespace
+
+SessionResult run_key_agreement(const SessionConfig& config, const BitVec& mobile_seed,
+                                const BitVec& server_seed, crypto::Drbg& mobile_rng,
+                                crypto::Drbg& server_rng, const Interceptor& interceptor) {
+  SessionResult result;
+  const AgreementParams& params = config.params;
+  const double deadline = config.gesture_window_s + config.tau_s;
+
+  // Party clocks: both sides finish recording at gesture_window_s, then pay
+  // their configured processing latency (pipeline + encoder inference).
+  double t_mobile = config.gesture_window_s + config.mobile_compute_s;
+  double t_server = config.gesture_window_s + config.server_compute_s;
+
+  try {
+    // --- Phase 1: both sides emit their batched OT first messages. ---
+    const PadSender mobile_sender =
+        timed(t_mobile, [&] { return PadSender(params, mobile_rng); });
+    Bytes msg_a_m = timed(t_mobile, [&] { return mobile_sender.message_a(); });
+
+    const PadSender server_sender =
+        timed(t_server, [&] { return PadSender(params, server_rng); });
+    Bytes msg_a_r = timed(t_server, [&] { return server_sender.message_a(); });
+
+    const auto a_m_arrival = transmit(config, interceptor, "mobile", "server",
+                                      MessageType::kMsgA, msg_a_m, t_mobile);
+    const auto a_r_arrival = transmit(config, interceptor, "server", "mobile",
+                                      MessageType::kMsgA, msg_a_r, t_server);
+    if (!a_m_arrival || !a_r_arrival) {
+      result.failure = FailureReason::kMalformedMessage;
+      return result;
+    }
+
+    // Deadline on M_A,R at the mobile (SIV-D2).
+    if (*a_r_arrival > deadline) {
+      result.failure = FailureReason::kDeadlineExceeded;
+      return result;
+    }
+    t_mobile = std::max(t_mobile, *a_r_arrival);
+    t_server = std::max(t_server, *a_m_arrival);
+
+    // --- Phase 2: OT responses (choices = own key-seed bits). ---
+    const PadReceiver mobile_receiver = timed(
+        t_mobile, [&] { return PadReceiver(params, mobile_seed, msg_a_r, mobile_rng); });
+    Bytes msg_b_m = timed(t_mobile, [&] { return mobile_receiver.message_b(); });
+
+    const PadReceiver server_receiver = timed(
+        t_server, [&] { return PadReceiver(params, server_seed, msg_a_m, server_rng); });
+    Bytes msg_b_r = timed(t_server, [&] { return server_receiver.message_b(); });
+
+    const auto b_m_arrival = transmit(config, interceptor, "mobile", "server",
+                                      MessageType::kMsgB, msg_b_m, t_mobile);
+    const auto b_r_arrival = transmit(config, interceptor, "server", "mobile",
+                                      MessageType::kMsgB, msg_b_r, t_server);
+    if (!b_m_arrival || !b_r_arrival) {
+      result.failure = FailureReason::kMalformedMessage;
+      return result;
+    }
+
+    // Deadline on M_B,M at the server.
+    if (*b_m_arrival > deadline) {
+      result.failure = FailureReason::kDeadlineExceeded;
+      return result;
+    }
+    t_mobile = std::max(t_mobile, *b_r_arrival);
+    t_server = std::max(t_server, *b_m_arrival);
+
+    // --- Phase 3: ciphertext pair messages. ---
+    Bytes msg_e_m =
+        timed(t_mobile, [&] { return mobile_sender.make_cipher_message(msg_b_r, mobile_rng); });
+    Bytes msg_e_r =
+        timed(t_server, [&] { return server_sender.make_cipher_message(msg_b_m, server_rng); });
+
+    const auto e_m_arrival = transmit(config, interceptor, "mobile", "server",
+                                      MessageType::kMsgE, msg_e_m, t_mobile);
+    const auto e_r_arrival = transmit(config, interceptor, "server", "mobile",
+                                      MessageType::kMsgE, msg_e_r, t_server);
+    if (!e_m_arrival || !e_r_arrival) {
+      result.failure = FailureReason::kMalformedMessage;
+      return result;
+    }
+    t_mobile = std::max(t_mobile, *e_r_arrival);
+    t_server = std::max(t_server, *e_m_arrival);
+
+    // --- Phase 4: preliminary keys. ---
+    const std::vector<BitVec> mobile_received =
+        timed(t_mobile, [&] { return mobile_receiver.receive_pads(msg_e_r); });
+    const BitVec key_m = timed(t_mobile, [&] {
+      return assemble_preliminary_key(params, mobile_seed, mobile_sender, mobile_received,
+                                      /*own_first=*/true);
+    });
+
+    const std::vector<BitVec> server_received =
+        timed(t_server, [&] { return server_receiver.receive_pads(msg_e_m); });
+    const BitVec key_r = timed(t_server, [&] {
+      return assemble_preliminary_key(params, server_seed, server_sender, server_received,
+                                      /*own_first=*/false);
+    });
+
+    // --- Phase 5: reconciliation challenge. ---
+    const Challenge challenge =
+        timed(t_mobile, [&] { return make_challenge(params, key_m, mobile_rng); });
+    Bytes challenge_wire = challenge.serialize();
+    const auto ch_arrival = transmit(config, interceptor, "mobile", "server",
+                                     MessageType::kChallenge, challenge_wire, t_mobile);
+    if (!ch_arrival) {
+      result.failure = FailureReason::kMalformedMessage;
+      return result;
+    }
+    t_server = std::max(t_server, *ch_arrival);
+
+    const Challenge server_challenge = Challenge::parse(params, challenge_wire);
+    const auto recovered =
+        timed(t_server, [&] { return recover_key(params, server_challenge, key_r); });
+    if (!recovered) {
+      result.failure = FailureReason::kReconciliationFailed;
+      return result;
+    }
+
+    // --- Phase 6: HMAC confirmation. ---
+    Bytes response = timed(t_server, [&] { return make_response(server_challenge, *recovered); });
+    const auto resp_arrival = transmit(config, interceptor, "server", "mobile",
+                                       MessageType::kResponse, response, t_server);
+    if (!resp_arrival) {
+      result.failure = FailureReason::kMalformedMessage;
+      return result;
+    }
+    t_mobile = std::max(t_mobile, *resp_arrival);
+
+    const bool ok = timed(t_mobile, [&] {
+      return verify_response(challenge, key_m, response) ? 1 : 0;
+    });
+    if (!ok) {
+      result.failure = FailureReason::kBadResponse;
+      return result;
+    }
+
+    result.success = true;
+    result.mobile_key = finalize_key(params, key_m);
+    result.server_key = finalize_key(params, *recovered);
+    result.elapsed_s = std::max(t_mobile, t_server);
+    return result;
+  } catch (const WireError&) {
+    result.failure = FailureReason::kMalformedMessage;
+    return result;
+  } catch (const std::invalid_argument&) {
+    result.failure = FailureReason::kMalformedMessage;
+    return result;
+  }
+}
+
+}  // namespace wavekey::protocol

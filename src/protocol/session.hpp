@@ -1,0 +1,69 @@
+#pragma once
+
+// Transport + timing layer: runs the full key agreement between a mobile
+// party and a server party over a simulated channel with latency, a session
+// clock anchored at the gesture start, the paper's tau deadline on the
+// critical messages (M_A,R and M_B,M must arrive within
+// gesture_window + tau of the gesture start, SIV-D2), and an adversary
+// interposition hook used by the attack suite (eavesdrop / tamper / delay).
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "protocol/key_agreement.hpp"
+
+namespace wavekey::protocol {
+
+/// A message in flight; adversaries may observe or mutate it.
+struct InFlightMessage {
+  std::string from;      ///< "mobile" or "server"
+  std::string to;
+  MessageType type;
+  Bytes payload;
+  double send_time = 0;  ///< session-clock seconds
+};
+
+/// Adversary hook. Return value is the extra delay (seconds) the message
+/// suffers; mutate `msg.payload` to tamper. Return a negative value to drop
+/// the message entirely (the session then fails by timeout/parse error).
+using Interceptor = std::function<double(InFlightMessage& msg)>;
+
+struct SessionConfig {
+  AgreementParams params;
+  double gesture_window_s = 2.0;
+  double tau_s = 0.120;          ///< deadline slack (SVI-C3)
+  double link_latency_s = 0.002; ///< WiFi/BLE one-way latency
+  /// Extra computation latency charged to each side before its messages are
+  /// ready (covers slower mobile hardware; measured values in bench_tau).
+  double mobile_compute_s = 0.0;
+  double server_compute_s = 0.0;
+};
+
+enum class FailureReason {
+  kNone,
+  kDeadlineExceeded,   ///< M_A,R or M_B,M arrived after 2 + tau
+  kReconciliationFailed,  ///< server could not recover K_M (seed mismatch)
+  kBadResponse,        ///< HMAC verification failed at the mobile
+  kMalformedMessage,   ///< wire-format error (tampering/drop)
+};
+
+struct SessionResult {
+  bool success = false;
+  FailureReason failure = FailureReason::kNone;
+  BitVec mobile_key;
+  BitVec server_key;
+  double elapsed_s = 0.0;  ///< session-clock time from gesture start to key
+};
+
+/// Runs the complete protocol given the two key-seeds (produced by the
+/// data-acquisition + key-seed-generation phases). The session clock starts
+/// at the *gesture start*; the seeds become available at
+/// gesture_window_s (the devices finish recording) plus each side's compute
+/// latency, matching the paper's timeline.
+SessionResult run_key_agreement(const SessionConfig& config, const BitVec& mobile_seed,
+                                const BitVec& server_seed, crypto::Drbg& mobile_rng,
+                                crypto::Drbg& server_rng,
+                                const Interceptor& interceptor = {});
+
+}  // namespace wavekey::protocol

@@ -1,0 +1,48 @@
+#include "protocol/wire.hpp"
+
+namespace wavekey::protocol {
+
+void WireWriter::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void WireWriter::bytes(std::span<const std::uint8_t> data) {
+  out_.insert(out_.end(), data.begin(), data.end());
+}
+
+void WireWriter::blob(std::span<const std::uint8_t> data) {
+  if (data.size() > 0xFFFFFFFFu) throw WireError("blob too large");
+  u32(static_cast<std::uint32_t>(data.size()));
+  bytes(data);
+}
+
+std::uint8_t WireReader::u8() {
+  if (pos_ + 1 > data_.size()) throw WireError("u8: underrun");
+  return data_[pos_++];
+}
+
+std::uint32_t WireReader::u32() {
+  if (pos_ + 4 > data_.size()) throw WireError("u32: underrun");
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= std::uint32_t{data_[pos_++]} << (8 * i);
+  return v;
+}
+
+Bytes WireReader::bytes(std::size_t n) {
+  if (pos_ + n > data_.size()) throw WireError("bytes: underrun");
+  Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+            data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+Bytes WireReader::blob() {
+  const std::uint32_t n = u32();
+  return bytes(n);
+}
+
+void WireReader::expect_done() const {
+  if (!done()) throw WireError("trailing bytes in message");
+}
+
+}  // namespace wavekey::protocol

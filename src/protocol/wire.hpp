@@ -1,0 +1,62 @@
+#pragma once
+
+// Binary wire helpers for the key-agreement messages. Fixed little-endian
+// framing, length-prefixed fields, explicit type tags — malformed or
+// truncated messages throw WireError, which the protocol engine converts
+// into a clean session abort (never undefined behaviour on attacker input).
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace wavekey::protocol {
+
+using Bytes = std::vector<std::uint8_t>;
+
+class WireError : public std::runtime_error {
+ public:
+  explicit WireError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Sequential writer into a byte buffer.
+class WireWriter {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u32(std::uint32_t v);
+  void bytes(std::span<const std::uint8_t> data);          ///< raw, no length
+  void blob(std::span<const std::uint8_t> data);           ///< u32 length + raw
+  Bytes take() { return std::move(out_); }
+
+ private:
+  Bytes out_;
+};
+
+/// Sequential reader over a byte buffer; throws WireError on underrun.
+class WireReader {
+ public:
+  explicit WireReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  Bytes bytes(std::size_t n);  ///< raw, exact n
+  Bytes blob();                ///< u32 length + raw
+  bool done() const { return pos_ == data_.size(); }
+  void expect_done() const;
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+/// Message type tags of the WaveKey key-agreement protocol (Fig. 4).
+enum class MessageType : std::uint8_t {
+  kMsgA = 1,       ///< batched OT first messages  (M_A,M / M_A,R)
+  kMsgB = 2,       ///< batched OT responses        (M_B,M / M_B,R)
+  kMsgE = 3,       ///< batched OT ciphertext pairs (M_E,M / M_E,R)
+  kChallenge = 4,  ///< ECC helper + nonce
+  kResponse = 5,   ///< HMAC(nonce, K)
+};
+
+}  // namespace wavekey::protocol

@@ -1,0 +1,94 @@
+#include "rfid/rfid_pipeline.hpp"
+
+#include <cmath>
+
+#include "dsp/phase_unwrap.hpp"
+#include "dsp/savitzky_golay.hpp"
+#include "numeric/stats.hpp"
+
+namespace wavekey::rfid {
+
+std::optional<RfidPipelineResult> process_rfid(const sim::RfidRecord& record,
+                                               const RfidPipelineConfig& config) {
+  const auto& samples = record.samples;
+  if (samples.size() < 60) return std::nullopt;
+
+  // Reader sampling interval (assumed uniform, as from a real reader).
+  const double dt = samples[1].t - samples[0].t;
+  if (dt <= 0.0) return std::nullopt;
+
+  // 1. Unwrap, then denoise immediately: detection and anchoring both work
+  // on the smoothed series (Savitzky-Golay is zero-phase, so this does not
+  // bias the anchor timing).
+  std::vector<double> wrapped(samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) wrapped[i] = samples[i].phase;
+  const dsp::SavitzkyGolayFilter sg(config.sg_window, config.sg_order);
+  const std::vector<double> phase = sg.apply(dsp::unwrap_phase(wrapped));
+
+  // 2. Coarse onset from the unwrapped-phase variance jump.
+  const auto detected = dsp::detect_gesture_start(phase, config.detect);
+  if (!detected) return std::nullopt;
+
+  // 2b. Displacement-threshold anchoring: the window starts when the phase
+  // has moved 4*pi*d/lambda away from its onset baseline, i.e. the tag has
+  // displaced radially by the same physical distance the mobile side anchors
+  // on. Baseline is the phase just before the coarse onset (robust to slow
+  // dynamic-environment drift).
+  const double phase_threshold =
+      4.0 * M_PI * config.anchor_displacement_m / config.wavelength_m;
+  const std::size_t base_begin = *detected > 10 ? *detected - 10 : 0;
+  double baseline = 0.0;
+  std::size_t base_n = 0;
+  for (std::size_t i = base_begin; i <= *detected && i < phase.size(); ++i, ++base_n)
+    baseline += phase[i];
+  baseline /= static_cast<double>(std::max<std::size_t>(base_n, 1));
+  // Continuation check: a true gesture onset *accelerates*, so shortly after
+  // crossing the threshold the displacement must have grown further. Slow
+  // multipath drift from walkers (dynamic environments) crosses the
+  // threshold but fails this check; the search then continues.
+  const auto cont_gap = static_cast<std::size_t>(std::llround(0.03 / dt));
+  std::size_t anchor = phase.size();
+  if (!config.displacement_anchor) anchor = *detected;  // ablation
+  for (std::size_t i = *detected; config.displacement_anchor && i + cont_gap < phase.size();
+       ++i) {
+    if (std::abs(phase[i] - baseline) >= phase_threshold &&
+        std::abs(phase[i + cont_gap] - baseline) >= 1.6 * phase_threshold) {
+      anchor = i;
+      break;
+    }
+  }
+  if (anchor == phase.size()) return std::nullopt;
+  const std::size_t start_idx =
+      anchor + static_cast<std::size_t>(std::llround(config.window_offset_s / dt));
+
+  // 3. Cut the window.
+  const auto n_out = static_cast<std::size_t>(std::llround(config.window_s / dt));
+  if (start_idx + n_out > samples.size()) return std::nullopt;
+
+  std::vector<double> win_phase(phase.begin() + static_cast<std::ptrdiff_t>(start_idx),
+                                phase.begin() + static_cast<std::ptrdiff_t>(start_idx + n_out));
+  std::vector<double> win_mag(n_out);
+  for (std::size_t i = 0; i < n_out; ++i) win_mag[i] = samples[start_idx + i].magnitude;
+
+  // 4. Savitzky-Golay denoising of the magnitude (phase already smoothed).
+  win_mag = sg.apply(win_mag);
+
+  // 5. Normalization. The absolute phase offset is reader LO state and the
+  // phase swing scales with the cosine between the gesture direction and the
+  // line of sight — information the mobile side cannot observe — so the
+  // phase is z-scored per window to make the matrix shape-only. Magnitude
+  // scale is dominated by distance/antenna gain; z-score it too.
+  const double phase_mean = mean(win_phase);
+  const double phase_std = std::max(stddev(win_phase), 1e-9);
+  for (double& p : win_phase) p = (p - phase_mean) / phase_std;
+  const double mag_mean = mean(win_mag);
+  const double mag_std = std::max(stddev(win_mag), 1e-9);
+  for (double& m : win_mag) m = (m - mag_mean) / mag_std;
+
+  Matrix r(n_out, 2);
+  r.set_col(0, win_phase);
+  r.set_col(1, win_mag);
+  return RfidPipelineResult{std::move(r), samples[start_idx].t};
+}
+
+}  // namespace wavekey::rfid

@@ -1,0 +1,51 @@
+#pragma once
+
+// Server-side RFID data processing (SIV-B2 of the paper):
+//
+//  1. unwrap the reader's mod-2pi phase reports;
+//  2. detect the gesture start from the variance jump of the unwrapped
+//     phase (mirror of the mobile side's detection);
+//  3. cut the 2 s window (2n samples at the reader rate n = 200 Hz);
+//  4. denoise phase and magnitude with Savitzky-Golay filters (chosen by the
+//     paper because they preserve local extrema);
+//  5. normalize (phase: mean-removed; magnitude: z-scored so the matrix is
+//     distance/SNR invariant) and assemble the 2n x 2 matrix R.
+
+#include <optional>
+
+#include "dsp/gesture_detect.hpp"
+#include "numeric/matrix.hpp"
+#include "sim/rfid_channel.hpp"
+
+namespace wavekey::rfid {
+
+struct RfidPipelineConfig {
+  double window_s = 2.0;
+  double window_offset_s = 0.0;   ///< shift of the window past the detected start
+  std::size_t sg_window = 11;  ///< Savitzky-Golay window length (odd)
+  std::size_t sg_order = 3;    ///< Savitzky-Golay polynomial order
+  dsp::GestureDetectConfig detect{
+      .window = 20, .threshold_ratio = 6.0, .min_baseline = 1e-6, .baseline_len = 40};
+
+  /// Displacement-threshold anchoring (see ImuPipelineConfig): the window
+  /// starts when the unwrapped phase has moved by 4*pi*d/lambda past its
+  /// onset baseline, i.e. the tag displaced radially by ~d meters.
+  double anchor_displacement_m = 0.006;
+  double wavelength_m = 299792458.0 / 915e6;  ///< carrier wavelength
+
+  /// Ablation switch (bench_ablation_sync): false reverts to the coarse
+  /// variance-trigger onset.
+  bool displacement_anchor = true;
+};
+
+struct RfidPipelineResult {
+  Matrix processed;           ///< R: (window_s * reader rate) x 2 [phase, magnitude]
+  double gesture_start_time;  ///< detected start, seconds into the recording
+};
+
+/// Runs the full server-side pipeline. Returns nullopt when no gesture start
+/// is detected or the recording cannot cover the window.
+std::optional<RfidPipelineResult> process_rfid(const sim::RfidRecord& record,
+                                               const RfidPipelineConfig& config = {});
+
+}  // namespace wavekey::rfid

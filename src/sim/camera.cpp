@@ -1,0 +1,68 @@
+#include "sim/camera.hpp"
+
+#include <cmath>
+
+namespace wavekey::sim {
+
+CameraConfig CameraConfig::remote() {
+  CameraConfig c;
+  c.fps = 260.0;
+  c.three_d = true;
+  c.position_noise = 0.012;
+  c.per_frame_latency = 2.5e-3;  // Complexer-YOLO on a server GPU
+  c.stream_latency = 0.35;
+  return c;
+}
+
+CameraConfig CameraConfig::in_situ() {
+  CameraConfig c;
+  c.fps = 30.0;
+  c.three_d = false;
+  c.position_noise = 0.025;      // phone-grade 2-D hand detection
+  c.depth_guess_error = 0.06;
+  c.per_frame_latency = 30e-3;   // YoloV5 on-device
+  c.stream_latency = 0.0;
+  return c;
+}
+
+CameraObserver::CameraObserver(CameraConfig config, Vec3 view_direction)
+    : config_(config), depth_axis_(view_direction.normalized()) {
+  const Vec3 helper = std::abs(depth_axis_.z) < 0.9 ? Vec3{0, 0, 1} : Vec3{0, 1, 0};
+  image_u_ = depth_axis_.cross(helper).normalized();
+  image_v_ = depth_axis_.cross(image_u_);
+}
+
+CameraTrack CameraObserver::observe(const Trajectory& gesture, double t_begin,
+                                    double t_end, Rng& rng) const {
+  CameraTrack track;
+  const double dt = 1.0 / config_.fps;
+  const auto frames = static_cast<std::size_t>((t_end - t_begin) / dt);
+  track.estimates.reserve(frames);
+
+  // Constant depth-guess bias for 2-D observers: the attacker assumes a fixed
+  // distance to the hand and never measures motion along the view axis.
+  const double depth_bias = config_.three_d ? 0.0 : rng.normal(0.0, config_.depth_guess_error);
+
+  for (double t = t_begin; t < t_end; t += dt) {
+    const Vec3 p = gesture.position(t);
+    PositionEstimate e;
+    e.t = t;
+    if (config_.three_d) {
+      e.position = p + Vec3{rng.normal(0.0, config_.position_noise),
+                            rng.normal(0.0, config_.position_noise),
+                            rng.normal(0.0, config_.position_noise)};
+    } else {
+      // Keep only the image-plane components; depth collapses to the guess.
+      const double pu = p.dot(image_u_) + rng.normal(0.0, config_.position_noise);
+      const double pv = p.dot(image_v_) + rng.normal(0.0, config_.position_noise);
+      e.position = image_u_ * pu + image_v_ * pv + depth_axis_ * depth_bias;
+    }
+    track.estimates.push_back(e);
+  }
+
+  track.processing_latency_s =
+      config_.stream_latency + config_.per_frame_latency * static_cast<double>(frames);
+  return track;
+}
+
+}  // namespace wavekey::sim

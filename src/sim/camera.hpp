@@ -1,0 +1,67 @@
+#pragma once
+
+// Camera observer — the stand-in for the paper's camera-aided data-recovery
+// attackers (SVI-E2):
+//
+//  * remote mode:  ALPCAM 260 fps, 1080p, streamed to a server running
+//    Complexer-YOLO 3-D detection. We model it as sampling the true hand
+//    position at 260 fps with ~cm-level 3-D error, plus a large per-frame
+//    processing/streaming latency that the tau deadline check punishes.
+//  * in-situ mode: Pixel 8 at 30 fps running YOLOv5, 2-D only. We model it
+//    as a projection onto the camera image plane (the depth/radial axis is
+//    lost) with larger pixel noise and moderate latency.
+
+#include <vector>
+
+#include "numeric/rng.hpp"
+#include "numeric/vec3.hpp"
+#include "sim/gesture.hpp"
+
+namespace wavekey::sim {
+
+/// One estimated hand position (world frame, meters). For 2-D observers the
+/// depth axis component is a constant guess, not a measurement.
+struct PositionEstimate {
+  double t = 0.0;
+  Vec3 position;
+};
+
+struct CameraTrack {
+  std::vector<PositionEstimate> estimates;
+  double processing_latency_s = 0.0;  ///< end-to-end delay before key-seed ready
+};
+
+struct CameraConfig {
+  double fps = 260.0;
+  bool three_d = true;          ///< 3-D detection (remote) vs 2-D (in-situ)
+  double position_noise = 0.012;///< m, 1 sigma per measured axis
+  double depth_guess_error = 0.05;  ///< m, constant offset error on the lost axis (2-D)
+  double per_frame_latency = 2.5e-3;///< s of processing per frame
+  double stream_latency = 0.35; ///< s, video streaming + batching (remote)
+
+  /// The paper's remote recording setup (260 fps + Complexer-YOLO).
+  static CameraConfig remote();
+  /// The paper's in-situ setup (Pixel 8 + YoloV5, 2-D, 30 fps).
+  static CameraConfig in_situ();
+};
+
+/// Observes a gesture from a line-of-sight vantage point.
+class CameraObserver {
+ public:
+  /// @param view_direction  unit vector from camera toward the user; for 2-D
+  /// observers this is the lost (depth) axis.
+  CameraObserver(CameraConfig config, Vec3 view_direction);
+
+  /// Records hand positions over [t_begin, t_end).
+  CameraTrack observe(const Trajectory& gesture, double t_begin, double t_end,
+                      Rng& rng) const;
+
+  const CameraConfig& config() const { return config_; }
+
+ private:
+  CameraConfig config_;
+  Vec3 depth_axis_;
+  Vec3 image_u_, image_v_;  // image-plane axes (2-D mode)
+};
+
+}  // namespace wavekey::sim

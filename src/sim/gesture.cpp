@@ -1,0 +1,186 @@
+#include "sim/gesture.hpp"
+
+#include <cmath>
+
+namespace wavekey::sim {
+namespace {
+
+constexpr double kTwoPi = 2.0 * M_PI;
+
+}  // namespace
+
+double SinusoidSum::value(double t) const {
+  double v = 0.0;
+  for (const Term& term : terms)
+    v += term.amplitude * std::sin(kTwoPi * term.freq_hz * t + term.phase);
+  return v;
+}
+
+double SinusoidSum::d1(double t) const {
+  double v = 0.0;
+  for (const Term& term : terms) {
+    const double w = kTwoPi * term.freq_hz;
+    v += term.amplitude * w * std::cos(w * t + term.phase);
+  }
+  return v;
+}
+
+double SinusoidSum::d2(double t) const {
+  double v = 0.0;
+  for (const Term& term : terms) {
+    const double w = kTwoPi * term.freq_hz;
+    v -= term.amplitude * w * w * std::sin(w * t + term.phase);
+  }
+  return v;
+}
+
+SinusoidSum SinusoidSum::random(Rng& rng, std::size_t n, double f_lo, double f_hi, double rms) {
+  SinusoidSum s;
+  s.terms.reserve(n);
+  double sum_sq = 0.0;
+  const double log_lo = std::log(f_lo), log_hi = std::log(f_hi);
+  for (std::size_t i = 0; i < n; ++i) {
+    Term t;
+    t.freq_hz = std::exp(rng.uniform(log_lo, log_hi));
+    t.amplitude = rng.uniform(0.5, 1.5) / t.freq_hz;  // pink-ish spectrum
+    t.phase = rng.uniform(0.0, kTwoPi);
+    sum_sq += 0.5 * t.amplitude * t.amplitude;  // sin^2 averages to 1/2
+    s.terms.push_back(t);
+  }
+  // Rescale to the requested RMS.
+  const double scale = rms / std::sqrt(std::max(sum_sq, 1e-12));
+  for (Term& t : s.terms) t.amplitude *= scale;
+  return s;
+}
+
+VolunteerStyle VolunteerStyle::sample(Rng& rng) {
+  VolunteerStyle v;
+  v.tempo = rng.uniform(0.8, 1.3);
+  v.amplitude_m = rng.uniform(0.07, 0.14);
+  v.secondary_ratio = rng.uniform(0.04, 0.10);
+  v.rotation_rad_s = rng.uniform(0.5, 1.3);
+  v.cone_half_angle = rng.uniform(0.35, 0.65);
+  return v;
+}
+
+GestureTrajectory::GestureTrajectory(Rng& rng, const VolunteerStyle& style,
+                                     const GestureParams& params)
+    : params_(params) {
+  // Dominant direction: uniform within a cone around the facing axis.
+  const Vec3 axis = params_.facing.normalized();
+  // Build an orthonormal frame around `axis`.
+  const Vec3 helper = std::abs(axis.z) < 0.9 ? Vec3{0, 0, 1} : Vec3{0, 1, 0};
+  const Vec3 u = axis.cross(helper).normalized();
+  const Vec3 v = axis.cross(u);
+  const double cos_half = std::cos(style.cone_half_angle);
+  const double cos_theta = rng.uniform(cos_half, 1.0);  // uniform in solid angle
+  const double sin_theta = std::sqrt(std::max(0.0, 1.0 - cos_theta * cos_theta));
+  const double phi = rng.uniform(0.0, kTwoPi);
+  w_ = (axis * cos_theta + u * (sin_theta * std::cos(phi)) + v * (sin_theta * std::sin(phi)))
+           .normalized();
+
+  const double f_lo = 0.4 * style.tempo;
+  const double f_hi = 4.5 * style.tempo;
+  s_ = SinusoidSum::random(rng, params_.harmonics, f_lo, f_hi, style.amplitude_m);
+  for (auto& sec : sec_)
+    sec = SinusoidSum::random(rng, params_.harmonics, f_lo, f_hi,
+                              style.amplitude_m * style.secondary_ratio);
+  for (auto& om : omega_)
+    om = SinusoidSum::random(rng, 4, f_lo, 0.7 * f_hi, style.rotation_rad_s / std::sqrt(3.0));
+
+  // Initial attitude: a moderate random tilt from a canonical hand pose.
+  const Vec3 tilt_axis{rng.normal(), rng.normal(), rng.normal()};
+  q0_ = Quaternion::from_axis_angle(tilt_axis, rng.uniform(0.0, 0.9));
+
+  // Precompute the attitude track by integrating the (enveloped) body rate.
+  const std::size_t steps = static_cast<std::size_t>(total_duration() / fine_dt_) + 2;
+  attitude_track_.reserve(steps);
+  Quaternion q = q0_;
+  attitude_track_.push_back(q);
+  for (std::size_t i = 1; i < steps; ++i) {
+    const double t = static_cast<double>(i - 1) * fine_dt_;
+    q = q.integrated(angular_rate_body(t), fine_dt_);
+    attitude_track_.push_back(q);
+  }
+}
+
+double GestureTrajectory::envelope(double t) const {
+  const double t0 = params_.pause_s;
+  if (t <= t0) return 0.0;
+  const double s = (t - t0) / params_.ramp_s;
+  if (s >= 1.0) return 1.0;
+  return s * s * (3.0 - 2.0 * s);
+}
+
+double GestureTrajectory::envelope_d1(double t) const {
+  const double t0 = params_.pause_s;
+  if (t <= t0) return 0.0;
+  const double s = (t - t0) / params_.ramp_s;
+  if (s >= 1.0) return 0.0;
+  return 6.0 * s * (1.0 - s) / params_.ramp_s;
+}
+
+double GestureTrajectory::envelope_d2(double t) const {
+  const double t0 = params_.pause_s;
+  if (t <= t0) return 0.0;
+  const double s = (t - t0) / params_.ramp_s;
+  if (s >= 1.0) return 0.0;
+  return (6.0 - 12.0 * s) / (params_.ramp_s * params_.ramp_s);
+}
+
+Vec3 GestureTrajectory::position(double t) const {
+  const double e = envelope(t);
+  if (e == 0.0) return {};
+  const double t0 = params_.pause_s;
+  // Subtract the value at motion start so the hand starts from rest position.
+  const Vec3 raw = w_ * (s_.value(t) - s_.value(t0)) +
+                   Vec3{sec_[0].value(t) - sec_[0].value(t0),
+                        sec_[1].value(t) - sec_[1].value(t0),
+                        sec_[2].value(t) - sec_[2].value(t0)};
+  return raw * e;
+}
+
+Vec3 GestureTrajectory::velocity(double t) const {
+  const double e = envelope(t);
+  const double e1 = envelope_d1(t);
+  if (e == 0.0 && e1 == 0.0) return {};
+  const double t0 = params_.pause_s;
+  const Vec3 raw = w_ * (s_.value(t) - s_.value(t0)) +
+                   Vec3{sec_[0].value(t) - sec_[0].value(t0),
+                        sec_[1].value(t) - sec_[1].value(t0),
+                        sec_[2].value(t) - sec_[2].value(t0)};
+  const Vec3 raw1 = w_ * s_.d1(t) + Vec3{sec_[0].d1(t), sec_[1].d1(t), sec_[2].d1(t)};
+  return raw * e1 + raw1 * e;
+}
+
+Vec3 GestureTrajectory::acceleration(double t) const {
+  const double e = envelope(t);
+  const double e1 = envelope_d1(t);
+  const double e2 = envelope_d2(t);
+  if (e == 0.0 && e1 == 0.0 && e2 == 0.0) return {};
+  const double t0 = params_.pause_s;
+  const Vec3 raw = w_ * (s_.value(t) - s_.value(t0)) +
+                   Vec3{sec_[0].value(t) - sec_[0].value(t0),
+                        sec_[1].value(t) - sec_[1].value(t0),
+                        sec_[2].value(t) - sec_[2].value(t0)};
+  const Vec3 raw1 = w_ * s_.d1(t) + Vec3{sec_[0].d1(t), sec_[1].d1(t), sec_[2].d1(t)};
+  const Vec3 raw2 = w_ * s_.d2(t) + Vec3{sec_[0].d2(t), sec_[1].d2(t), sec_[2].d2(t)};
+  return raw * e2 + raw1 * (2.0 * e1) + raw2 * e;
+}
+
+Vec3 GestureTrajectory::angular_rate_body(double t) const {
+  const double e = envelope(t);
+  if (e == 0.0) return {};
+  return Vec3{omega_[0].value(t), omega_[1].value(t), omega_[2].value(t)} * e;
+}
+
+Quaternion GestureTrajectory::orientation(double t) const {
+  if (t <= 0.0) return attitude_track_.front();
+  const auto idx = static_cast<std::size_t>(t / fine_dt_);
+  if (idx + 1 >= attitude_track_.size()) return attitude_track_.back();
+  // Refine from the grid point to t with one small integration step.
+  const double t_grid = static_cast<double>(idx) * fine_dt_;
+  return attitude_track_[idx].integrated(angular_rate_body(t_grid), t - t_grid);
+}
+
+}  // namespace wavekey::sim

@@ -1,0 +1,129 @@
+#pragma once
+
+// Random hand-gesture simulator — the stand-in for the paper's six human
+// volunteers (DESIGN.md SS1).
+//
+// Kinematic model. Human "wave the device" gestures are band-limited
+// (< ~5 Hz) and quasi-linear: most of the motion energy lies along one
+// dominant direction, with weaker secondary motion. We therefore model the
+// device position as
+//
+//   p(t) = env(t) * [ w * s(t)  +  p_sec(t) ]
+//
+// where w is a per-gesture random unit vector drawn from a cone around the
+// user's facing direction (users face the reader while interacting), s(t) is
+// a random band-limited scalar profile (sum of sinusoids, 0.4-4.5 Hz), and
+// p_sec is low-amplitude isotropic secondary motion. env(t) is a smooth
+// ramp that is exactly zero during the initial pause the paper prescribes
+// for clock-free synchronization (SIV-B1) and 1 afterwards.
+//
+// Position, velocity, and acceleration are analytic (exact derivatives), so
+// the IMU sensor model introduces no numerical-differentiation artifacts.
+// Device attitude is driven by an analytic body angular rate integrated on a
+// fine internal grid, keeping the simulated gyroscope and the orientation
+// used for gravity projection exactly consistent.
+
+#include <cstdint>
+#include <vector>
+
+#include "numeric/quaternion.hpp"
+#include "numeric/rng.hpp"
+#include "numeric/vec3.hpp"
+#include "sim/trajectory.hpp"
+
+namespace wavekey::sim {
+
+/// A sum of sinusoids with analytic derivatives.
+struct SinusoidSum {
+  struct Term {
+    double amplitude = 0.0;
+    double freq_hz = 0.0;
+    double phase = 0.0;
+  };
+  std::vector<Term> terms;
+
+  double value(double t) const;
+  double d1(double t) const;
+  double d2(double t) const;
+
+  /// Random band-limited profile: `n` terms, frequencies log-uniform in
+  /// [f_lo, f_hi], amplitudes ~ 1/f, rescaled to the requested RMS.
+  static SinusoidSum random(Rng& rng, std::size_t n, double f_lo, double f_hi, double rms);
+};
+
+/// Per-"volunteer" style parameters: how fast, how big, how smooth, and how
+/// much wrist rotation a person puts into their gestures.
+struct VolunteerStyle {
+  double tempo = 1.0;           ///< frequency scale (0.8 slow .. 1.3 brisk)
+  double amplitude_m = 0.10;    ///< RMS amplitude of the dominant motion
+  double secondary_ratio = 0.07;///< secondary / dominant amplitude ratio
+  double rotation_rad_s = 0.9;  ///< RMS wrist angular rate
+  double cone_half_angle = 0.5; ///< rad; spread of w around the facing axis
+
+  /// Samples a plausible style; used to instantiate the simulated cohort.
+  static VolunteerStyle sample(Rng& rng);
+};
+
+/// Structural parameters of one gesture recording.
+struct GestureParams {
+  double pause_s = 0.7;     ///< initial stillness (start-detection anchor)
+  double active_s = 15.0;   ///< motion duration after the pause (paper: >15 s)
+  double ramp_s = 0.2;      ///< smooth-start ramp
+  std::size_t harmonics = 6;
+  Vec3 facing{1.0, 0.0, 0.0};  ///< user's facing direction (toward reader)
+};
+
+/// A fully-instantiated gesture: continuous-time kinematics of the device.
+class GestureTrajectory final : public Trajectory {
+ public:
+  GestureTrajectory(Rng& rng, const VolunteerStyle& style, const GestureParams& params);
+
+  /// Device position relative to the hand's rest point (meters, world frame).
+  Vec3 position(double t) const override;
+  Vec3 velocity(double t) const override;
+  Vec3 acceleration(double t) const override;
+
+  /// Body-frame angular rate (rad/s) as a real gyroscope would sense it.
+  Vec3 angular_rate_body(double t) const override;
+
+  /// Device attitude (body -> world) at time t.
+  Quaternion orientation(double t) const override;
+
+  /// When the motion actually starts (end of the pause).
+  double motion_start() const override { return params_.pause_s; }
+  double total_duration() const override { return params_.pause_s + params_.active_s; }
+  const Vec3& dominant_direction() const { return w_; }
+  const GestureParams& params() const { return params_; }
+
+ private:
+  double envelope(double t) const;
+  double envelope_d1(double t) const;
+  double envelope_d2(double t) const;
+
+  GestureParams params_;
+  Vec3 w_;                       // dominant motion direction
+  SinusoidSum s_;                // dominant scalar profile
+  SinusoidSum sec_[3];           // secondary per-axis profiles
+  SinusoidSum omega_[3];         // body angular-rate profiles
+  Quaternion q0_;                // initial attitude
+  double fine_dt_ = 5e-4;        // attitude integration step
+  std::vector<Quaternion> attitude_track_;
+};
+
+/// Factory tying a seed stream to volunteer styles and gestures.
+class GestureGenerator {
+ public:
+  explicit GestureGenerator(std::uint64_t seed) : rng_(seed) {}
+
+  GestureTrajectory generate(const VolunteerStyle& style, const GestureParams& params) {
+    Rng child = rng_.split();
+    return GestureTrajectory(child, style, params);
+  }
+
+  Rng& rng() { return rng_; }
+
+ private:
+  Rng rng_;
+};
+
+}  // namespace wavekey::sim

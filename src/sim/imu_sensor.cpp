@@ -1,0 +1,84 @@
+#include "sim/imu_sensor.hpp"
+
+namespace wavekey::sim {
+
+std::vector<MobileDeviceProfile> MobileDeviceProfile::standard_devices() {
+  // Noise figures follow typical consumer MEMS datasheet orders of magnitude;
+  // the watch is noisier and slower, the Pixel is the cleanest and fastest.
+  MobileDeviceProfile pixel8{.name = "pixel8",
+                             .sample_rate_hz = 200.0,
+                             .accel_noise = 0.02,
+                             .gyro_noise = 0.0015,
+                             .mag_noise = 0.3,
+                             .accel_bias = 0.03,
+                             .gyro_bias = 0.002,
+                             .misalignment = 0.003,
+                             .timestamp_jitter = 1e-4};
+  MobileDeviceProfile galaxy_a{.name = "galaxy_s5_a",
+                               .sample_rate_hz = 100.0,
+                               .accel_noise = 0.035,
+                               .gyro_noise = 0.0025,
+                               .mag_noise = 0.5,
+                               .accel_bias = 0.06,
+                               .gyro_bias = 0.004,
+                               .misalignment = 0.006,
+                               .timestamp_jitter = 2e-4};
+  MobileDeviceProfile galaxy_b = galaxy_a;
+  galaxy_b.name = "galaxy_s5_b";
+  galaxy_b.accel_bias = 0.07;  // unit-to-unit variation between the two S5s
+  galaxy_b.gyro_bias = 0.0035;
+  MobileDeviceProfile watch{.name = "galaxy_watch",
+                            .sample_rate_hz = 104.0,
+                            .accel_noise = 0.05,
+                            .gyro_noise = 0.004,
+                            .mag_noise = 0.8,
+                            .accel_bias = 0.09,
+                            .gyro_bias = 0.006,
+                            .misalignment = 0.008,
+                            .timestamp_jitter = 4e-4};
+  return {pixel8, galaxy_a, galaxy_b, watch};
+}
+
+ImuSensor::ImuSensor(const MobileDeviceProfile& profile, Rng& rng, WorldField field)
+    : profile_(profile), field_(field) {
+  const Vec3 axis{rng.normal(), rng.normal(), rng.normal()};
+  misalignment_ = Quaternion::from_axis_angle(axis, rng.normal(0.0, profile_.misalignment));
+  accel_bias_ = {rng.normal(0.0, profile_.accel_bias), rng.normal(0.0, profile_.accel_bias),
+                 rng.normal(0.0, profile_.accel_bias)};
+  gyro_bias_ = {rng.normal(0.0, profile_.gyro_bias), rng.normal(0.0, profile_.gyro_bias),
+                rng.normal(0.0, profile_.gyro_bias)};
+}
+
+ImuRecord ImuSensor::record(const Trajectory& gesture, double t_begin, double t_end,
+                            Rng& rng) const {
+  ImuRecord rec;
+  rec.device_name = profile_.name;
+  const double dt = 1.0 / profile_.sample_rate_hz;
+  rec.samples.reserve(static_cast<std::size_t>((t_end - t_begin) / dt) + 1);
+
+  for (double t_nominal = t_begin; t_nominal < t_end; t_nominal += dt) {
+    const double t = t_nominal + rng.normal(0.0, profile_.timestamp_jitter);
+    const Quaternion q = gesture.orientation(t);        // body -> world
+    const Quaternion q_inv = q.conjugate();
+
+    // Specific force: f_world = a_world - g_world; sensed in the (slightly
+    // misaligned) body frame plus bias plus white noise.
+    const Vec3 f_world = gesture.acceleration(t) - field_.gravity;
+    Vec3 accel = misalignment_.rotate(q_inv.rotate(f_world)) + accel_bias_;
+    accel += Vec3{rng.normal(0.0, profile_.accel_noise), rng.normal(0.0, profile_.accel_noise),
+                  rng.normal(0.0, profile_.accel_noise)};
+
+    Vec3 gyro = misalignment_.rotate(gesture.angular_rate_body(t)) + gyro_bias_;
+    gyro += Vec3{rng.normal(0.0, profile_.gyro_noise), rng.normal(0.0, profile_.gyro_noise),
+                 rng.normal(0.0, profile_.gyro_noise)};
+
+    Vec3 mag = misalignment_.rotate(q_inv.rotate(field_.magnetic));
+    mag += Vec3{rng.normal(0.0, profile_.mag_noise), rng.normal(0.0, profile_.mag_noise),
+                rng.normal(0.0, profile_.mag_noise)};
+
+    rec.samples.push_back({t_nominal, accel, gyro, mag});
+  }
+  return rec;
+}
+
+}  // namespace wavekey::sim

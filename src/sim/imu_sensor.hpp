@@ -1,0 +1,78 @@
+#pragma once
+
+// IMU sensor model — the stand-in for the paper's four mobile devices
+// (Google Pixel 8, two Samsung Galaxy S5 phones, one Samsung Galaxy Watch).
+//
+// Each simulated sensor samples the ground-truth gesture kinematics and
+// corrupts them the way a real MEMS IMU does: gravity enters the
+// accelerometer through the (time-varying) device attitude, each sensor has
+// a per-session bias and white noise, the gyroscope drifts slowly, axes are
+// slightly misaligned, and the hardware sample rate differs per device with
+// small timestamp jitter.
+
+#include <string>
+#include <vector>
+
+#include "numeric/quaternion.hpp"
+#include "numeric/rng.hpp"
+#include "numeric/vec3.hpp"
+#include "sim/gesture.hpp"
+
+namespace wavekey::sim {
+
+/// One timestamped IMU reading (all vectors in the device body frame).
+struct ImuSample {
+  double t = 0.0;   ///< seconds since recording start
+  Vec3 accel;       ///< specific force, m/s^2
+  Vec3 gyro;        ///< angular rate, rad/s
+  Vec3 mag;         ///< magnetic field, microtesla
+};
+
+/// A full recording from one device during one gesture.
+struct ImuRecord {
+  std::string device_name;
+  std::vector<ImuSample> samples;
+};
+
+/// Hardware characteristics of one mobile device's IMU.
+struct MobileDeviceProfile {
+  std::string name;
+  double sample_rate_hz = 100.0;
+  double accel_noise = 0.03;      ///< m/s^2, white, 1 sigma per axis
+  double gyro_noise = 0.002;      ///< rad/s
+  double mag_noise = 0.4;         ///< uT
+  double accel_bias = 0.05;       ///< m/s^2, per-session constant, 1 sigma
+  double gyro_bias = 0.003;       ///< rad/s (slow drift source)
+  double misalignment = 0.005;    ///< rad, random fixed axis misalignment
+  double timestamp_jitter = 2e-4; ///< s
+
+  /// The paper's four evaluation devices (SVI-A).
+  static std::vector<MobileDeviceProfile> standard_devices();
+};
+
+/// Gravity and geomagnetic constants of the simulated venue.
+struct WorldField {
+  Vec3 gravity{0.0, 0.0, -9.81};          ///< m/s^2, world frame
+  Vec3 magnetic{22.0, 0.0, -42.0};        ///< uT (mid-latitude inclination)
+};
+
+/// Samples a gesture trajectory through a device's IMU.
+class ImuSensor {
+ public:
+  /// Per-session state (biases, misalignment) is drawn from `rng` once.
+  ImuSensor(const MobileDeviceProfile& profile, Rng& rng, WorldField field = {});
+
+  /// Records [t_begin, t_end) at the device's native rate.
+  ImuRecord record(const Trajectory& gesture, double t_begin, double t_end, Rng& rng) const;
+
+  const MobileDeviceProfile& profile() const { return profile_; }
+
+ private:
+  MobileDeviceProfile profile_;
+  WorldField field_;
+  Quaternion misalignment_;  // body -> sensor frame
+  Vec3 accel_bias_;
+  Vec3 gyro_bias_;
+};
+
+}  // namespace wavekey::sim

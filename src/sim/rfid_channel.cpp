@@ -1,0 +1,187 @@
+#include "sim/rfid_channel.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/phase_unwrap.hpp"
+
+namespace wavekey::sim {
+namespace {
+
+constexpr double kTwoPi = 2.0 * M_PI;
+
+}  // namespace
+
+std::vector<TagProfile> TagProfile::standard_tags() {
+  return {
+      {.name = "alien_9640_a", .backscatter_gain = 1.00, .phase_offset = 0.30},
+      {.name = "alien_9640_b", .backscatter_gain = 0.97, .phase_offset = 0.42},
+      {.name = "alien_9730_a", .backscatter_gain = 1.08, .phase_offset = 1.10},
+      {.name = "alien_9730_b", .backscatter_gain = 1.05, .phase_offset = 1.02},
+      {.name = "dogbone_a", .backscatter_gain = 0.90, .phase_offset = 2.05},
+      {.name = "dogbone_b", .backscatter_gain = 0.88, .phase_offset = 2.21},
+  };
+}
+
+Vec3 Reflector::position(double t) const {
+  if (!moving) return base_position;
+  // Walk along walk_direction with a lateral sway perpendicular to it.
+  const Vec3 fwd = walk_direction.normalized();
+  const Vec3 lateral = fwd.cross({0, 0, 1}).normalized();
+  // Walkers pace back and forth over a ~4 m span rather than leaving the room.
+  const double span = 4.0;
+  const double raw = walk_speed * t;
+  const double cycle = std::fmod(raw, 2.0 * span);
+  const double along = cycle < span ? cycle : 2.0 * span - cycle;
+  return base_position + fwd * along +
+         lateral * (sway_amp * std::sin(kTwoPi * sway_freq * t + sway_phase));
+}
+
+EnvironmentModel EnvironmentModel::make(int id, bool dynamic, Rng& rng) {
+  if (id < 1 || id > 4) throw std::invalid_argument("EnvironmentModel: id must be in [1,4]");
+  EnvironmentModel env;
+  env.id = id;
+  env.dynamic = dynamic;
+
+  // Four static layouts: walls/furniture at different ranges and strengths.
+  // Coordinates are meters in the antenna frame (boresight +x, z up).
+  switch (id) {
+    case 1:
+      env.reflectors = {{.base_position = {3.0, 2.5, 0.0}, .rho = 0.25},
+                        {.base_position = {6.0, -3.0, 0.5}, .rho = 0.20},
+                        {.base_position = {1.5, -2.0, -0.5}, .rho = 0.15}};
+      break;
+    case 2:
+      env.reflectors = {{.base_position = {4.5, 3.5, 0.0}, .rho = 0.30},
+                        {.base_position = {8.0, 0.5, 1.0}, .rho = 0.18}};
+      break;
+    case 3:
+      env.reflectors = {{.base_position = {2.0, 1.0, 1.2}, .rho = 0.22},
+                        {.base_position = {5.0, -4.0, 0.0}, .rho = 0.28},
+                        {.base_position = {7.0, 2.0, -0.8}, .rho = 0.12},
+                        {.base_position = {3.5, -1.0, 0.3}, .rho = 0.10}};
+      break;
+    case 4:
+      env.reflectors = {{.base_position = {9.0, 4.0, 0.0}, .rho = 0.35},
+                        {.base_position = {2.5, 3.0, 0.5}, .rho = 0.15},
+                        {.base_position = {4.0, -2.5, -1.0}, .rho = 0.20}};
+      break;
+    default:
+      break;
+  }
+
+  if (dynamic) {
+    // Five walkers circulating around the reader (the paper's other five
+    // volunteers). They start near the antenna side of the room.
+    for (int k = 0; k < 5; ++k) {
+      Reflector walker;
+      const double angle = rng.uniform(0.0, kTwoPi);
+      walker.base_position = {1.5 + rng.uniform(0.0, 2.5), 3.0 * std::sin(angle),
+                              rng.uniform(-0.3, 0.3)};
+      walker.rho = rng.uniform(0.10, 0.22);  // human torso scatterer, a few m off-link
+      walker.moving = true;
+      walker.walk_direction = {std::cos(angle), std::sin(angle), 0.0};
+      walker.walk_speed = rng.uniform(0.6, 1.4);
+      walker.sway_amp = rng.uniform(0.02, 0.06);
+      walker.sway_freq = rng.uniform(1.5, 2.2);
+      walker.sway_phase = rng.uniform(0.0, kTwoPi);
+      env.reflectors.push_back(walker);
+    }
+  }
+  return env;
+}
+
+Vec3 SessionGeometry::user_position() const {
+  return {distance_m * std::cos(azimuth_rad), distance_m * std::sin(azimuth_rad), 0.0};
+}
+
+Vec3 SessionGeometry::facing_direction() const {
+  return (antenna_position() - user_position()).normalized();
+}
+
+RfidChannel::RfidChannel(const TagProfile& tag, const EnvironmentModel& env,
+                         const SessionGeometry& geometry, Rng& rng, ReaderConfig config)
+    : tag_(tag),
+      env_(env),
+      geometry_(geometry),
+      config_(config),
+      reader_phase_offset_(rng.uniform(0.0, kTwoPi)) {}
+
+double RfidChannel::antenna_gain(const Vec3& target) const {
+  // Parabolic-in-dB pattern with the configured -3 dB beamwidth (amplitude
+  // gain, so half the power dB). Boresight along +x.
+  const Vec3 dir = target.normalized();
+  const double off_boresight = std::acos(std::clamp(dir.x, -1.0, 1.0));
+  const double half_bw = 0.5 * config_.beamwidth_deg * M_PI / 180.0;
+  const double power_db = -3.0 * (off_boresight / half_bw) * (off_boresight / half_bw);
+  return std::pow(10.0, power_db / 20.0);
+}
+
+std::complex<double> RfidChannel::channel_at(const Trajectory& gesture, double t) const {
+  const Vec3 tag_pos =
+      geometry_.user_position() + geometry_.hand_offset + gesture.position(t);
+  const double lambda = wavelength();
+
+  // Per-leg amplitude/length lists: leg 0 is the direct path.
+  struct Leg {
+    double amplitude;
+    double length;
+  };
+  std::vector<Leg> legs;
+  legs.reserve(1 + env_.reflectors.size());
+
+  const double d_direct = (tag_pos - geometry_.antenna_position()).norm();
+  const double gain = antenna_gain(tag_pos);
+  legs.push_back({gain / std::max(d_direct, 0.1), d_direct});
+  for (const Reflector& r : env_.reflectors) {
+    const Vec3 rp = r.position(t);
+    const double l1 = (rp - geometry_.antenna_position()).norm();
+    const double l2 = (tag_pos - rp).norm();
+    const double g = antenna_gain(rp);  // antenna illuminates the reflector
+    legs.push_back({r.rho * g / std::max(l1 * l2, 0.1), l1 + l2});
+  }
+
+  // Sum over (down leg, up leg) pairs; skip reflected-reflected pairs, whose
+  // amplitude is second order in rho.
+  std::complex<double> h{0.0, 0.0};
+  const double k_wave = kTwoPi / lambda;
+  for (std::size_t dn = 0; dn < legs.size(); ++dn) {
+    for (std::size_t up = 0; up < legs.size(); ++up) {
+      if (dn != 0 && up != 0) continue;
+      const double amp = legs[dn].amplitude * legs[up].amplitude;
+      const double phase = k_wave * (legs[dn].length + legs[up].length);
+      h += std::polar(amp, -phase);
+    }
+  }
+  h *= std::polar(config_.tx_amplitude * tag_.backscatter_gain,
+                  tag_.phase_offset + reader_phase_offset_);
+  return h;
+}
+
+RfidRecord RfidChannel::record(const Trajectory& gesture, double t_begin, double t_end,
+                               Rng& rng) const {
+  RfidRecord rec;
+  rec.tag_name = tag_.name;
+  const double dt = 1.0 / config_.sample_rate_hz;
+  rec.samples.reserve(static_cast<std::size_t>((t_end - t_begin) / dt) + 1);
+
+  const double phase_step = kTwoPi / static_cast<double>(1 << config_.phase_quant_bits);
+  for (double t = t_begin; t < t_end; t += dt) {
+    std::complex<double> h = channel_at(gesture, t);
+    h += std::complex<double>(rng.normal(0.0, config_.noise_sigma),
+                              rng.normal(0.0, config_.noise_sigma));
+
+    RfidSample s;
+    s.t = t;
+    const double raw_phase = dsp::wrap_phase(std::arg(h));
+    s.phase = std::floor(raw_phase / phase_step) * phase_step;
+    s.magnitude = std::abs(h);
+    const double dbm = 10.0 * std::log10(std::max(s.magnitude * s.magnitude, 1e-15)) - 30.0;
+    s.rssi_dbm = std::round(dbm / config_.rssi_quant_db) * config_.rssi_quant_db;
+    rec.samples.push_back(s);
+  }
+  return rec;
+}
+
+}  // namespace wavekey::sim

@@ -1,0 +1,34 @@
+#include "sim/scenario.hpp"
+
+#include <cmath>
+
+namespace wavekey::sim {
+
+ScenarioSimulator::ScenarioSimulator(ScenarioConfig config, std::uint64_t seed)
+    : config_(std::move(config)), rng_(seed) {}
+
+SessionRecording ScenarioSimulator::run() {
+  SessionGeometry geometry;
+  geometry.distance_m = config_.distance_m;
+  geometry.azimuth_rad = config_.azimuth_deg * M_PI / 180.0;
+
+  GestureParams gp = config_.gesture;
+  gp.facing = geometry.facing_direction();
+
+  Rng gesture_rng = rng_.split();
+  GestureTrajectory trajectory(gesture_rng, config_.volunteer, gp);
+
+  Rng imu_rng = rng_.split();
+  ImuSensor imu_sensor(config_.device, imu_rng);
+  ImuRecord imu = imu_sensor.record(trajectory, 0.0, trajectory.total_duration(), imu_rng);
+
+  Rng rfid_rng = rng_.split();
+  EnvironmentModel env =
+      EnvironmentModel::make(config_.environment_id, config_.dynamic_environment, rfid_rng);
+  RfidChannel channel(config_.tag, env, geometry, rfid_rng);
+  RfidRecord rfid = channel.record(trajectory, 0.0, trajectory.total_duration(), rfid_rng);
+
+  return SessionRecording{std::move(trajectory), std::move(imu), std::move(rfid), geometry};
+}
+
+}  // namespace wavekey::sim

@@ -1,0 +1,55 @@
+#pragma once
+
+// Scenario assembly: wires a volunteer, a mobile device, a tag, an
+// environment, and a session geometry into one simulated key-establishment
+// recording (paired IMU + RFID data of the same gesture). The paper's
+// default setting (SVI-B) — Galaxy Watch, Alien 9640 tag, static lab, 5 m,
+// 0 degrees — is the default-constructed configuration.
+
+#include <cstdint>
+
+#include "sim/gesture.hpp"
+#include "sim/imu_sensor.hpp"
+#include "sim/rfid_channel.hpp"
+
+namespace wavekey::sim {
+
+struct ScenarioConfig {
+  VolunteerStyle volunteer{};
+  MobileDeviceProfile device = MobileDeviceProfile::standard_devices()[3];  // galaxy_watch
+  TagProfile tag = TagProfile::standard_tags()[0];                          // alien_9640_a
+  int environment_id = 1;
+  bool dynamic_environment = false;
+  double distance_m = 5.0;
+  double azimuth_deg = 0.0;
+  GestureParams gesture{};
+};
+
+/// One simulated session: the ground-truth gesture plus both recordings.
+struct SessionRecording {
+  GestureTrajectory trajectory;
+  ImuRecord imu;
+  RfidRecord rfid;
+  SessionGeometry geometry;
+};
+
+/// Deterministic scenario generator. Every call to `run()` produces a fresh
+/// gesture/session from the seed stream; two simulators with equal seeds and
+/// configs generate identical data.
+class ScenarioSimulator {
+ public:
+  ScenarioSimulator(ScenarioConfig config, std::uint64_t seed);
+
+  /// Simulates one full key-establishment recording. Both devices record the
+  /// whole pause + gesture; alignment by start detection happens in the
+  /// processing pipelines (imu/, rfid/), as in the paper.
+  SessionRecording run();
+
+  const ScenarioConfig& config() const { return config_; }
+
+ private:
+  ScenarioConfig config_;
+  Rng rng_;
+};
+
+}  // namespace wavekey::sim

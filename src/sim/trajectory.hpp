@@ -1,0 +1,33 @@
+#pragma once
+
+// Abstract device-trajectory interface. The gesture simulator provides the
+// benign implementation; the attack suite provides derived trajectories
+// (time-warped mimicry, camera-reconstructed tracks) that feed the same
+// sensor models and pipelines.
+
+#include "numeric/quaternion.hpp"
+#include "numeric/vec3.hpp"
+
+namespace wavekey::sim {
+
+class Trajectory {
+ public:
+  virtual ~Trajectory() = default;
+
+  /// Device position relative to the rest point (meters, world frame).
+  virtual Vec3 position(double t) const = 0;
+  virtual Vec3 velocity(double t) const = 0;
+  virtual Vec3 acceleration(double t) const = 0;
+
+  /// Body-frame angular rate (rad/s).
+  virtual Vec3 angular_rate_body(double t) const = 0;
+
+  /// Device attitude (body -> world).
+  virtual Quaternion orientation(double t) const = 0;
+
+  /// When motion starts (end of the pause) and when the recording ends.
+  virtual double motion_start() const = 0;
+  virtual double total_duration() const = 0;
+};
+
+}  // namespace wavekey::sim

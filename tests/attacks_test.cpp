@@ -1,0 +1,238 @@
+// Tests of the attack suite: mimic trajectory properties (reaction lag,
+// tracking-bandwidth loss), random-guess statistics against Eq. (4), the
+// camera pipeline, signal spoofing, and the protocol interceptors.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <span>
+
+#include "attacks/attack_eval.hpp"
+#include "attacks/camera_attack.hpp"
+#include "attacks/mimic.hpp"
+#include "core/key_seed.hpp"
+#include "numeric/stats.hpp"
+#include "sim/scenario.hpp"
+
+namespace wavekey::attacks {
+namespace {
+
+sim::GestureTrajectory make_victim(std::uint64_t seed) {
+  Rng rng(seed);
+  const sim::VolunteerStyle style = sim::VolunteerStyle::sample(rng);
+  sim::GestureParams params;
+  params.active_s = 5.0;
+  return sim::GestureTrajectory(rng, style, params);
+}
+
+// Tiny trained setup shared by the pipeline-level attack tests.
+struct AttackSetup {
+  core::WaveKeyDataset dataset;
+  core::EncoderPair encoders;
+  core::SeedQuantizer quantizer;
+  core::WaveKeyConfig config;
+  AttackSetup()
+      : dataset([] {
+          core::DatasetConfig dc;
+          dc.volunteers = 3;
+          dc.devices = 2;
+          dc.gestures_per_pair = 2;
+          dc.windows_per_gesture = 6;
+          dc.gesture_active_s = 8.0;
+          return core::WaveKeyDataset::generate(dc);
+        }()),
+        encoders([] {
+          Rng rng(7);
+          return core::EncoderPair(core::WaveKeyConfig{}.latent_dim, rng);
+        }()),
+        quantizer(core::SeedQuantizer::from_normal(core::WaveKeyConfig{})) {
+    core::TrainConfig tc;
+    tc.epochs = 6;
+    tc.batch_size = 16;
+    encoders.train(dataset, tc);
+    quantizer = core::SeedQuantizer::calibrated(encoders, dataset, config);
+    config.eta = core::calibrate_eta(encoders, dataset, quantizer).eta;
+  }
+};
+
+AttackSetup& setup() {
+  static AttackSetup s;
+  return s;
+}
+
+TEST(MimicTrajectoryTest, StartsAfterReactionDelay) {
+  const auto victim = make_victim(1);
+  Rng rng(2);
+  const MimicTrajectory mimic(victim, MimicSkill::average(), rng);
+  EXPECT_GT(mimic.motion_start(), victim.motion_start() + 0.05);
+  // Before its own start the mimic is still.
+  EXPECT_LT(mimic.position(victim.motion_start()).norm(), 0.02);
+}
+
+TEST(MimicTrajectoryTest, TracksCoarseShapeButLosesDetail) {
+  const auto victim = make_victim(3);
+  Rng rng(4);
+  const MimicTrajectory mimic(victim, MimicSkill::average(), rng);
+
+  // Sample both trajectories; the mimic correlates with the victim at low
+  // frequency but has far less high-frequency energy.
+  std::vector<double> v_pos, m_pos, v_hf, m_hf;
+  double prev_v = 0.0, prev_m = 0.0, pprev_v = 0.0, pprev_m = 0.0;
+  for (double t = 1.5; t < 5.0; t += 0.01) {
+    const double v = victim.position(t).x;
+    const double m = mimic.position(t).x;
+    v_pos.push_back(v);
+    m_pos.push_back(m);
+    // Second difference ~ high-frequency content.
+    if (v_pos.size() > 2) {
+      v_hf.push_back(v - 2 * prev_v + pprev_v);
+      m_hf.push_back(m - 2 * prev_m + pprev_m);
+    }
+    pprev_v = prev_v;
+    prev_v = v;
+    pprev_m = prev_m;
+    prev_m = m;
+  }
+  // Coarse shape survives, but shifted by the visuomotor lag: take the best
+  // correlation over candidate lags up to ~0.6 s.
+  double best_corr = 0.0;
+  for (int lag = 0; lag <= 60; lag += 5) {
+    const std::size_t n = v_pos.size() - static_cast<std::size_t>(lag);
+    const std::span<const double> v_span(v_pos.data(), n);
+    const std::span<const double> m_span(m_pos.data() + lag, n);
+    best_corr = std::max(best_corr, std::abs(pearson(v_span, m_span)));
+  }
+  EXPECT_GT(best_corr, 0.3);
+  const double v_energy = variance(v_hf), m_energy = variance(m_hf);
+  EXPECT_LT(m_energy, 0.5 * v_energy);  // fine detail does not
+}
+
+TEST(MimicTrajectoryTest, SkilledMimicTracksBetterThanAverage) {
+  const auto victim = make_victim(5);
+  double err_avg = 0.0, err_skilled = 0.0;
+  for (int trial = 0; trial < 5; ++trial) {
+    Rng r1(10 + trial), r2(10 + trial);
+    const MimicTrajectory avg(victim, MimicSkill::average(), r1);
+    const MimicTrajectory skilled(victim, MimicSkill::skilled(), r2);
+    for (double t = 1.5; t < 5.0; t += 0.05) {
+      err_avg += (avg.position(t) - victim.position(t)).norm();
+      err_skilled += (skilled.position(t) - victim.position(t)).norm();
+    }
+  }
+  EXPECT_LT(err_skilled, err_avg);
+}
+
+TEST(RandomGuessTest, EmpiricalRateMatchesAnalytic) {
+  crypto::Drbg rng(11);
+  const BitVec victim = rng.random_bits(16);
+  const double eta = 0.2;  // tolerates 3 of 16 bits
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i)
+    if (run_random_guess_attack(victim, eta, rng).success()) ++hits;
+  const double analytic = core::random_guess_success_rate(16, eta);
+  EXPECT_NEAR(static_cast<double>(hits) / n, analytic,
+              5.0 * std::sqrt(analytic / n) + 1e-4);
+}
+
+TEST(MimicAttackTest, RunsAndReportsMismatch) {
+  AttackSetup& s = setup();
+  sim::ScenarioConfig sc;
+  sc.gesture.active_s = 4.0;
+  int ran = 0;
+  std::vector<double> mismatches;
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const auto r = run_mimic_attack(s.encoders, s.quantizer, s.config, sc,
+                                    MimicSkill::average(), seed * 31 + 5);
+    if (!r) continue;
+    ++ran;
+    mismatches.push_back(r->mismatch);
+    EXPECT_TRUE(r->within_deadline);  // live mimicry has no compute latency
+  }
+  ASSERT_GT(ran, 4);
+  // On average the mimic's seed must be far from the victim's.
+  EXPECT_GT(mean(mismatches), 0.15);
+}
+
+TEST(CameraAttackTest, RemoteRecoversSomethingInSituLosesDepth) {
+  AttackSetup& s = setup();
+  const auto victim = make_victim(21);
+  Rng rng(22);
+  const auto remote = run_camera_attack(s.encoders, s.quantizer, s.config, victim,
+                                        sim::CameraConfig::remote(), {1, 0, 0}, rng);
+  ASSERT_TRUE(remote.has_value());
+  EXPECT_EQ(remote->seed.size(), 48u);
+  // Remote recording streams video: latency far beyond tau.
+  EXPECT_FALSE(remote->within_deadline);
+
+  Rng rng2(23);
+  const auto insitu = run_camera_attack(s.encoders, s.quantizer, s.config, victim,
+                                        sim::CameraConfig::in_situ(), {1, 0, 0}, rng2);
+  ASSERT_TRUE(insitu.has_value());
+  EXPECT_EQ(insitu->seed.size(), 48u);
+}
+
+TEST(CameraSpoofTest, ReportsDeadlineViolationForRemote) {
+  AttackSetup& s = setup();
+  sim::ScenarioConfig sc;
+  sc.gesture.active_s = 4.0;
+  int ran = 0, within = 0;
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const auto r = run_camera_spoof(s.encoders, s.quantizer, s.config, sc,
+                                    sim::CameraConfig::remote(), seed * 17 + 1);
+    if (!r) continue;
+    ++ran;
+    if (r->within_deadline) ++within;
+  }
+  ASSERT_GT(ran, 3);
+  EXPECT_EQ(within, 0);  // streaming + 3-D detection never fits in tau
+}
+
+TEST(SignalSpoofTest, SpoofedSignalBreaksSeedAgreement) {
+  AttackSetup& s = setup();
+  sim::ScenarioConfig sc;
+  sc.distance_m = 2.0;
+  sc.gesture.active_s = 4.0;
+  std::vector<double> spoofed;
+  Rng rng(31);
+  for (int i = 0; i < 8; ++i) {
+    const std::uint64_t seed = rng.next();
+    if (const auto sp = run_signal_spoof(s.encoders, s.quantizer, s.config, sc, seed))
+      spoofed.push_back(*sp);
+  }
+  ASSERT_GT(spoofed.size(), 4u);
+  // Spoofing decorrelates the modalities: the induced mismatch must sit far
+  // above the calibrated benign tolerance, so the session fails and the
+  // attack is detected (SV-A).
+  EXPECT_GT(mean(spoofed), s.config.eta + 0.05);
+}
+
+TEST(InterceptorTest, EavesdropperCollectsTraffic) {
+  protocol::Bytes transcript;
+  auto eave = make_eavesdropper(&transcript);
+  protocol::InFlightMessage msg{"mobile", "server", protocol::MessageType::kMsgA, {1, 2, 3}, 0.0};
+  EXPECT_DOUBLE_EQ(eave(msg), 0.0);
+  EXPECT_EQ(transcript, (protocol::Bytes{1, 2, 3}));
+  EXPECT_EQ(msg.payload, (protocol::Bytes{1, 2, 3}));  // unmodified
+}
+
+TEST(InterceptorTest, TampererFlipsTargetedBit) {
+  auto tamper = make_tamperer(protocol::MessageType::kMsgB, 9);
+  protocol::InFlightMessage hit{"m", "s", protocol::MessageType::kMsgB, {0x00, 0x00}, 0.0};
+  (void)tamper(hit);
+  EXPECT_EQ(hit.payload[1], 0x02);  // bit 9 = byte 1 bit 1
+  protocol::InFlightMessage miss{"m", "s", protocol::MessageType::kMsgA, {0x00, 0x00}, 0.0};
+  (void)tamper(miss);
+  EXPECT_EQ(miss.payload[1], 0x00);
+}
+
+TEST(InterceptorTest, DelayerDelaysOnlyTarget) {
+  auto delay = make_delayer(protocol::MessageType::kChallenge, 0.7);
+  protocol::InFlightMessage hit{"m", "s", protocol::MessageType::kChallenge, {}, 0.0};
+  protocol::InFlightMessage miss{"m", "s", protocol::MessageType::kMsgA, {}, 0.0};
+  EXPECT_DOUBLE_EQ(delay(hit), 0.7);
+  EXPECT_DOUBLE_EQ(delay(miss), 0.0);
+}
+
+}  // namespace
+}  // namespace wavekey::attacks

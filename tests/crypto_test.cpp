@@ -1,0 +1,306 @@
+// Tests for the crypto substrate: SHA-256 / HMAC against published vectors,
+// ChaCha20 against the RFC 8439 vector, field arithmetic properties in
+// F_{2^255-19}, the stream cipher, and end-to-end OT correctness/obliviousness.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "crypto/chacha20.hpp"
+#include "crypto/drbg.hpp"
+#include "crypto/field25519.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/oblivious_transfer.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/stream_cipher.hpp"
+
+namespace wavekey::crypto {
+namespace {
+
+std::vector<std::uint8_t> ascii(const std::string& s) {
+  return std::vector<std::uint8_t>(s.begin(), s.end());
+}
+
+std::string hex(std::span<const std::uint8_t> bytes) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  for (std::uint8_t b : bytes) {
+    out.push_back(kHex[b >> 4]);
+    out.push_back(kHex[b & 0xF]);
+  }
+  return out;
+}
+
+TEST(Sha256Test, EmptyStringVector) {
+  EXPECT_EQ(hex(Sha256::hash({})),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, AbcVector) {
+  EXPECT_EQ(hex(Sha256::hash(ascii("abc"))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockVector) {
+  EXPECT_EQ(hex(Sha256::hash(ascii("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAs) {
+  Sha256 h;
+  const std::vector<std::uint8_t> chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(hex(h.finalize()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  const auto data = ascii("the quick brown fox jumps over the lazy dog multiple times over");
+  Sha256 h;
+  for (std::size_t i = 0; i < data.size(); i += 7)
+    h.update(std::span(data).subspan(i, std::min<std::size_t>(7, data.size() - i)));
+  EXPECT_EQ(h.finalize(), Sha256::hash(data));
+}
+
+TEST(Sha256Test, UpdateAfterFinalizeThrows) {
+  Sha256 h;
+  h.update(ascii("x"));
+  (void)h.finalize();
+  EXPECT_THROW(h.update(ascii("y")), std::logic_error);
+  EXPECT_THROW(h.finalize(), std::logic_error);
+  h.reset();
+  EXPECT_EQ(h.finalize(), Sha256::hash({}));
+}
+
+TEST(HmacTest, Rfc4231Case1) {
+  const std::vector<std::uint8_t> key(20, 0x0b);
+  EXPECT_EQ(hex(hmac_sha256(key, ascii("Hi There"))),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacTest, Rfc4231Case2) {
+  EXPECT_EQ(hex(hmac_sha256(ascii("Jefe"), ascii("what do ya want for nothing?"))),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacTest, LongKeyIsPrehashed) {
+  // RFC 4231 case 6: 131-byte key of 0xaa.
+  const std::vector<std::uint8_t> key(131, 0xaa);
+  EXPECT_EQ(hex(hmac_sha256(key, ascii("Test Using Larger Than Block-Size Key - Hash Key First"))),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacTest, DigestEqualConstantTimeSemantics) {
+  Digest256 a{}, b{};
+  EXPECT_TRUE(digest_equal(a, b));
+  b[31] = 1;
+  EXPECT_FALSE(digest_equal(a, b));
+}
+
+TEST(ChaCha20Test, Rfc8439KeystreamBlock) {
+  // RFC 8439 section 2.3.2: key = 00..1f, nonce = 00:00:00:09:00:00:00:4a:
+  // 00:00:00:00, counter = 1.
+  std::array<std::uint8_t, 32> key;
+  for (int i = 0; i < 32; ++i) key[i] = static_cast<std::uint8_t>(i);
+  const std::array<std::uint8_t, 12> nonce{0, 0, 0, 9, 0, 0, 0, 0x4a, 0, 0, 0, 0};
+  ChaCha20 c(key, nonce, 1);
+  std::array<std::uint8_t, 64> ks;
+  c.keystream(ks);
+  EXPECT_EQ(hex(std::span(ks).first(16)), "10f1e7e4d13b5915500fdd1fa32071c4");
+  EXPECT_EQ(hex(std::span(ks).subspan(48, 16)), "b5129cd1de164eb9cbd083e8a2503c4e");
+}
+
+TEST(ChaCha20Test, CryptIsInvolution) {
+  std::array<std::uint8_t, 32> key{};
+  key[0] = 7;
+  const std::array<std::uint8_t, 12> nonce{};
+  std::vector<std::uint8_t> msg = ascii("attack at dawn, bring the RFID fob");
+  const auto original = msg;
+  ChaCha20(key, nonce).crypt(msg);
+  EXPECT_NE(msg, original);
+  ChaCha20(key, nonce).crypt(msg);
+  EXPECT_EQ(msg, original);
+}
+
+TEST(ChaCha20Test, RejectsBadKeyNonceSizes) {
+  const std::vector<std::uint8_t> short_key(31), nonce(12), key(32), short_nonce(11);
+  EXPECT_THROW(ChaCha20(short_key, nonce), std::invalid_argument);
+  EXPECT_THROW(ChaCha20(key, short_nonce), std::invalid_argument);
+}
+
+TEST(DrbgTest, DeterministicWithSeedAndDistinctAcrossSeeds) {
+  Drbg a(42), b(42), c(43);
+  std::array<std::uint8_t, 32> ba{}, bb{}, bc{};
+  a.random_bytes(ba);
+  b.random_bytes(bb);
+  c.random_bytes(bc);
+  EXPECT_EQ(ba, bb);
+  EXPECT_NE(ba, bc);
+}
+
+TEST(DrbgTest, RandomBitsLengthAndVariety) {
+  Drbg d(1);
+  const BitVec bits = d.random_bits(1000);
+  EXPECT_EQ(bits.size(), 1000u);
+  // Should be roughly balanced.
+  EXPECT_GT(bits.popcount(), 400u);
+  EXPECT_LT(bits.popcount(), 600u);
+}
+
+TEST(Fe25519Test, SmallValueArithmetic) {
+  const Fe25519 a(7), b(9);
+  EXPECT_EQ(a + b, Fe25519(16));
+  EXPECT_EQ(a * b, Fe25519(63));
+  EXPECT_EQ(b - a, Fe25519(2));
+  EXPECT_EQ(a - a, Fe25519::zero());
+}
+
+TEST(Fe25519Test, SubtractionWrapsModP) {
+  const Fe25519 a(3), b(5);
+  const Fe25519 d = a - b;  // == p - 2
+  EXPECT_EQ(d + b, a);
+}
+
+TEST(Fe25519Test, MultiplicationCommutesAndAssociates) {
+  Drbg rng(55);
+  for (int i = 0; i < 25; ++i) {
+    const Fe25519 x = Fe25519::from_bytes(rng.random_scalar_bytes());
+    const Fe25519 y = Fe25519::from_bytes(rng.random_scalar_bytes());
+    const Fe25519 z = Fe25519::from_bytes(rng.random_scalar_bytes());
+    EXPECT_EQ(x * y, y * x);
+    EXPECT_EQ((x * y) * z, x * (y * z));
+    EXPECT_EQ(x * (y + z), x * y + x * z);
+  }
+}
+
+TEST(Fe25519Test, InverseIsMultiplicativeInverse) {
+  Drbg rng(56);
+  for (int i = 0; i < 10; ++i) {
+    const Fe25519 x = Fe25519::from_bytes(rng.random_scalar_bytes());
+    if (x.is_zero()) continue;
+    EXPECT_EQ(x * x.inverse(), Fe25519::one());
+  }
+  EXPECT_THROW(Fe25519::zero().inverse(), std::domain_error);
+}
+
+TEST(Fe25519Test, FermatLittleTheorem) {
+  // x^(p-1) == 1 for x != 0; p - 1 = 2^255 - 20.
+  std::array<std::uint8_t, 32> pm1;
+  pm1.fill(0xFF);
+  pm1[0] = 0xEC;
+  pm1[31] = 0x7F;
+  Drbg rng(57);
+  const Fe25519 x = Fe25519::from_bytes(rng.random_scalar_bytes());
+  EXPECT_EQ(x.pow(pm1), Fe25519::one());
+}
+
+TEST(Fe25519Test, PowMatchesRepeatedMultiplication) {
+  const Fe25519 g = Fe25519::generator();
+  std::array<std::uint8_t, 32> e{};
+  e[0] = 13;
+  Fe25519 expected = Fe25519::one();
+  for (int i = 0; i < 13; ++i) expected = expected * g;
+  EXPECT_EQ(g.pow(e), expected);
+}
+
+TEST(Fe25519Test, PowLawComposition) {
+  // (g^a)^b == (g^b)^a : the DH property the OT protocol rests on.
+  Drbg rng(58);
+  auto a = rng.random_scalar_bytes();
+  auto b = rng.random_scalar_bytes();
+  a[31] &= 0x7F;
+  b[31] &= 0x7F;
+  const Fe25519 g = Fe25519::generator();
+  EXPECT_EQ(g.pow(a).pow(b), g.pow(b).pow(a));
+}
+
+TEST(Fe25519Test, BytesRoundTrip) {
+  Drbg rng(59);
+  for (int i = 0; i < 10; ++i) {
+    const Fe25519 x = Fe25519::from_bytes(rng.random_scalar_bytes());
+    EXPECT_EQ(Fe25519::from_bytes(x.to_bytes()), x);
+  }
+  EXPECT_THROW(Fe25519::from_bytes(std::vector<std::uint8_t>(31)), std::invalid_argument);
+}
+
+TEST(StreamCipherTest, RoundTripsAndDiffersFromPlaintext) {
+  const auto key = ascii("0123456789abcdef0123456789abcdef");
+  const auto msg = ascii("seventy-three bytes of highly sensitive key agreement pad material!!");
+  const auto ct = stream_crypt(key, msg);
+  EXPECT_NE(ct, msg);
+  EXPECT_EQ(stream_crypt(key, ct), msg);
+}
+
+TEST(StreamCipherTest, DifferentKeysGiveDifferentCiphertexts) {
+  const auto msg = ascii("payload");
+  const auto c1 = stream_crypt(ascii("key-one"), msg);
+  const auto c2 = stream_crypt(ascii("key-two"), msg);
+  EXPECT_NE(c1, c2);
+}
+
+TEST(ObliviousTransferTest, ReceiverGetsChosenSecret) {
+  Drbg rng(60);
+  for (bool choice : {false, true}) {
+    OtSender sender(rng);
+    OtReceiver receiver(rng, choice, sender.first_message());
+    const auto s0 = ascii("secret-number-zero");
+    const auto s1 = ascii("secret-number-one!");
+    const auto cts = sender.encrypt(receiver.response(), s0, s1);
+    EXPECT_EQ(receiver.decrypt(cts), choice ? s1 : s0);
+  }
+}
+
+TEST(ObliviousTransferTest, ReceiverCannotDecryptOtherSecret) {
+  Drbg rng(61);
+  OtSender sender(rng);
+  OtReceiver receiver(rng, false, sender.first_message());
+  const auto s0 = ascii("chosen-secret-000");
+  const auto s1 = ascii("hidden-secret-111");
+  const auto cts = sender.encrypt(receiver.response(), s0, s1);
+  // Decrypting the wrong ciphertext with the receiver's key must not yield s1.
+  const auto wrong = receiver.decrypt({cts.second, cts.second});
+  EXPECT_NE(wrong, s1);
+}
+
+TEST(ObliviousTransferTest, SenderMessagesLookUniformAcrossChoices) {
+  // The sender must not be able to tell which secret was selected: M_b for
+  // choice 0 and choice 1 are both uniformly random group elements. We spot
+  // check that nothing about M_b trivially leaks the choice bit (e.g. by
+  // comparing to M_a).
+  Drbg rng(62);
+  OtSender sender(rng);
+  const Fe25519 ma = sender.first_message();
+  OtReceiver r0(rng, false, ma);
+  OtReceiver r1(rng, true, ma);
+  EXPECT_NE(r0.response(), ma);
+  EXPECT_NE(r1.response(), ma);
+  EXPECT_NE(r0.response(), r1.response());
+}
+
+TEST(ObliviousTransferTest, RejectsZeroGroupElements) {
+  Drbg rng(63);
+  OtSender sender(rng);
+  EXPECT_THROW(OtReceiver(rng, false, Fe25519::zero()), std::invalid_argument);
+  EXPECT_THROW(sender.encrypt(Fe25519::zero(), ascii("a"), ascii("b")), std::invalid_argument);
+}
+
+TEST(ObliviousTransferTest, ManyInstancesBatchCorrectly) {
+  // Mimics the protocol layer's batched usage: l_s parallel instances.
+  Drbg rng(64);
+  constexpr int kInstances = 48;
+  std::vector<OtSender> senders;
+  senders.reserve(kInstances);
+  for (int i = 0; i < kInstances; ++i) senders.emplace_back(rng);
+  for (int i = 0; i < kInstances; ++i) {
+    const bool choice = (i % 3) == 0;
+    OtReceiver receiver(rng, choice, senders[i].first_message());
+    const auto s0 = ascii("pad0-" + std::to_string(i));
+    const auto s1 = ascii("pad1-" + std::to_string(i));
+    const auto cts = senders[i].encrypt(receiver.response(), s0, s1);
+    EXPECT_EQ(receiver.decrypt(cts), choice ? s1 : s0);
+  }
+}
+
+}  // namespace
+}  // namespace wavekey::crypto

@@ -1,0 +1,119 @@
+// Tests of the NIST SP 800-22 implementations: published worked examples
+// from the specification where available, plus sanity properties (random
+// sequences pass, pathological sequences fail).
+
+#include <gtest/gtest.h>
+
+#include "crypto/drbg.hpp"
+#include "nist/nist.hpp"
+#include "numeric/rng.hpp"
+
+namespace wavekey::nist {
+namespace {
+
+BitVec random_bits(std::size_t n, std::uint64_t seed) {
+  crypto::Drbg d(seed);
+  return d.random_bits(n);
+}
+
+BitVec alternating(std::size_t n) {
+  BitVec v(n);
+  for (std::size_t i = 0; i < n; i += 2) v.set(i, true);
+  return v;
+}
+
+TEST(MonobitTest, SpecWorkedExample) {
+  // SP 800-22 section 2.1.8: epsilon = 1011010101, P-value = 0.527089.
+  const BitVec bits = BitVec::from_string("1011010101");
+  EXPECT_NEAR(monobit_test(bits), 0.527089, 1e-5);
+}
+
+TEST(MonobitTest, AllOnesFails) {
+  BitVec v(1000);
+  for (std::size_t i = 0; i < 1000; ++i) v.set(i, true);
+  EXPECT_LT(monobit_test(v), 1e-10);
+}
+
+TEST(MonobitTest, RandomPasses) {
+  EXPECT_GT(monobit_test(random_bits(50000, 1)), 0.01);
+}
+
+TEST(BlockFrequencyTest, SpecWorkedExample) {
+  // SP 800-22 section 2.2.8: epsilon = 0110011010, M = 3, P-value = 0.801252.
+  const BitVec bits = BitVec::from_string("0110011010");
+  EXPECT_NEAR(block_frequency_test(bits, 3), 0.801252, 1e-5);
+}
+
+TEST(BlockFrequencyTest, RandomPassesBiasedFails) {
+  EXPECT_GT(block_frequency_test(random_bits(50000, 2)), 0.01);
+  // Blocks of all-ones / all-zeros alternating: each block is maximally
+  // biased even though the global balance is perfect.
+  BitVec v(4096);
+  for (std::size_t i = 0; i < 4096; ++i) v.set(i, (i / 128) % 2 == 0);
+  EXPECT_LT(block_frequency_test(v, 128), 1e-10);
+}
+
+TEST(BlockFrequencyTest, TooShortThrows) {
+  EXPECT_THROW(block_frequency_test(BitVec(10), 128), std::invalid_argument);
+}
+
+TEST(RunsTest, SpecWorkedExample) {
+  // SP 800-22 section 2.3.8: epsilon = 1001101011, P-value = 0.147232.
+  const BitVec bits = BitVec::from_string("1001101011");
+  EXPECT_NEAR(runs_test(bits), 0.147232, 1e-5);
+}
+
+TEST(RunsTest, RandomPasses) { EXPECT_GT(runs_test(random_bits(51200, 3)), 0.01); }
+
+TEST(RunsTest, AlternatingFails) {
+  // Perfect alternation has far too many runs.
+  EXPECT_LT(runs_test(alternating(10000)), 1e-10);
+}
+
+TEST(RunsTest, FrequencyPrerequisiteGates) {
+  // A heavily biased sequence returns 0 without computing runs statistics.
+  BitVec v(1000);
+  for (std::size_t i = 0; i < 900; ++i) v.set(i, true);
+  EXPECT_EQ(runs_test(v), 0.0);
+}
+
+TEST(LongestRunTest, RandomPassesStructuredFails) {
+  EXPECT_GT(longest_run_test(random_bits(100000, 4)), 0.01);
+  EXPECT_LT(longest_run_test(alternating(100000)), 1e-6);
+}
+
+TEST(CusumTest, SpecWorkedExample) {
+  // SP 800-22 section 2.13.8: epsilon = 1011010111, P-value = 0.4116588.
+  const BitVec bits = BitVec::from_string("1011010111");
+  EXPECT_NEAR(cusum_test(bits), 0.4116588, 1e-4);
+}
+
+TEST(CusumTest, RandomPassesDriftFails) {
+  EXPECT_GT(cusum_test(random_bits(50000, 5)), 0.01);
+  BitVec v(2000);
+  for (std::size_t i = 0; i < 1200; ++i) v.set(i, true);  // long drift up
+  EXPECT_LT(cusum_test(v), 1e-10);
+}
+
+TEST(ApproximateEntropyTest, RandomPassesPeriodicFails) {
+  EXPECT_GT(approximate_entropy_test(random_bits(20000, 6), 2), 0.01);
+  // Period-4 pattern has very low approximate entropy.
+  BitVec v(20000);
+  for (std::size_t i = 0; i < 20000; ++i) v.set(i, (i % 4) < 2);
+  EXPECT_LT(approximate_entropy_test(v, 2), 1e-10);
+}
+
+TEST(SuiteTest, DrbgStreamsPassEverything) {
+  // Our ChaCha20 DRBG must pass the whole battery (it is the randomness
+  // source for the OT pads the established keys are made of).
+  const BitVec bits = random_bits(51200, 7);
+  EXPECT_GT(monobit_test(bits), 0.01);
+  EXPECT_GT(block_frequency_test(bits), 0.01);
+  EXPECT_GT(runs_test(bits), 0.01);
+  EXPECT_GT(longest_run_test(bits), 0.01);
+  EXPECT_GT(cusum_test(bits), 0.01);
+  EXPECT_GT(approximate_entropy_test(bits), 0.01);
+}
+
+}  // namespace
+}  // namespace wavekey::nist

@@ -1,0 +1,263 @@
+// Unit and property tests for the numeric substrate: fixed-size linear
+// algebra, the dynamic matrix/solver, statistics, the PRNG, and BitVec.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "numeric/bitvec.hpp"
+#include "numeric/mat3.hpp"
+#include "numeric/matrix.hpp"
+#include "numeric/quaternion.hpp"
+#include "numeric/rng.hpp"
+#include "numeric/stats.hpp"
+#include "numeric/vec3.hpp"
+
+namespace wavekey {
+namespace {
+
+TEST(Vec3Test, BasicAlgebra) {
+  const Vec3 a{1, 2, 3}, b{4, 5, 6};
+  EXPECT_EQ(a + b, Vec3(5, 7, 9));
+  EXPECT_EQ(a - b, Vec3(-3, -3, -3));
+  EXPECT_EQ(a * 2.0, Vec3(2, 4, 6));
+  EXPECT_DOUBLE_EQ(a.dot(b), 32.0);
+  EXPECT_EQ(a.cross(b), Vec3(-3, 6, -3));
+}
+
+TEST(Vec3Test, CrossIsAntiCommutativeAndOrthogonal) {
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    const Vec3 a{rng.normal(), rng.normal(), rng.normal()};
+    const Vec3 b{rng.normal(), rng.normal(), rng.normal()};
+    const Vec3 c = a.cross(b);
+    EXPECT_NEAR((c + b.cross(a)).norm(), 0.0, 1e-12);
+    EXPECT_NEAR(c.dot(a), 0.0, 1e-9);
+    EXPECT_NEAR(c.dot(b), 0.0, 1e-9);
+  }
+}
+
+TEST(Vec3Test, NormalizedHasUnitNorm) {
+  const Vec3 v{3, 4, 0};
+  EXPECT_DOUBLE_EQ(v.norm(), 5.0);
+  EXPECT_NEAR(v.normalized().norm(), 1.0, 1e-15);
+  EXPECT_EQ(Vec3().normalized(), Vec3());  // zero stays zero
+}
+
+TEST(Mat3Test, IdentityActsTrivially) {
+  const Vec3 v{1.5, -2.0, 0.25};
+  EXPECT_EQ(Mat3::identity() * v, v);
+}
+
+TEST(Mat3Test, TransposeOfRotationIsInverse) {
+  const Quaternion q = Quaternion::from_axis_angle({1, 2, 3}, 0.7);
+  const Mat3 r = q.to_matrix();
+  const Mat3 should_be_identity = r * r.transposed();
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j)
+      EXPECT_NEAR(should_be_identity(i, j), i == j ? 1.0 : 0.0, 1e-12);
+  EXPECT_NEAR(r.det(), 1.0, 1e-12);
+}
+
+TEST(QuaternionTest, RotationMatchesMatrix) {
+  Rng rng(7);
+  for (int i = 0; i < 50; ++i) {
+    const Vec3 axis{rng.normal(), rng.normal(), rng.normal()};
+    const double angle = rng.uniform(-3.0, 3.0);
+    const Quaternion q = Quaternion::from_axis_angle(axis, angle);
+    const Mat3 m = q.to_matrix();
+    const Vec3 v{rng.normal(), rng.normal(), rng.normal()};
+    EXPECT_NEAR((q.rotate(v) - m * v).norm(), 0.0, 1e-10);
+  }
+}
+
+TEST(QuaternionTest, FromMatrixRoundTrips) {
+  Rng rng(11);
+  for (int i = 0; i < 50; ++i) {
+    const Quaternion q =
+        Quaternion::from_axis_angle({rng.normal(), rng.normal(), rng.normal()}, rng.uniform(0.1, 3.0));
+    const Quaternion q2 = Quaternion::from_matrix(q.to_matrix());
+    // q and -q encode the same rotation.
+    const double dot = q.w * q2.w + q.x * q2.x + q.y * q2.y + q.z * q2.z;
+    EXPECT_NEAR(std::abs(dot), 1.0, 1e-9);
+  }
+}
+
+TEST(QuaternionTest, IntegrationOfConstantRateMatchesAxisAngle) {
+  const Vec3 omega{0.0, 0.0, 1.0};  // 1 rad/s about z
+  Quaternion q;
+  const int steps = 1000;
+  const double dt = 1e-3;
+  for (int i = 0; i < steps; ++i) q = q.integrated(omega, dt);
+  const Vec3 rotated = q.rotate({1, 0, 0});
+  EXPECT_NEAR(rotated.x, std::cos(1.0), 1e-6);
+  EXPECT_NEAR(rotated.y, std::sin(1.0), 1e-6);
+}
+
+TEST(MatrixTest, MatmulAgainstKnownProduct) {
+  const Matrix a{{1, 2}, {3, 4}};
+  const Matrix b{{5, 6}, {7, 8}};
+  const Matrix c = a.matmul(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50);
+}
+
+TEST(MatrixTest, ShapeMismatchThrows) {
+  const Matrix a(2, 3), b(2, 3);
+  EXPECT_THROW(a.matmul(b), std::invalid_argument);
+  EXPECT_THROW(a.at(5, 0), std::out_of_range);
+  EXPECT_THROW((Matrix{{1, 2}, {3}}), std::invalid_argument);
+}
+
+TEST(MatrixTest, SolveLinearSystemRecoversSolution) {
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 1 + trial % 6;
+    Matrix m(n, n);
+    std::vector<double> x_true(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      x_true[i] = rng.normal();
+      for (std::size_t j = 0; j < n; ++j) m(i, j) = rng.normal();
+      m(i, i) += 3.0;  // keep well-conditioned
+    }
+    std::vector<double> b(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < n; ++j) b[i] += m(i, j) * x_true[j];
+    const auto x = solve_linear_system(m, b);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-8);
+  }
+}
+
+TEST(MatrixTest, SingularSystemThrows) {
+  Matrix m{{1, 2}, {2, 4}};
+  EXPECT_THROW(solve_linear_system(m, {1.0, 2.0}), std::runtime_error);
+}
+
+TEST(StatsTest, MeanVarianceKnownValues) {
+  const std::vector<double> xs{2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+  EXPECT_DOUBLE_EQ(variance(xs), 4.0);
+  EXPECT_DOUBLE_EQ(stddev(xs), 2.0);
+}
+
+TEST(StatsTest, PearsonOfLinearSeriesIsOne) {
+  std::vector<double> xs(50), ys(50);
+  for (int i = 0; i < 50; ++i) {
+    xs[i] = i;
+    ys[i] = 3.0 * i - 7.0;
+  }
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+  for (auto& y : ys) y = -y;
+  EXPECT_NEAR(pearson(xs, ys), -1.0, 1e-12);
+}
+
+TEST(StatsTest, PercentileInterpolates) {
+  std::vector<double> xs{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 25), 2.0);
+}
+
+TEST(StatsTest, NormalQuantileInvertsCdf) {
+  for (double p : {0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999}) {
+    const double x = normal_quantile(p);
+    EXPECT_NEAR(normal_cdf(x), p, 1e-9) << "p=" << p;
+  }
+  EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-12);
+  EXPECT_THROW(normal_quantile(0.0), std::domain_error);
+  EXPECT_THROW(normal_quantile(1.0), std::domain_error);
+}
+
+TEST(RngTest, DeterministicForFixedSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-2.0, 3.0);
+    EXPECT_GE(u, -2.0);
+    EXPECT_LT(u, 3.0);
+  }
+}
+
+TEST(RngTest, UniformU64Unbiased) {
+  Rng rng(6);
+  std::array<int, 7> counts{};
+  const int n = 70000;
+  for (int i = 0; i < n; ++i) counts[rng.uniform_u64(7)]++;
+  for (int c : counts) EXPECT_NEAR(c, n / 7.0, 5.0 * std::sqrt(n / 7.0));
+}
+
+TEST(RngTest, NormalMomentsMatch) {
+  Rng rng(8);
+  std::vector<double> xs(20000);
+  for (auto& x : xs) x = rng.normal(1.5, 2.0);
+  EXPECT_NEAR(mean(xs), 1.5, 0.05);
+  EXPECT_NEAR(stddev(xs), 2.0, 0.05);
+}
+
+TEST(RngTest, SplitStreamsDiffer) {
+  Rng parent(9);
+  Rng child = parent.split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (parent.next() == child.next()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(BitVecTest, StringRoundTrip) {
+  const BitVec v = BitVec::from_string("1011001");
+  EXPECT_EQ(v.size(), 7u);
+  EXPECT_EQ(v.to_string(), "1011001");
+  EXPECT_TRUE(v.get(0));
+  EXPECT_FALSE(v.get(1));
+  EXPECT_EQ(v.popcount(), 4u);
+  EXPECT_THROW(BitVec::from_string("10x"), std::invalid_argument);
+}
+
+TEST(BitVecTest, BytesRoundTrip) {
+  const std::vector<std::uint8_t> bytes{0xA5, 0x01};
+  const BitVec v = BitVec::from_bytes(bytes, 16);
+  EXPECT_EQ(v.to_bytes(), bytes);
+  EXPECT_EQ(v.to_string(), "1010010110000000");
+}
+
+TEST(BitVecTest, XorAndHamming) {
+  const BitVec a = BitVec::from_string("110010");
+  const BitVec b = BitVec::from_string("010011");
+  EXPECT_EQ((a ^ b).to_string(), "100001");
+  EXPECT_EQ(a.hamming_distance(b), 2u);
+  EXPECT_NEAR(a.mismatch_ratio(b), 2.0 / 6.0, 1e-15);
+  EXPECT_THROW(a.hamming_distance(BitVec(5)), std::invalid_argument);
+}
+
+TEST(BitVecTest, SliceAppendPushBack) {
+  BitVec v;
+  for (int i = 0; i < 130; ++i) v.push_back(i % 3 == 0);
+  EXPECT_EQ(v.size(), 130u);
+  const BitVec s = v.slice(60, 9);
+  for (int i = 0; i < 9; ++i) EXPECT_EQ(s.get(i), (60 + i) % 3 == 0);
+  BitVec w = v;
+  w.append(s);
+  EXPECT_EQ(w.size(), 139u);
+  EXPECT_EQ(w.slice(130, 9), s);
+  EXPECT_THROW(v.slice(128, 10), std::out_of_range);
+}
+
+TEST(BitVecTest, CrossWordBoundaryConsistency) {
+  // Exercise indices straddling 64-bit word boundaries.
+  BitVec v(200);
+  for (std::size_t i = 62; i < 70; ++i) v.set(i, true);
+  EXPECT_EQ(v.popcount(), 8u);
+  const BitVec s = v.slice(60, 12);
+  EXPECT_EQ(s.to_string(), "001111111100");
+}
+
+}  // namespace
+}  // namespace wavekey

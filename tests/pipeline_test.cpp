@@ -1,0 +1,234 @@
+// Integration tests of the two data-processing pipelines against the
+// simulator ground truth: the mobile pipeline must recover the true linear
+// acceleration, the server pipeline must recover the radial motion, both
+// must self-align via gesture-start detection, and the *cross-modal*
+// correlation the autoencoders rely on must actually be present.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "imu/imu_pipeline.hpp"
+#include "numeric/stats.hpp"
+#include "rfid/rfid_pipeline.hpp"
+#include "sim/scenario.hpp"
+
+namespace wavekey {
+namespace {
+
+sim::SessionRecording make_session(std::uint64_t seed, sim::ScenarioConfig cfg = {}) {
+  cfg.gesture.active_s = 4.0;
+  sim::ScenarioSimulator simulator(cfg, seed);
+  return simulator.run();
+}
+
+TEST(ImuPipelineTest, DetectsStartNearTruePauseEnd) {
+  const auto rec = make_session(1);
+  const auto result = imu::process_imu(rec.imu);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_NEAR(result->gesture_start_time, rec.trajectory.motion_start(), 0.25);
+}
+
+TEST(ImuPipelineTest, RecoversTrueLinearAcceleration) {
+  const auto rec = make_session(2);
+  const auto result = imu::process_imu(rec.imu);
+  ASSERT_TRUE(result.has_value());
+  const Matrix& a = result->linear_accel;
+  ASSERT_EQ(a.rows(), 200u);
+  ASSERT_EQ(a.cols(), 3u);
+
+  // Compare each world axis against ground truth over the window.
+  for (std::size_t axis = 0; axis < 3; ++axis) {
+    std::vector<double> estimated(a.rows()), truth(a.rows());
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+      estimated[i] = a(i, axis);
+      const double t = result->gesture_start_time + static_cast<double>(i) / 100.0;
+      truth[i] = rec.trajectory.acceleration(t)[axis];
+    }
+    if (stddev(truth) < 0.05) continue;  // axis with negligible motion
+    EXPECT_GT(pearson(estimated, truth), 0.93) << "axis " << axis;
+  }
+}
+
+TEST(ImuPipelineTest, InitialPoseMatchesTruth) {
+  const auto rec = make_session(3);
+  const auto result = imu::process_imu(rec.imu);
+  ASSERT_TRUE(result.has_value());
+  const Quaternion q_true = rec.trajectory.orientation(0.0);
+  const Quaternion q_est = result->initial_pose;
+  const double dot =
+      q_true.w * q_est.w + q_true.x * q_est.x + q_true.y * q_est.y + q_true.z * q_est.z;
+  // Small attitude error allowed (sensor noise + bias).
+  EXPECT_GT(std::abs(dot), std::cos(0.05));  // within ~6 degrees (half-angle)
+}
+
+TEST(ImuPipelineTest, RejectsIdleRecording) {
+  // A recording with no gesture (pure pause) must be rejected.
+  sim::ScenarioConfig cfg;
+  cfg.gesture.active_s = 4.0;
+  sim::ScenarioSimulator simulator(cfg, 4);
+  auto rec = simulator.run();
+  // Truncate to the pause only.
+  auto& samples = rec.imu.samples;
+  samples.erase(std::remove_if(samples.begin(), samples.end(),
+                               [&](const sim::ImuSample& s) {
+                                 return s.t > rec.trajectory.motion_start() - 0.05;
+                               }),
+                samples.end());
+  EXPECT_FALSE(imu::process_imu(rec.imu).has_value());
+}
+
+TEST(ImuPipelineTest, RejectsTruncatedWindow) {
+  auto rec = make_session(5);
+  // Cut the recording 1 s after motion start: the 2 s window cannot fit.
+  auto& samples = rec.imu.samples;
+  samples.erase(std::remove_if(samples.begin(), samples.end(),
+                               [&](const sim::ImuSample& s) {
+                                 return s.t > rec.trajectory.motion_start() + 1.0;
+                               }),
+                samples.end());
+  EXPECT_FALSE(imu::process_imu(rec.imu).has_value());
+}
+
+TEST(TriadTest, RecoversKnownAttitude) {
+  const Vec3 gravity{0, 0, -9.81};
+  const Vec3 mag{22, 0, -42};
+  Rng rng(6);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Quaternion q_true = Quaternion::from_axis_angle(
+        {rng.normal(), rng.normal(), rng.normal()}, rng.uniform(0.0, 3.0));
+    const Vec3 body_up = q_true.conjugate().rotate(-gravity * (1.0 / 9.81));
+    const Vec3 body_mag = q_true.conjugate().rotate(mag);
+    const Quaternion q_est = imu::triad_attitude(body_up, body_mag, gravity, mag);
+    const double dot = q_true.w * q_est.w + q_true.x * q_est.x + q_true.y * q_est.y +
+                       q_true.z * q_est.z;
+    EXPECT_NEAR(std::abs(dot), 1.0, 1e-6);
+  }
+}
+
+TEST(RfidPipelineTest, DetectsStartNearTruePauseEnd) {
+  const auto rec = make_session(7);
+  const auto result = rfid::process_rfid(rec.rfid);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_NEAR(result->gesture_start_time, rec.trajectory.motion_start(), 0.25);
+}
+
+TEST(RfidPipelineTest, OutputShapeAndNormalization) {
+  const auto rec = make_session(8);
+  const auto result = rfid::process_rfid(rec.rfid);
+  ASSERT_TRUE(result.has_value());
+  const Matrix& r = result->processed;
+  ASSERT_EQ(r.rows(), 400u);
+  ASSERT_EQ(r.cols(), 2u);
+  const auto phase = r.col(0);
+  const auto mag = r.col(1);
+  EXPECT_NEAR(mean(phase), 0.0, 1e-9);
+  EXPECT_NEAR(mean(mag), 0.0, 1e-9);
+  EXPECT_NEAR(stddev(mag), 1.0, 0.05);
+}
+
+TEST(RfidPipelineTest, PhaseColumnTracksRadialMotion) {
+  const auto rec = make_session(9);
+  const auto result = rfid::process_rfid(rec.rfid);
+  ASSERT_TRUE(result.has_value());
+
+  const auto phase = result->processed.col(0);
+  std::vector<double> radial(phase.size());
+  const Vec3 ant = rec.geometry.antenna_position();
+  for (std::size_t i = 0; i < phase.size(); ++i) {
+    const double t = result->gesture_start_time + static_cast<double>(i) / 200.0;
+    const Vec3 tag_pos = rec.geometry.user_position() + rec.geometry.hand_offset +
+                         rec.trajectory.position(t);
+    radial[i] = (tag_pos - ant).norm();
+  }
+  EXPECT_GT(std::abs(pearson(phase, radial)), 0.95);
+}
+
+TEST(RfidPipelineTest, RejectsIdleRecording) {
+  auto rec = make_session(10);
+  auto& samples = rec.rfid.samples;
+  samples.erase(std::remove_if(samples.begin(), samples.end(),
+                               [&](const sim::RfidSample& s) {
+                                 return s.t > rec.trajectory.motion_start() - 0.05;
+                               }),
+                samples.end());
+  EXPECT_FALSE(rfid::process_rfid(rec.rfid).has_value());
+}
+
+TEST(CrossModalTest, BothPipelinesAlignToTheSameStart) {
+  for (std::uint64_t seed = 20; seed < 30; ++seed) {
+    const auto rec = make_session(seed);
+    const auto imu_result = imu::process_imu(rec.imu);
+    const auto rfid_result = rfid::process_rfid(rec.rfid);
+    ASSERT_TRUE(imu_result.has_value()) << seed;
+    ASSERT_TRUE(rfid_result.has_value()) << seed;
+    EXPECT_NEAR(imu_result->gesture_start_time, rfid_result->gesture_start_time, 0.2) << seed;
+  }
+}
+
+// Removes the best quadratic fit from a series (kills double-integration
+// drift and constant/linear offsets).
+std::vector<double> detrend2(std::span<const double> xs) {
+  const std::size_t n = xs.size();
+  Matrix normal(3, 3);
+  std::vector<double> rhs(3, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(n);
+    const double basis[3] = {1.0, t, t * t};
+    for (int a = 0; a < 3; ++a) {
+      for (int b = 0; b < 3; ++b) normal(a, b) += basis[a] * basis[b];
+      rhs[a] += basis[a] * xs[i];
+    }
+  }
+  const auto coef = solve_linear_system(normal, rhs);
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(n);
+    out[i] = xs[i] - (coef[0] + coef[1] * t + coef[2] * t * t);
+  }
+  return out;
+}
+
+TEST(CrossModalTest, RadialImuDisplacementMatchesPhase) {
+  // The physical link the autoencoders learn: the RFID phase is (up to scale
+  // and multipath perturbation) the radial displacement, which is also the
+  // double integral of the radial component of the IMU pipeline's output.
+  int strong = 0, total = 0;
+  for (std::uint64_t seed = 40; seed < 52; ++seed) {
+    const auto rec = make_session(seed);
+    const auto imu_result = imu::process_imu(rec.imu);
+    const auto rfid_result = rfid::process_rfid(rec.rfid);
+    if (!imu_result || !rfid_result) continue;
+
+    const Vec3 u = (rec.geometry.antenna_position() -
+                    (rec.geometry.user_position() + rec.geometry.hand_offset))
+                       .normalized();
+    // Radial displacement via double integration of the IMU acceleration.
+    const Matrix& a = imu_result->linear_accel;
+    const double dt = 1.0 / 100.0;
+    std::vector<double> disp(a.rows(), 0.0);
+    double vel = 0.0, pos = 0.0;
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+      const double acc = -(a(i, 0) * u.x + a(i, 1) * u.y + a(i, 2) * u.z);
+      vel += acc * dt;
+      pos += vel * dt;
+      disp[i] = pos;
+    }
+    disp = detrend2(disp);
+
+    // Phase downsampled to the 100 Hz grid and detrended the same way.
+    const auto phase_col = rfid_result->processed.col(0);
+    std::vector<double> phase(a.rows());
+    for (std::size_t i = 0; i < a.rows(); ++i) phase[i] = phase_col[i * 2];
+    phase = detrend2(phase);
+
+    ++total;
+    if (std::abs(pearson(disp, phase)) > 0.6) ++strong;
+  }
+  // The correlation is geometric and must be present in the large majority
+  // of sessions (it weakens only when the gesture is nearly tangential).
+  EXPECT_GE(strong, total * 3 / 4) << "strong=" << strong << " total=" << total;
+}
+
+}  // namespace
+}  // namespace wavekey

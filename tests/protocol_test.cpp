@@ -1,0 +1,297 @@
+// Tests of the key-agreement protocol: wire framing, the bidirectional OT
+// pad exchange, seed-to-key agreement under controlled seed noise, the
+// fuzzy-commitment reconciliation bounds, the tau deadline, and adversarial
+// interceptors (tamper/delay/drop/eavesdrop).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "crypto/drbg.hpp"
+#include "protocol/key_agreement.hpp"
+#include "protocol/session.hpp"
+#include "protocol/wire.hpp"
+
+namespace wavekey::protocol {
+namespace {
+
+BitVec flip_bits(BitVec seed, std::initializer_list<std::size_t> positions) {
+  for (std::size_t p : positions) seed.set(p, !seed.get(p));
+  return seed;
+}
+
+TEST(WireTest, RoundTrip) {
+  WireWriter w;
+  w.u8(7);
+  w.u32(0xDEADBEEF);
+  const Bytes blob_data{1, 2, 3, 4, 5};
+  w.blob(blob_data);
+  w.bytes(std::array<std::uint8_t, 2>{9, 8});
+  const Bytes wire = w.take();
+
+  WireReader r(wire);
+  EXPECT_EQ(r.u8(), 7);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.blob(), blob_data);
+  EXPECT_EQ(r.bytes(2), (Bytes{9, 8}));
+  EXPECT_TRUE(r.done());
+  EXPECT_NO_THROW(r.expect_done());
+}
+
+TEST(WireTest, UnderrunThrows) {
+  const Bytes short_wire{1, 2};
+  WireReader r(short_wire);
+  EXPECT_THROW(r.u32(), WireError);
+  WireReader r2(short_wire);
+  EXPECT_THROW(r2.bytes(3), WireError);
+}
+
+TEST(WireTest, TrailingBytesDetected) {
+  const Bytes wire{1, 2, 3};
+  WireReader r(wire);
+  (void)r.u8();
+  EXPECT_THROW(r.expect_done(), WireError);
+}
+
+TEST(AgreementParamsTest, PadAndKeyArithmetic) {
+  AgreementParams p;
+  p.seed_bits = 48;
+  p.key_bits = 256;
+  // l_b = ceil(256 / 96) = 3, prelim = 2*48*3 = 288 >= 256.
+  EXPECT_EQ(p.pad_bits(), 3u);
+  EXPECT_GE(p.prelim_key_bits(), p.key_bits);
+
+  p.key_bits = 2048;  // l_b = ceil(2048/96) = 22
+  EXPECT_EQ(p.pad_bits(), 22u);
+  EXPECT_EQ(p.prelim_key_bits(), 2u * 48u * 22u);
+}
+
+TEST(AgreementParamsTest, FuzzyBudgetScalesWithEta) {
+  AgreementParams p;
+  p.seed_bits = 48;
+  p.key_bits = 256;
+  p.eta = 0.10;  // tolerates 4 bad seed bits
+  const std::size_t budget_04 = p.fuzzy_byte_budget();
+  p.eta = 0.20;  // tolerates 9
+  EXPECT_GT(p.fuzzy_byte_budget(), budget_04);
+}
+
+class AgreementTest : public ::testing::Test {
+ protected:
+  SessionConfig config_ = [] {
+    SessionConfig c;
+    c.params.seed_bits = 48;
+    c.params.key_bits = 256;
+    c.params.eta = 0.10;
+    return c;
+  }();
+  crypto::Drbg mobile_rng_{101};
+  crypto::Drbg server_rng_{202};
+  crypto::Drbg seed_rng_{303};
+};
+
+TEST_F(AgreementTest, IdenticalSeedsYieldMatchingKeys) {
+  const BitVec seed = seed_rng_.random_bits(48);
+  const SessionResult r =
+      run_key_agreement(config_, seed, seed, mobile_rng_, server_rng_);
+  ASSERT_TRUE(r.success) << static_cast<int>(r.failure);
+  EXPECT_EQ(r.mobile_key, r.server_key);
+  EXPECT_EQ(r.mobile_key.size(), 256u);
+  EXPECT_GT(r.elapsed_s, config_.gesture_window_s);
+  EXPECT_LT(r.elapsed_s, config_.gesture_window_s + 1.0);
+}
+
+TEST_F(AgreementTest, ToleratedSeedNoiseStillAgreesOnMobileKey) {
+  const BitVec seed_m = seed_rng_.random_bits(48);
+  // eta = 0.10 over 48 bits tolerates floor(4.8) = 4 flips.
+  const BitVec seed_r = flip_bits(seed_m, {3, 17, 29, 41});
+  const SessionResult r =
+      run_key_agreement(config_, seed_m, seed_r, mobile_rng_, server_rng_);
+  ASSERT_TRUE(r.success) << static_cast<int>(r.failure);
+  // Reconciliation converges on the *mobile's* key.
+  EXPECT_EQ(r.mobile_key, r.server_key);
+}
+
+TEST_F(AgreementTest, ExcessSeedNoiseFailsCleanly) {
+  const BitVec seed_m = seed_rng_.random_bits(48);
+  BitVec seed_r = seed_m;
+  for (std::size_t i = 0; i < 20; ++i) seed_r.set(i * 2, !seed_r.get(i * 2));
+  const SessionResult r =
+      run_key_agreement(config_, seed_m, seed_r, mobile_rng_, server_rng_);
+  EXPECT_FALSE(r.success);
+  EXPECT_EQ(r.failure, FailureReason::kReconciliationFailed);
+}
+
+TEST_F(AgreementTest, KeysAreFreshAcrossSessions) {
+  const BitVec seed = seed_rng_.random_bits(48);
+  const SessionResult r1 =
+      run_key_agreement(config_, seed, seed, mobile_rng_, server_rng_);
+  const SessionResult r2 =
+      run_key_agreement(config_, seed, seed, mobile_rng_, server_rng_);
+  ASSERT_TRUE(r1.success && r2.success);
+  // Same seeds, but the pads are fresh randomness: keys must differ.
+  EXPECT_NE(r1.mobile_key, r2.mobile_key);
+}
+
+TEST_F(AgreementTest, LongKeysWork) {
+  config_.params.key_bits = 2048;
+  const BitVec seed = seed_rng_.random_bits(48);
+  const BitVec seed_r = flip_bits(seed, {7, 22});
+  const SessionResult r =
+      run_key_agreement(config_, seed, seed_r, mobile_rng_, server_rng_);
+  ASSERT_TRUE(r.success) << static_cast<int>(r.failure);
+  EXPECT_EQ(r.mobile_key.size(), 2048u);
+  EXPECT_EQ(r.mobile_key, r.server_key);
+}
+
+TEST_F(AgreementTest, DeadlineEnforcedOnSlowCompute) {
+  config_.mobile_compute_s = 0.5;  // way past tau = 120 ms
+  const BitVec seed = seed_rng_.random_bits(48);
+  const SessionResult r =
+      run_key_agreement(config_, seed, seed, mobile_rng_, server_rng_);
+  EXPECT_FALSE(r.success);
+  EXPECT_EQ(r.failure, FailureReason::kDeadlineExceeded);
+}
+
+TEST_F(AgreementTest, DeadlineEnforcedOnDelayedMessage) {
+  const BitVec seed = seed_rng_.random_bits(48);
+  const Interceptor delayer = [](InFlightMessage& msg) -> double {
+    return msg.type == MessageType::kMsgA && msg.from == "server" ? 0.5 : 0.0;
+  };
+  const SessionResult r =
+      run_key_agreement(config_, seed, seed, mobile_rng_, server_rng_, delayer);
+  EXPECT_FALSE(r.success);
+  EXPECT_EQ(r.failure, FailureReason::kDeadlineExceeded);
+}
+
+TEST_F(AgreementTest, DroppedMessageFailsCleanly) {
+  const BitVec seed = seed_rng_.random_bits(48);
+  const Interceptor dropper = [](InFlightMessage& msg) -> double {
+    return msg.type == MessageType::kMsgE ? -1.0 : 0.0;
+  };
+  const SessionResult r =
+      run_key_agreement(config_, seed, seed, mobile_rng_, server_rng_, dropper);
+  EXPECT_FALSE(r.success);
+  EXPECT_EQ(r.failure, FailureReason::kMalformedMessage);
+}
+
+TEST_F(AgreementTest, TamperedOtMessageNeverYieldsAgreedKey) {
+  // MitM flips one bit in the mobile's M_B. The affected OT instance derives
+  // a garbage pad on one side; the session must fail (reconciliation or
+  // HMAC), never silently "succeed" with different keys.
+  for (std::size_t bit : {40u, 400u, 4000u}) {
+    crypto::Drbg m_rng(bit * 7 + 1), s_rng(bit * 13 + 2), s2(bit);
+    const BitVec seed = s2.random_bits(48);
+    const Interceptor tamper = [bit](InFlightMessage& msg) -> double {
+      if (msg.type == MessageType::kMsgB && msg.from == "mobile") {
+        const std::size_t b = bit % (msg.payload.size() * 8);
+        msg.payload[b / 8] ^= static_cast<std::uint8_t>(1u << (b % 8));
+      }
+      return 0.0;
+    };
+    const SessionResult r = run_key_agreement(config_, seed, seed, m_rng, s_rng, tamper);
+    if (r.success) {
+      EXPECT_EQ(r.mobile_key, r.server_key) << "bit " << bit;
+    } else {
+      EXPECT_NE(r.failure, FailureReason::kNone);
+    }
+  }
+}
+
+TEST_F(AgreementTest, TamperedChallengeFailsHmac) {
+  const BitVec seed = seed_rng_.random_bits(48);
+  const Interceptor tamper = [](InFlightMessage& msg) -> double {
+    if (msg.type == MessageType::kChallenge && msg.payload.size() > 10)
+      msg.payload[msg.payload.size() - 1] ^= 0x01;  // corrupt the nonce
+    return 0.0;
+  };
+  const SessionResult r =
+      run_key_agreement(config_, seed, seed, mobile_rng_, server_rng_, tamper);
+  EXPECT_FALSE(r.success);
+}
+
+TEST_F(AgreementTest, TranscriptDoesNotContainKey) {
+  // Eavesdropper records everything; neither final key may appear in the
+  // transcript as a contiguous byte string.
+  Bytes transcript;
+  const Interceptor eave = [&transcript](InFlightMessage& msg) -> double {
+    transcript.insert(transcript.end(), msg.payload.begin(), msg.payload.end());
+    return 0.0;
+  };
+  const BitVec seed = seed_rng_.random_bits(48);
+  const SessionResult r =
+      run_key_agreement(config_, seed, seed, mobile_rng_, server_rng_, eave);
+  ASSERT_TRUE(r.success);
+  EXPECT_GT(transcript.size(), 1000u);
+
+  const auto key_bytes = r.mobile_key.to_bytes();
+  // Search for any 8-byte window of the key in the transcript.
+  bool found = false;
+  for (std::size_t off = 0; off + 8 <= key_bytes.size() && !found; ++off) {
+    const auto it = std::search(transcript.begin(), transcript.end(),
+                                key_bytes.begin() + static_cast<std::ptrdiff_t>(off),
+                                key_bytes.begin() + static_cast<std::ptrdiff_t>(off + 8));
+    found = it != transcript.end();
+  }
+  EXPECT_FALSE(found);
+}
+
+TEST(PadExchangeTest, ReceiverGetsExactlyChosenPads) {
+  AgreementParams params;
+  params.seed_bits = 16;
+  params.key_bits = 128;
+  crypto::Drbg sender_rng(11), receiver_rng(22), seed_rng(33);
+  const BitVec seed = seed_rng.random_bits(16);
+
+  const PadSender sender(params, sender_rng);
+  const PadReceiver receiver(params, seed, sender.message_a(), receiver_rng);
+  const Bytes msg_e = sender.make_cipher_message(receiver.message_b(), sender_rng);
+  const std::vector<BitVec> pads = receiver.receive_pads(msg_e);
+  ASSERT_EQ(pads.size(), 16u);
+  for (std::size_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(pads[i], sender.pad(i, seed.get(i))) << i;
+    EXPECT_NE(pads[i], sender.pad(i, !seed.get(i))) << i;
+  }
+}
+
+TEST(PadExchangeTest, MalformedMessagesThrowWireError) {
+  AgreementParams params;
+  params.seed_bits = 8;
+  params.key_bits = 64;
+  crypto::Drbg rng(44);
+  const PadSender sender(params, rng);
+  Bytes msg_a = sender.message_a();
+  msg_a[0] = 99;  // wrong type tag
+  EXPECT_THROW(PadReceiver(params, rng.random_bits(8), msg_a, rng), WireError);
+  Bytes truncated = sender.message_a();
+  truncated.resize(truncated.size() / 2);
+  EXPECT_THROW(PadReceiver(params, rng.random_bits(8), truncated, rng), WireError);
+}
+
+TEST(ReconciliationTest, ChallengeRoundTrip) {
+  AgreementParams params;
+  params.seed_bits = 48;
+  params.key_bits = 256;
+  params.eta = 0.1;
+  crypto::Drbg rng(55);
+  const BitVec key = rng.random_bits(params.prelim_key_bits());
+  const Challenge c = make_challenge(params, key, rng);
+  const Bytes wire = c.serialize();
+  const Challenge parsed = Challenge::parse(params, wire);
+  EXPECT_EQ(parsed.helper, c.helper);
+  EXPECT_EQ(parsed.nonce, c.nonce);
+
+  const auto recovered = recover_key(params, parsed, key);
+  ASSERT_TRUE(recovered.has_value());
+  EXPECT_EQ(*recovered, key);
+
+  const Bytes response = make_response(parsed, *recovered);
+  EXPECT_TRUE(verify_response(c, key, response));
+  // Wrong key -> bad response.
+  const BitVec other = rng.random_bits(params.prelim_key_bits());
+  EXPECT_FALSE(verify_response(c, other, response));
+}
+
+}  // namespace
+}  // namespace wavekey::protocol

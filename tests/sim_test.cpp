@@ -1,0 +1,330 @@
+// Tests for the physical simulation substrate: gesture kinematics are
+// self-consistent (analytic derivatives, attitude/gyro agreement), the IMU
+// model reproduces gravity and noise properties, the RFID channel encodes
+// the radial trajectory in its phase, and environments behave as designed.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "dsp/phase_unwrap.hpp"
+#include "numeric/stats.hpp"
+#include "sim/camera.hpp"
+#include "sim/gesture.hpp"
+#include "sim/imu_sensor.hpp"
+#include "sim/rfid_channel.hpp"
+#include "sim/scenario.hpp"
+
+namespace wavekey::sim {
+namespace {
+
+GestureTrajectory make_gesture(std::uint64_t seed, GestureParams params = {}) {
+  Rng rng(seed);
+  const VolunteerStyle style = VolunteerStyle::sample(rng);
+  return GestureTrajectory(rng, style, params);
+}
+
+TEST(SinusoidSumTest, DerivativesMatchFiniteDifferences) {
+  Rng rng(1);
+  const SinusoidSum s = SinusoidSum::random(rng, 6, 0.5, 4.0, 0.1);
+  const double eps = 1e-6;
+  for (double t = 0.3; t < 3.0; t += 0.37) {
+    const double d1_num = (s.value(t + eps) - s.value(t - eps)) / (2 * eps);
+    const double d2_num = (s.d1(t + eps) - s.d1(t - eps)) / (2 * eps);
+    EXPECT_NEAR(s.d1(t), d1_num, 1e-5);
+    EXPECT_NEAR(s.d2(t), d2_num, 1e-4);
+  }
+}
+
+TEST(SinusoidSumTest, RmsMatchesRequest) {
+  Rng rng(2);
+  const SinusoidSum s = SinusoidSum::random(rng, 8, 0.5, 4.0, 0.1);
+  double sum2 = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = s.value(i * 0.01);
+    sum2 += v * v;
+  }
+  EXPECT_NEAR(std::sqrt(sum2 / n), 0.1, 0.03);
+}
+
+TEST(GestureTest, StillDuringPause) {
+  const GestureTrajectory g = make_gesture(3);
+  for (double t = 0.0; t < g.motion_start(); t += 0.05) {
+    EXPECT_EQ(g.position(t), Vec3());
+    EXPECT_EQ(g.velocity(t), Vec3());
+    EXPECT_EQ(g.acceleration(t), Vec3());
+    EXPECT_EQ(g.angular_rate_body(t), Vec3());
+  }
+}
+
+TEST(GestureTest, MovesAfterPause) {
+  const GestureTrajectory g = make_gesture(4);
+  double max_speed = 0.0, max_disp = 0.0;
+  for (double t = g.motion_start(); t < g.total_duration(); t += 0.01) {
+    max_speed = std::max(max_speed, g.velocity(t).norm());
+    max_disp = std::max(max_disp, g.position(t).norm());
+  }
+  EXPECT_GT(max_speed, 0.2);   // human-scale waving
+  EXPECT_LT(max_speed, 10.0);
+  EXPECT_GT(max_disp, 0.03);
+  EXPECT_LT(max_disp, 1.5);
+}
+
+TEST(GestureTest, VelocityIsDerivativeOfPosition) {
+  const GestureTrajectory g = make_gesture(5);
+  const double eps = 1e-6;
+  for (double t = 1.5; t < 5.0; t += 0.29) {
+    const Vec3 v_num = (g.position(t + eps) - g.position(t - eps)) / (2 * eps);
+    const Vec3 a_num = (g.velocity(t + eps) - g.velocity(t - eps)) / (2 * eps);
+    EXPECT_NEAR((g.velocity(t) - v_num).norm(), 0.0, 1e-4);
+    EXPECT_NEAR((g.acceleration(t) - a_num).norm(), 0.0, 1e-3);
+  }
+}
+
+TEST(GestureTest, AttitudeConsistentWithAngularRate) {
+  // q(t + dt) should match integrating omega over dt from q(t).
+  const GestureTrajectory g = make_gesture(6);
+  for (double t = 1.2; t < 4.0; t += 0.41) {
+    const double dt = 1e-3;
+    const Quaternion q_pred = g.orientation(t).integrated(g.angular_rate_body(t), dt);
+    const Quaternion q_true = g.orientation(t + dt);
+    const double dot = q_pred.w * q_true.w + q_pred.x * q_true.x + q_pred.y * q_true.y +
+                       q_pred.z * q_true.z;
+    EXPECT_NEAR(std::abs(dot), 1.0, 1e-6) << "t=" << t;
+  }
+}
+
+TEST(GestureTest, DominantDirectionInsideCone) {
+  for (std::uint64_t seed = 10; seed < 40; ++seed) {
+    Rng rng(seed);
+    VolunteerStyle style = VolunteerStyle::sample(rng);
+    style.cone_half_angle = 0.5;
+    GestureParams params;
+    params.facing = Vec3{0.0, 1.0, 0.0};
+    const GestureTrajectory g(rng, style, params);
+    const double cosang = g.dominant_direction().dot(params.facing);
+    EXPECT_GE(cosang, std::cos(0.5) - 1e-9);
+  }
+}
+
+TEST(GestureTest, DistinctSeedsGiveDistinctGestures) {
+  const GestureTrajectory a = make_gesture(20), b = make_gesture(21);
+  double diff = 0.0;
+  for (double t = 1.0; t < 4.0; t += 0.05) diff += (a.position(t) - b.position(t)).norm();
+  EXPECT_GT(diff, 0.5);
+}
+
+TEST(ImuSensorTest, StationaryAccelReadsGravityMagnitude) {
+  Rng rng(30);
+  const auto profiles = MobileDeviceProfile::standard_devices();
+  ImuSensor sensor(profiles[0], rng);
+  const GestureTrajectory g = make_gesture(31);
+  const ImuRecord rec = sensor.record(g, 0.0, g.motion_start(), rng);
+  ASSERT_GT(rec.samples.size(), 50u);
+  std::vector<double> mags;
+  for (const auto& s : rec.samples) mags.push_back(s.accel.norm());
+  EXPECT_NEAR(mean(mags), 9.81, 0.2);
+}
+
+TEST(ImuSensorTest, SampleRateHonored) {
+  Rng rng(32);
+  const auto profiles = MobileDeviceProfile::standard_devices();
+  for (const auto& p : profiles) {
+    ImuSensor sensor(p, rng);
+    const GestureTrajectory g = make_gesture(33);
+    const ImuRecord rec = sensor.record(g, 0.0, 2.0, rng);
+    EXPECT_NEAR(static_cast<double>(rec.samples.size()), 2.0 * p.sample_rate_hz, 2.0)
+        << p.name;
+  }
+}
+
+TEST(ImuSensorTest, GyroTracksTrueRate) {
+  Rng rng(34);
+  MobileDeviceProfile quiet = MobileDeviceProfile::standard_devices()[0];
+  quiet.gyro_noise = 1e-5;
+  quiet.gyro_bias = 1e-6;
+  quiet.misalignment = 1e-6;
+  ImuSensor sensor(quiet, rng);
+  const GestureTrajectory g = make_gesture(35);
+  const ImuRecord rec = sensor.record(g, 1.5, 3.0, rng);
+  for (std::size_t i = 0; i < rec.samples.size(); i += 17) {
+    const auto& s = rec.samples[i];
+    // Tolerance dominated by the timestamp jitter the sensor model applies
+    // (the reading is taken at a jittered instant, stamped with nominal t).
+    EXPECT_NEAR((s.gyro - g.angular_rate_body(s.t)).norm(), 0.0, 8e-3);
+  }
+}
+
+TEST(ImuSensorTest, StandardDevicesAreDistinct) {
+  const auto profiles = MobileDeviceProfile::standard_devices();
+  ASSERT_EQ(profiles.size(), 4u);
+  EXPECT_EQ(profiles[0].name, "pixel8");
+  EXPECT_EQ(profiles[3].name, "galaxy_watch");
+  EXPECT_GT(profiles[3].accel_noise, profiles[0].accel_noise);
+}
+
+TEST(RfidChannelTest, PhaseTracksRadialDistance) {
+  // With no reflectors and no noise, the unwrapped reported phase must equal
+  // 4*pi*d(t)/lambda up to a constant.
+  Rng rng(40);
+  EnvironmentModel env;  // empty reflector list
+  SessionGeometry geom;
+  geom.distance_m = 5.0;
+  ReaderConfig cfg;
+  cfg.noise_sigma = 0.0;
+  cfg.phase_quant_bits = 20;  // effectively unquantized
+  const TagProfile tag = TagProfile::standard_tags()[0];
+  RfidChannel channel(tag, env, geom, rng, cfg);
+
+  const GestureTrajectory g = make_gesture(41);
+  const RfidRecord rec = channel.record(g, 1.0, 3.0, rng);
+
+  std::vector<double> reported(rec.samples.size()), expected(rec.samples.size());
+  for (std::size_t i = 0; i < rec.samples.size(); ++i) {
+    reported[i] = rec.samples[i].phase;
+    const Vec3 tag_pos = geom.user_position() + geom.hand_offset + g.position(rec.samples[i].t);
+    const double d = (tag_pos - geom.antenna_position()).norm();
+    expected[i] = -4.0 * M_PI * d / channel.wavelength();  // sign: phase delay
+  }
+  const auto unwrapped = dsp::unwrap_phase(reported);
+  // Correlation with the expected radial phase must be essentially perfect.
+  EXPECT_GT(std::abs(pearson(unwrapped, expected)), 0.9999);
+}
+
+TEST(RfidChannelTest, MagnitudeFallsWithDistance) {
+  Rng rng(42);
+  const TagProfile tag = TagProfile::standard_tags()[0];
+  double prev_mag = 1e9;
+  for (double d : {1.0, 3.0, 5.0, 9.0}) {
+    Rng env_rng(43);
+    EnvironmentModel env;  // free space
+    SessionGeometry geom;
+    geom.distance_m = d;
+    ReaderConfig cfg;
+    cfg.noise_sigma = 0.0;
+    RfidChannel channel(tag, env, geom, env_rng, cfg);
+    const GestureTrajectory g = make_gesture(44);
+    const std::complex<double> h = channel.channel_at(g, 0.1);
+    EXPECT_LT(std::abs(h), prev_mag) << d;
+    prev_mag = std::abs(h);
+  }
+}
+
+TEST(RfidChannelTest, AzimuthReducesGain) {
+  Rng rng(45);
+  const TagProfile tag = TagProfile::standard_tags()[0];
+  EnvironmentModel env;
+  ReaderConfig cfg;
+  cfg.noise_sigma = 0.0;
+  const GestureTrajectory g = make_gesture(46);
+
+  SessionGeometry on_axis;
+  on_axis.azimuth_rad = 0.0;
+  Rng r1(47);
+  const double mag0 = std::abs(RfidChannel(tag, env, on_axis, r1, cfg).channel_at(g, 0.1));
+  SessionGeometry off_axis;
+  off_axis.azimuth_rad = 60.0 * M_PI / 180.0;
+  Rng r2(47);
+  const double mag60 = std::abs(RfidChannel(tag, env, off_axis, r2, cfg).channel_at(g, 0.1));
+  EXPECT_LT(mag60, mag0);
+  EXPECT_GT(mag60, 0.01 * mag0);  // still readable, as in the paper
+}
+
+TEST(RfidChannelTest, DynamicEnvironmentPerturbsIdleChannel) {
+  // With the tag at rest, a static environment gives a constant channel
+  // while walkers make it fluctuate.
+  const TagProfile tag = TagProfile::standard_tags()[0];
+  SessionGeometry geom;
+  const GestureTrajectory g = make_gesture(48);  // pause: tag still until 0.7 s
+
+  Rng rng_s(49);
+  EnvironmentModel env_static = EnvironmentModel::make(1, false, rng_s);
+  RfidChannel ch_static(tag, env_static, geom, rng_s);
+  Rng rng_d(49);
+  EnvironmentModel env_dynamic = EnvironmentModel::make(1, true, rng_d);
+  RfidChannel ch_dynamic(tag, env_dynamic, geom, rng_d);
+
+  std::vector<double> static_phase, dynamic_phase;
+  for (double t = 0.0; t < 0.6; t += 0.005) {
+    static_phase.push_back(std::arg(ch_static.channel_at(g, t)));
+    dynamic_phase.push_back(std::arg(ch_dynamic.channel_at(g, t)));
+  }
+  EXPECT_LT(variance(static_phase), 1e-12);
+  EXPECT_GT(variance(dynamic_phase), 1e-6);
+}
+
+TEST(RfidChannelTest, EnvironmentFactoryValidatesId) {
+  Rng rng(50);
+  EXPECT_THROW(EnvironmentModel::make(0, false, rng), std::invalid_argument);
+  EXPECT_THROW(EnvironmentModel::make(5, false, rng), std::invalid_argument);
+  for (int id = 1; id <= 4; ++id) {
+    const EnvironmentModel env = EnvironmentModel::make(id, true, rng);
+    EXPECT_GE(env.reflectors.size(), 5u);  // static set + 5 walkers
+  }
+}
+
+TEST(RfidChannelTest, TagProfilesCoverPaperModels) {
+  const auto tags = TagProfile::standard_tags();
+  ASSERT_EQ(tags.size(), 6u);
+  EXPECT_EQ(tags[0].name, "alien_9640_a");
+  EXPECT_EQ(tags[5].name, "dogbone_b");
+}
+
+TEST(CameraTest, RemoteTracksPositionClosely) {
+  Rng rng(60);
+  const GestureTrajectory g = make_gesture(61);
+  CameraObserver cam(CameraConfig::remote(), Vec3{1, 0, 0});
+  const CameraTrack track = cam.observe(g, 1.0, 3.0, rng);
+  ASSERT_NEAR(static_cast<double>(track.estimates.size()), 520.0, 2.0);
+  double err = 0.0;
+  for (const auto& e : track.estimates) err += (e.position - g.position(e.t)).norm();
+  err /= static_cast<double>(track.estimates.size());
+  EXPECT_LT(err, 0.05);
+  EXPECT_GT(err, 0.005);  // but not perfect
+  EXPECT_GT(track.processing_latency_s, 0.3);
+}
+
+TEST(CameraTest, InSituLosesDepthAxis) {
+  Rng rng(62);
+  const GestureTrajectory g = make_gesture(63);
+  const Vec3 view{1, 0, 0};
+  CameraObserver cam(CameraConfig::in_situ(), view);
+  const CameraTrack track = cam.observe(g, 1.0, 3.0, rng);
+  // The depth (x) component must be constant: no motion is measured there.
+  std::vector<double> depth;
+  for (const auto& e : track.estimates) depth.push_back(e.position.dot(view));
+  EXPECT_LT(stddev(depth), 1e-12);
+}
+
+TEST(ScenarioTest, ProducesAlignedRecordings) {
+  ScenarioConfig cfg;
+  cfg.gesture.active_s = 4.0;
+  ScenarioSimulator simulator(cfg, 100);
+  const SessionRecording rec = simulator.run();
+  EXPECT_FALSE(rec.imu.samples.empty());
+  EXPECT_FALSE(rec.rfid.samples.empty());
+  EXPECT_EQ(rec.imu.device_name, "galaxy_watch");
+  EXPECT_EQ(rec.rfid.tag_name, "alien_9640_a");
+  // Both recordings cover the full session on the same clock.
+  EXPECT_NEAR(rec.imu.samples.back().t, rec.trajectory.total_duration(), 0.1);
+  EXPECT_NEAR(rec.rfid.samples.back().t, rec.trajectory.total_duration(), 0.1);
+}
+
+TEST(ScenarioTest, DeterministicForFixedSeed) {
+  ScenarioConfig cfg;
+  cfg.gesture.active_s = 3.0;
+  ScenarioSimulator a(cfg, 7), b(cfg, 7), c(cfg, 8);
+  const SessionRecording ra = a.run(), rb = b.run(), rc = c.run();
+  ASSERT_EQ(ra.rfid.samples.size(), rb.rfid.samples.size());
+  for (std::size_t i = 0; i < ra.rfid.samples.size(); i += 37)
+    EXPECT_DOUBLE_EQ(ra.rfid.samples[i].phase, rb.rfid.samples[i].phase);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < std::min(ra.rfid.samples.size(), rc.rfid.samples.size()); ++i)
+    if (ra.rfid.samples[i].phase != rc.rfid.samples[i].phase) any_diff = true;
+  EXPECT_TRUE(any_diff);
+}
+
+}  // namespace
+}  // namespace wavekey::sim

@@ -1,0 +1,105 @@
+// Developer utility: measures the attacker-vs-benign seed mismatch
+// separation, which determines whether an eta exists that simultaneously
+// gives high benign success and low attack success (the crux of Fig. 7).
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "attacks/attack_eval.hpp"
+#include "core/dataset.hpp"
+#include "core/pairing.hpp"
+#include "core/seed_quantizer.hpp"
+#include "numeric/stats.hpp"
+
+using namespace wavekey;
+
+int main(int argc, char** argv) {
+  const char* cache = std::getenv("WK_MODEL_CACHE");
+  if (!cache) {
+    std::fprintf(stderr, "set WK_MODEL_CACHE to a trained model file\n");
+    return 1;
+  }
+  core::EncoderPair encoders = core::EncoderPair::load_file(cache);
+  core::WaveKeyConfig wk;
+  int n = argc > 1 ? std::atoi(argv[1]) : 60;
+
+  // Calibrate the quantizer on a small fresh dataset (same generator).
+  core::DatasetConfig cal_dc;
+  cal_dc.gestures_per_pair = 2;
+  cal_dc.windows_per_gesture = 4;
+  const core::WaveKeyDataset cal_ds = core::WaveKeyDataset::generate(cal_dc, wk);
+  const core::SeedQuantizer quantizer = core::SeedQuantizer::calibrated(encoders, cal_ds, wk);
+
+  // Cohort styles = the trained ones.
+  core::DatasetConfig dc;
+  std::vector<sim::VolunteerStyle> cohort;
+  {
+    Rng style_rng(dc.seed);
+    for (std::size_t v = 0; v < dc.volunteers; ++v)
+      cohort.push_back(sim::VolunteerStyle::sample(style_rng));
+  }
+
+  Rng rng(991);
+  std::vector<double> benign, mimic_avg, mimic_skilled, cam_remote, cam_insitu;
+  for (int i = 0; i < n; ++i) {
+    sim::ScenarioConfig sc;
+    sc.volunteer = cohort[static_cast<std::size_t>(i) % cohort.size()];
+    sc.gesture.active_s = 4.0;
+    const std::uint64_t seed = rng.next();
+
+    if (const auto b = core::simulate_seed_pair(encoders, quantizer, wk, sc, seed))
+      benign.push_back(b->mismatch);
+    if (const auto m = attacks::run_mimic_attack(encoders, quantizer, wk, sc, attacks::MimicSkill::average(),
+                                                 seed))
+      mimic_avg.push_back(m->mismatch);
+    if (const auto m = attacks::run_mimic_attack(encoders, quantizer, wk, sc, attacks::MimicSkill::skilled(),
+                                                 seed))
+      mimic_skilled.push_back(m->mismatch);
+    if (const auto c = attacks::run_camera_spoof(encoders, quantizer, wk, sc, sim::CameraConfig::remote(),
+                                                 seed))
+      cam_remote.push_back(c->mismatch);
+    if (const auto c = attacks::run_camera_spoof(encoders, quantizer, wk, sc, sim::CameraConfig::in_situ(),
+                                                 seed))
+      cam_insitu.push_back(c->mismatch);
+  }
+
+  auto report = [](const char* name, const std::vector<double>& xs) {
+    if (xs.empty()) {
+      std::printf("%-14s: no samples\n", name);
+      return;
+    }
+    std::vector<double> v = xs;
+    auto frac_below = [&](double thr) {
+      std::size_t c = 0;
+      for (double x : v)
+        if (x <= thr) ++c;
+      return static_cast<double>(c) / static_cast<double>(v.size());
+    };
+    std::printf(
+        "%-14s: n=%3zu mean=%.4f p50=%.4f p90=%.4f p99=%.4f | <=.05:%.3f <=.10:%.3f <=.15:%.3f "
+        "<=.21:%.3f\n",
+        name, xs.size(), mean(v), percentile(v, 50), percentile(v, 90), percentile(v, 99),
+        frac_below(0.05), frac_below(0.10), frac_below(0.15), frac_below(0.21));
+  };
+  // Unrelated-gesture baseline: seeds of two independent sessions.
+  {
+    std::vector<double> unrelated;
+    Rng urng(555);
+    for (int i = 0; i + 1 < n; i += 2) {
+      sim::ScenarioConfig sc;
+      sc.volunteer = cohort[static_cast<std::size_t>(i) % cohort.size()];
+      sc.gesture.active_s = 4.0;
+      const auto a = core::simulate_seed_pair(encoders, quantizer, wk, sc, urng.next());
+      const auto b = core::simulate_seed_pair(encoders, quantizer, wk, sc, urng.next());
+      if (a && b) unrelated.push_back(a->mobile_seed.mismatch_ratio(b->mobile_seed));
+    }
+    report("unrelated", unrelated);
+  }
+  report("benign", benign);
+  report("mimic_avg", mimic_avg);
+  report("mimic_skilled", mimic_skilled);
+  report("camera_remote", cam_remote);
+  report("camera_insitu", cam_insitu);
+  return 0;
+}

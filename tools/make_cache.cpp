@@ -1,0 +1,32 @@
+// Developer utility: builds the bench model cache (wavekey_models.bin) from
+// a raw EncoderPair file produced by train_report, running the quantizer +
+// eta calibration on the default dataset. Lets long training runs happen
+// out-of-band while benches always consume the canonical cache format.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/model_store.hpp"
+
+using namespace wavekey;
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr, "usage: make_cache <encoder_pair_file> <output_system_file>\n");
+    return 1;
+  }
+  core::WaveKeyConfig cfg;
+  core::EncoderPair encoders = core::EncoderPair::load_file(argv[1]);
+  // Calibrate on held-out sessions, mirroring load_or_train.
+  core::DatasetConfig held = core::default_dataset_config();
+  held.seed ^= 0x8E1D07ull;
+  held.gestures_per_pair = std::max<std::size_t>(2, held.gestures_per_pair / 12);
+  const core::WaveKeyDataset dataset = core::WaveKeyDataset::generate(held, cfg);
+  core::WaveKeySystem system(std::move(encoders), cfg);
+  const auto cal = system.calibrate(dataset);
+  std::printf("calibrated: eta=%.4f mean=%.4f p99=%.4f over %zu samples\n", cal.eta,
+              cal.mean_mismatch, cal.p99_mismatch, cal.samples);
+  core::save_system(system, argv[2]);
+  std::printf("saved %s\n", argv[2]);
+  return 0;
+}

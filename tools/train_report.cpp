@@ -1,0 +1,145 @@
+// Developer utility: generates a dataset, jointly trains the encoders, and
+// reports the seed bit-mismatch distribution and eta calibration — the
+// quantities everything in the evaluation hinges on. Used to tune the
+// simulation/training hyperparameters; the benches use the same path via
+// bench/common.hpp.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/dataset.hpp"
+#include "core/encoders.hpp"
+#include "core/key_seed.hpp"
+#include "core/pairing.hpp"
+#include "core/seed_quantizer.hpp"
+#include "numeric/stats.hpp"
+
+using namespace wavekey;
+
+int main(int argc, char** argv) {
+  core::DatasetConfig dc;
+  core::TrainConfig tc;
+  tc.verbose = true;
+  core::WaveKeyConfig wk;
+
+  for (int i = 1; i + 1 < argc; i += 2) {
+    const std::string k = argv[i];
+    const double v = std::atof(argv[i + 1]);
+    if (k == "--epochs") tc.epochs = static_cast<std::size_t>(v);
+    else if (k == "--gestures") dc.gestures_per_pair = static_cast<std::size_t>(v);
+    else if (k == "--windows") dc.windows_per_gesture = static_cast<std::size_t>(v);
+    else if (k == "--lr") tc.learning_rate = static_cast<float>(v);
+    else if (k == "--lambda") tc.lambda = static_cast<float>(v);
+    else if (k == "--latent") wk.latent_dim = static_cast<std::size_t>(v);
+    else if (k == "--bins") wk.quant_bins = static_cast<std::size_t>(v);
+  }
+
+  std::printf("generating dataset (volunteers=%zu devices=%zu gestures=%zu windows=%zu)...\n",
+              dc.volunteers, dc.devices, dc.gestures_per_pair, dc.windows_per_gesture);
+  const auto t0 = std::chrono::steady_clock::now();
+  const core::WaveKeyDataset dataset = core::WaveKeyDataset::generate(dc, wk);
+  const auto t1 = std::chrono::steady_clock::now();
+  std::printf("dataset: %zu samples (%.1f s)\n", dataset.size(),
+              std::chrono::duration<double>(t1 - t0).count());
+
+  Rng rng(42);
+  core::EncoderPair encoders(wk.latent_dim, rng);
+  const char* cache = std::getenv("WK_MODEL_CACHE");
+  bool loaded = false;
+  if (cache) {
+    try {
+      encoders = core::EncoderPair::load_file(cache);
+      loaded = true;
+      std::printf("loaded cached model from %s\n", cache);
+    } catch (const std::exception&) {
+    }
+  }
+  if (!loaded) {
+    encoders.train(dataset, tc);
+    if (cache) encoders.save_file(cache);
+  }
+  const auto t2 = std::chrono::steady_clock::now();
+  std::printf("training done (%.1f s)\n", std::chrono::duration<double>(t2 - t1).count());
+
+  const auto loss = encoders.evaluate(dataset, tc.lambda);
+  std::printf("eval: feature=%.4f decoder=%.4f\n", loss.feature, loss.decoder);
+
+  const core::SeedQuantizer quantizer = core::SeedQuantizer::calibrated(encoders, dataset, wk);
+  const auto ratios = core::seed_mismatch_ratios(encoders, dataset, quantizer);
+  std::printf("mismatch: mean=%.4f p50=%.4f p90=%.4f p99=%.4f max=%.4f\n", mean(ratios),
+              percentile(ratios, 50), percentile(ratios, 90), percentile(ratios, 99),
+              percentile(ratios, 100));
+  // Offset-0 windows only (first window of each gesture): these match what
+  // live key establishment uses.
+  {
+    std::vector<double> first_windows;
+    for (std::size_t i = 0; i < ratios.size(); i += dc.windows_per_gesture)
+      first_windows.push_back(ratios[i]);
+    std::printf("offset0 : mean=%.4f p50=%.4f p90=%.4f p99=%.4f\n", mean(first_windows),
+                percentile(first_windows, 50), percentile(first_windows, 90),
+                percentile(first_windows, 99));
+  }
+  const auto cal = core::calibrate_eta(encoders, dataset, quantizer);
+  std::printf("eta=%.4f  (seed_bits=%zu)  P_guess=%.3e\n", cal.eta, wk.seed_bits(),
+              core::random_guess_success_rate(wk.seed_bits(), cal.eta));
+
+  // Held-out dataset: same generator, different seed -> fresh gestures.
+  {
+    core::DatasetConfig hd = dc;
+    hd.seed = 0xFEED5EED;
+    hd.gestures_per_pair = 2;
+    hd.windows_per_gesture = 6;
+    const core::WaveKeyDataset held = core::WaveKeyDataset::generate(hd, wk);
+    const auto held_ratios = core::seed_mismatch_ratios(encoders, held, quantizer);
+    std::printf("heldout : n=%zu mean=%.4f p50=%.4f p90=%.4f p99=%.4f\n", held_ratios.size(),
+                mean(held_ratios), percentile(held_ratios, 50), percentile(held_ratios, 90),
+                percentile(held_ratios, 99));
+  }
+
+  // Per-condition diagnostics on *fresh* sessions (generalization view).
+  struct Cond {
+    const char* name;
+    double dist;
+    double az;
+    bool dyn;
+  };
+  const Cond conds[] = {
+      {"d=1 az=0 S", 1, 0, false},  {"d=5 az=0 S", 5, 0, false},
+      {"d=9 az=0 S", 9, 0, false},  {"d=5 az=60 S", 5, 60, false},
+      {"d=5 az=0 D", 5, 0, true},   {"d=9 az=0 D", 9, 0, true},
+  };
+  // Evaluate with the *same cohort* the model was trained on (the paper's
+  // evaluation reuses its six volunteers).
+  std::vector<sim::VolunteerStyle> cohort;
+  {
+    Rng style_rng(dc.seed);
+    for (std::size_t v = 0; v < dc.volunteers; ++v)
+      cohort.push_back(sim::VolunteerStyle::sample(style_rng));
+  }
+  Rng srng(777);
+  for (const auto& c : conds) {
+    std::vector<double> ms, deltas;
+    int failures = 0;
+    for (int i = 0; i < 40; ++i) {
+      sim::ScenarioConfig sc;
+      sc.volunteer = cohort[static_cast<std::size_t>(i) % cohort.size()];
+      sc.distance_m = c.dist;
+      sc.azimuth_deg = c.az;
+      sc.dynamic_environment = c.dyn;
+      sc.gesture.active_s = (std::getenv("WK_LONG") ? 15.0 : 3.0);
+      const auto r = core::simulate_seed_pair(encoders, quantizer, wk, sc, srng.next());
+      if (!r) {
+        ++failures;
+        continue;
+      }
+      ms.push_back(r->mismatch);
+      deltas.push_back(r->rfid_start - r->imu_start);
+    }
+    std::printf("cond %-12s: mean=%.4f p90=%.4f max=%.4f pipeline_fail=%d dt=%.3f+/-%.3f\n",
+                c.name, mean(ms), percentile(ms, 90), percentile(ms, 100), failures,
+                mean(deltas), stddev(deltas));
+  }
+  return 0;
+}

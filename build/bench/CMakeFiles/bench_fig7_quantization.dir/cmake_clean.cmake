@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_quantization.dir/bench_fig7_quantization.cpp.o"
+  "CMakeFiles/bench_fig7_quantization.dir/bench_fig7_quantization.cpp.o.d"
+  "bench_fig7_quantization"
+  "bench_fig7_quantization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_quantization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hyperparam_lf.dir/bench_hyperparam_lf.cpp.o"
+  "CMakeFiles/bench_hyperparam_lf.dir/bench_hyperparam_lf.cpp.o.d"
+  "bench_hyperparam_lf"
+  "bench_hyperparam_lf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hyperparam_lf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_hyperparam_lf.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_randomness.cpp" "bench/CMakeFiles/bench_randomness.dir/bench_randomness.cpp.o" "gcc" "bench/CMakeFiles/bench_randomness.dir/bench_randomness.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/wavekey_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nist/CMakeFiles/wavekey_nist.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/wavekey_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/imu/CMakeFiles/wavekey_imu.dir/DependInfo.cmake"
+  "/root/repo/build/src/rfid/CMakeFiles/wavekey_rfid.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wavekey_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/wavekey_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocol/CMakeFiles/wavekey_protocol.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/wavekey_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/wavekey_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/wavekey_numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_randomness.dir/bench_randomness.cpp.o"
+  "CMakeFiles/bench_randomness.dir/bench_randomness.cpp.o.d"
+  "bench_randomness"
+  "bench_randomness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_randomness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_security_spoofing.dir/bench_security_spoofing.cpp.o"
+  "CMakeFiles/bench_security_spoofing.dir/bench_security_spoofing.cpp.o.d"
+  "bench_security_spoofing"
+  "bench_security_spoofing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_security_spoofing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab1_environments.dir/bench_tab1_environments.cpp.o"
+  "CMakeFiles/bench_tab1_environments.dir/bench_tab1_environments.cpp.o.d"
+  "bench_tab1_environments"
+  "bench_tab1_environments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab1_environments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab2_position.dir/bench_tab2_position.cpp.o"
+  "CMakeFiles/bench_tab2_position.dir/bench_tab2_position.cpp.o.d"
+  "bench_tab2_position"
+  "bench_tab2_position.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab2_position.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

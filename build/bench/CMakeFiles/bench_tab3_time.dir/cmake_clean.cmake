@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab3_time.dir/bench_tab3_time.cpp.o"
+  "CMakeFiles/bench_tab3_time.dir/bench_tab3_time.cpp.o.d"
+  "bench_tab3_time"
+  "bench_tab3_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab3_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab_devices.dir/bench_tab_devices.cpp.o"
+  "CMakeFiles/bench_tab_devices.dir/bench_tab_devices.cpp.o.d"
+  "bench_tab_devices"
+  "bench_tab_devices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab_devices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

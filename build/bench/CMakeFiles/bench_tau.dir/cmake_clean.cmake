@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tau.dir/bench_tau.cpp.o"
+  "CMakeFiles/bench_tau.dir/bench_tau.cpp.o.d"
+  "bench_tau"
+  "bench_tau.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tau.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/keyfob_registration.dir/keyfob_registration.cpp.o"
+  "CMakeFiles/keyfob_registration.dir/keyfob_registration.cpp.o.d"
+  "keyfob_registration"
+  "keyfob_registration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keyfob_registration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

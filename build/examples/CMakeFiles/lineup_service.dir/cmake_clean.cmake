@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lineup_service.dir/lineup_service.cpp.o"
+  "CMakeFiles/lineup_service.dir/lineup_service.cpp.o.d"
+  "lineup_service"
+  "lineup_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lineup_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

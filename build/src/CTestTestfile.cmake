@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("numeric")
+subdirs("dsp")
+subdirs("nn")
+subdirs("crypto")
+subdirs("ecc")
+subdirs("sim")
+subdirs("imu")
+subdirs("rfid")
+subdirs("protocol")
+subdirs("core")
+subdirs("attacks")
+subdirs("nist")

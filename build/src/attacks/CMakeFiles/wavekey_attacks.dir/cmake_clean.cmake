@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wavekey_attacks.dir/attack_eval.cpp.o"
+  "CMakeFiles/wavekey_attacks.dir/attack_eval.cpp.o.d"
+  "CMakeFiles/wavekey_attacks.dir/camera_attack.cpp.o"
+  "CMakeFiles/wavekey_attacks.dir/camera_attack.cpp.o.d"
+  "CMakeFiles/wavekey_attacks.dir/mimic.cpp.o"
+  "CMakeFiles/wavekey_attacks.dir/mimic.cpp.o.d"
+  "libwavekey_attacks.a"
+  "libwavekey_attacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wavekey_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

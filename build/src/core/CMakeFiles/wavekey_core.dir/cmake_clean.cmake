@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wavekey_core.dir/dataset.cpp.o"
+  "CMakeFiles/wavekey_core.dir/dataset.cpp.o.d"
+  "CMakeFiles/wavekey_core.dir/encoders.cpp.o"
+  "CMakeFiles/wavekey_core.dir/encoders.cpp.o.d"
+  "CMakeFiles/wavekey_core.dir/key_seed.cpp.o"
+  "CMakeFiles/wavekey_core.dir/key_seed.cpp.o.d"
+  "CMakeFiles/wavekey_core.dir/model_store.cpp.o"
+  "CMakeFiles/wavekey_core.dir/model_store.cpp.o.d"
+  "CMakeFiles/wavekey_core.dir/pairing.cpp.o"
+  "CMakeFiles/wavekey_core.dir/pairing.cpp.o.d"
+  "CMakeFiles/wavekey_core.dir/seed_quantizer.cpp.o"
+  "CMakeFiles/wavekey_core.dir/seed_quantizer.cpp.o.d"
+  "CMakeFiles/wavekey_core.dir/system.cpp.o"
+  "CMakeFiles/wavekey_core.dir/system.cpp.o.d"
+  "libwavekey_core.a"
+  "libwavekey_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wavekey_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/chacha20.cpp" "src/crypto/CMakeFiles/wavekey_crypto.dir/chacha20.cpp.o" "gcc" "src/crypto/CMakeFiles/wavekey_crypto.dir/chacha20.cpp.o.d"
+  "/root/repo/src/crypto/drbg.cpp" "src/crypto/CMakeFiles/wavekey_crypto.dir/drbg.cpp.o" "gcc" "src/crypto/CMakeFiles/wavekey_crypto.dir/drbg.cpp.o.d"
+  "/root/repo/src/crypto/field25519.cpp" "src/crypto/CMakeFiles/wavekey_crypto.dir/field25519.cpp.o" "gcc" "src/crypto/CMakeFiles/wavekey_crypto.dir/field25519.cpp.o.d"
+  "/root/repo/src/crypto/hmac.cpp" "src/crypto/CMakeFiles/wavekey_crypto.dir/hmac.cpp.o" "gcc" "src/crypto/CMakeFiles/wavekey_crypto.dir/hmac.cpp.o.d"
+  "/root/repo/src/crypto/oblivious_transfer.cpp" "src/crypto/CMakeFiles/wavekey_crypto.dir/oblivious_transfer.cpp.o" "gcc" "src/crypto/CMakeFiles/wavekey_crypto.dir/oblivious_transfer.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "src/crypto/CMakeFiles/wavekey_crypto.dir/sha256.cpp.o" "gcc" "src/crypto/CMakeFiles/wavekey_crypto.dir/sha256.cpp.o.d"
+  "/root/repo/src/crypto/stream_cipher.cpp" "src/crypto/CMakeFiles/wavekey_crypto.dir/stream_cipher.cpp.o" "gcc" "src/crypto/CMakeFiles/wavekey_crypto.dir/stream_cipher.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/numeric/CMakeFiles/wavekey_numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

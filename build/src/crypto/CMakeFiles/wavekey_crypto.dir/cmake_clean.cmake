@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wavekey_crypto.dir/chacha20.cpp.o"
+  "CMakeFiles/wavekey_crypto.dir/chacha20.cpp.o.d"
+  "CMakeFiles/wavekey_crypto.dir/drbg.cpp.o"
+  "CMakeFiles/wavekey_crypto.dir/drbg.cpp.o.d"
+  "CMakeFiles/wavekey_crypto.dir/field25519.cpp.o"
+  "CMakeFiles/wavekey_crypto.dir/field25519.cpp.o.d"
+  "CMakeFiles/wavekey_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/wavekey_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/wavekey_crypto.dir/oblivious_transfer.cpp.o"
+  "CMakeFiles/wavekey_crypto.dir/oblivious_transfer.cpp.o.d"
+  "CMakeFiles/wavekey_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/wavekey_crypto.dir/sha256.cpp.o.d"
+  "CMakeFiles/wavekey_crypto.dir/stream_cipher.cpp.o"
+  "CMakeFiles/wavekey_crypto.dir/stream_cipher.cpp.o.d"
+  "libwavekey_crypto.a"
+  "libwavekey_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wavekey_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsp/gesture_detect.cpp" "src/dsp/CMakeFiles/wavekey_dsp.dir/gesture_detect.cpp.o" "gcc" "src/dsp/CMakeFiles/wavekey_dsp.dir/gesture_detect.cpp.o.d"
+  "/root/repo/src/dsp/gray_code.cpp" "src/dsp/CMakeFiles/wavekey_dsp.dir/gray_code.cpp.o" "gcc" "src/dsp/CMakeFiles/wavekey_dsp.dir/gray_code.cpp.o.d"
+  "/root/repo/src/dsp/phase_unwrap.cpp" "src/dsp/CMakeFiles/wavekey_dsp.dir/phase_unwrap.cpp.o" "gcc" "src/dsp/CMakeFiles/wavekey_dsp.dir/phase_unwrap.cpp.o.d"
+  "/root/repo/src/dsp/quantizer.cpp" "src/dsp/CMakeFiles/wavekey_dsp.dir/quantizer.cpp.o" "gcc" "src/dsp/CMakeFiles/wavekey_dsp.dir/quantizer.cpp.o.d"
+  "/root/repo/src/dsp/resample.cpp" "src/dsp/CMakeFiles/wavekey_dsp.dir/resample.cpp.o" "gcc" "src/dsp/CMakeFiles/wavekey_dsp.dir/resample.cpp.o.d"
+  "/root/repo/src/dsp/savitzky_golay.cpp" "src/dsp/CMakeFiles/wavekey_dsp.dir/savitzky_golay.cpp.o" "gcc" "src/dsp/CMakeFiles/wavekey_dsp.dir/savitzky_golay.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/numeric/CMakeFiles/wavekey_numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

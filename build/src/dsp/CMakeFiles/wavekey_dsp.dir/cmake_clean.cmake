@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wavekey_dsp.dir/gesture_detect.cpp.o"
+  "CMakeFiles/wavekey_dsp.dir/gesture_detect.cpp.o.d"
+  "CMakeFiles/wavekey_dsp.dir/gray_code.cpp.o"
+  "CMakeFiles/wavekey_dsp.dir/gray_code.cpp.o.d"
+  "CMakeFiles/wavekey_dsp.dir/phase_unwrap.cpp.o"
+  "CMakeFiles/wavekey_dsp.dir/phase_unwrap.cpp.o.d"
+  "CMakeFiles/wavekey_dsp.dir/quantizer.cpp.o"
+  "CMakeFiles/wavekey_dsp.dir/quantizer.cpp.o.d"
+  "CMakeFiles/wavekey_dsp.dir/resample.cpp.o"
+  "CMakeFiles/wavekey_dsp.dir/resample.cpp.o.d"
+  "CMakeFiles/wavekey_dsp.dir/savitzky_golay.cpp.o"
+  "CMakeFiles/wavekey_dsp.dir/savitzky_golay.cpp.o.d"
+  "libwavekey_dsp.a"
+  "libwavekey_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wavekey_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

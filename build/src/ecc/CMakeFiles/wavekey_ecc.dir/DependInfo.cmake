@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ecc/fuzzy_commitment.cpp" "src/ecc/CMakeFiles/wavekey_ecc.dir/fuzzy_commitment.cpp.o" "gcc" "src/ecc/CMakeFiles/wavekey_ecc.dir/fuzzy_commitment.cpp.o.d"
+  "/root/repo/src/ecc/gf256.cpp" "src/ecc/CMakeFiles/wavekey_ecc.dir/gf256.cpp.o" "gcc" "src/ecc/CMakeFiles/wavekey_ecc.dir/gf256.cpp.o.d"
+  "/root/repo/src/ecc/reed_solomon.cpp" "src/ecc/CMakeFiles/wavekey_ecc.dir/reed_solomon.cpp.o" "gcc" "src/ecc/CMakeFiles/wavekey_ecc.dir/reed_solomon.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/numeric/CMakeFiles/wavekey_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/wavekey_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

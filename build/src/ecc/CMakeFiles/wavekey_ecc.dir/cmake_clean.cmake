@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wavekey_ecc.dir/fuzzy_commitment.cpp.o"
+  "CMakeFiles/wavekey_ecc.dir/fuzzy_commitment.cpp.o.d"
+  "CMakeFiles/wavekey_ecc.dir/gf256.cpp.o"
+  "CMakeFiles/wavekey_ecc.dir/gf256.cpp.o.d"
+  "CMakeFiles/wavekey_ecc.dir/reed_solomon.cpp.o"
+  "CMakeFiles/wavekey_ecc.dir/reed_solomon.cpp.o.d"
+  "libwavekey_ecc.a"
+  "libwavekey_ecc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wavekey_ecc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wavekey_imu.dir/imu_pipeline.cpp.o"
+  "CMakeFiles/wavekey_imu.dir/imu_pipeline.cpp.o.d"
+  "libwavekey_imu.a"
+  "libwavekey_imu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wavekey_imu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

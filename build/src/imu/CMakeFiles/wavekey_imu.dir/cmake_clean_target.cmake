@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwavekey_imu.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wavekey_nist.dir/nist.cpp.o"
+  "CMakeFiles/wavekey_nist.dir/nist.cpp.o.d"
+  "libwavekey_nist.a"
+  "libwavekey_nist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wavekey_nist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/batchnorm.cpp" "src/nn/CMakeFiles/wavekey_nn.dir/batchnorm.cpp.o" "gcc" "src/nn/CMakeFiles/wavekey_nn.dir/batchnorm.cpp.o.d"
+  "/root/repo/src/nn/conv1d.cpp" "src/nn/CMakeFiles/wavekey_nn.dir/conv1d.cpp.o" "gcc" "src/nn/CMakeFiles/wavekey_nn.dir/conv1d.cpp.o.d"
+  "/root/repo/src/nn/dense.cpp" "src/nn/CMakeFiles/wavekey_nn.dir/dense.cpp.o" "gcc" "src/nn/CMakeFiles/wavekey_nn.dir/dense.cpp.o.d"
+  "/root/repo/src/nn/layer.cpp" "src/nn/CMakeFiles/wavekey_nn.dir/layer.cpp.o" "gcc" "src/nn/CMakeFiles/wavekey_nn.dir/layer.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/nn/CMakeFiles/wavekey_nn.dir/loss.cpp.o" "gcc" "src/nn/CMakeFiles/wavekey_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/nn/CMakeFiles/wavekey_nn.dir/optimizer.cpp.o" "gcc" "src/nn/CMakeFiles/wavekey_nn.dir/optimizer.cpp.o.d"
+  "/root/repo/src/nn/sequential.cpp" "src/nn/CMakeFiles/wavekey_nn.dir/sequential.cpp.o" "gcc" "src/nn/CMakeFiles/wavekey_nn.dir/sequential.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/numeric/CMakeFiles/wavekey_numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

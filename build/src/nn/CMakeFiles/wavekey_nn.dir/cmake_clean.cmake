@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wavekey_nn.dir/batchnorm.cpp.o"
+  "CMakeFiles/wavekey_nn.dir/batchnorm.cpp.o.d"
+  "CMakeFiles/wavekey_nn.dir/conv1d.cpp.o"
+  "CMakeFiles/wavekey_nn.dir/conv1d.cpp.o.d"
+  "CMakeFiles/wavekey_nn.dir/dense.cpp.o"
+  "CMakeFiles/wavekey_nn.dir/dense.cpp.o.d"
+  "CMakeFiles/wavekey_nn.dir/layer.cpp.o"
+  "CMakeFiles/wavekey_nn.dir/layer.cpp.o.d"
+  "CMakeFiles/wavekey_nn.dir/loss.cpp.o"
+  "CMakeFiles/wavekey_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/wavekey_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/wavekey_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/wavekey_nn.dir/sequential.cpp.o"
+  "CMakeFiles/wavekey_nn.dir/sequential.cpp.o.d"
+  "libwavekey_nn.a"
+  "libwavekey_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wavekey_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

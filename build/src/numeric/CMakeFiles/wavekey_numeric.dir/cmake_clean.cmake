@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wavekey_numeric.dir/bitvec.cpp.o"
+  "CMakeFiles/wavekey_numeric.dir/bitvec.cpp.o.d"
+  "CMakeFiles/wavekey_numeric.dir/matrix.cpp.o"
+  "CMakeFiles/wavekey_numeric.dir/matrix.cpp.o.d"
+  "CMakeFiles/wavekey_numeric.dir/rng.cpp.o"
+  "CMakeFiles/wavekey_numeric.dir/rng.cpp.o.d"
+  "CMakeFiles/wavekey_numeric.dir/stats.cpp.o"
+  "CMakeFiles/wavekey_numeric.dir/stats.cpp.o.d"
+  "libwavekey_numeric.a"
+  "libwavekey_numeric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wavekey_numeric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/protocol/key_agreement.cpp" "src/protocol/CMakeFiles/wavekey_protocol.dir/key_agreement.cpp.o" "gcc" "src/protocol/CMakeFiles/wavekey_protocol.dir/key_agreement.cpp.o.d"
+  "/root/repo/src/protocol/session.cpp" "src/protocol/CMakeFiles/wavekey_protocol.dir/session.cpp.o" "gcc" "src/protocol/CMakeFiles/wavekey_protocol.dir/session.cpp.o.d"
+  "/root/repo/src/protocol/wire.cpp" "src/protocol/CMakeFiles/wavekey_protocol.dir/wire.cpp.o" "gcc" "src/protocol/CMakeFiles/wavekey_protocol.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/numeric/CMakeFiles/wavekey_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/wavekey_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/wavekey_ecc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wavekey_protocol.dir/key_agreement.cpp.o"
+  "CMakeFiles/wavekey_protocol.dir/key_agreement.cpp.o.d"
+  "CMakeFiles/wavekey_protocol.dir/session.cpp.o"
+  "CMakeFiles/wavekey_protocol.dir/session.cpp.o.d"
+  "CMakeFiles/wavekey_protocol.dir/wire.cpp.o"
+  "CMakeFiles/wavekey_protocol.dir/wire.cpp.o.d"
+  "libwavekey_protocol.a"
+  "libwavekey_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wavekey_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rfid/rfid_pipeline.cpp" "src/rfid/CMakeFiles/wavekey_rfid.dir/rfid_pipeline.cpp.o" "gcc" "src/rfid/CMakeFiles/wavekey_rfid.dir/rfid_pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/numeric/CMakeFiles/wavekey_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/wavekey_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wavekey_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

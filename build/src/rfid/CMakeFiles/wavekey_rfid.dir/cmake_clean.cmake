@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wavekey_rfid.dir/rfid_pipeline.cpp.o"
+  "CMakeFiles/wavekey_rfid.dir/rfid_pipeline.cpp.o.d"
+  "libwavekey_rfid.a"
+  "libwavekey_rfid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wavekey_rfid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

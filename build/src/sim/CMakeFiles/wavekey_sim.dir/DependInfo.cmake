@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/camera.cpp" "src/sim/CMakeFiles/wavekey_sim.dir/camera.cpp.o" "gcc" "src/sim/CMakeFiles/wavekey_sim.dir/camera.cpp.o.d"
+  "/root/repo/src/sim/gesture.cpp" "src/sim/CMakeFiles/wavekey_sim.dir/gesture.cpp.o" "gcc" "src/sim/CMakeFiles/wavekey_sim.dir/gesture.cpp.o.d"
+  "/root/repo/src/sim/imu_sensor.cpp" "src/sim/CMakeFiles/wavekey_sim.dir/imu_sensor.cpp.o" "gcc" "src/sim/CMakeFiles/wavekey_sim.dir/imu_sensor.cpp.o.d"
+  "/root/repo/src/sim/rfid_channel.cpp" "src/sim/CMakeFiles/wavekey_sim.dir/rfid_channel.cpp.o" "gcc" "src/sim/CMakeFiles/wavekey_sim.dir/rfid_channel.cpp.o.d"
+  "/root/repo/src/sim/scenario.cpp" "src/sim/CMakeFiles/wavekey_sim.dir/scenario.cpp.o" "gcc" "src/sim/CMakeFiles/wavekey_sim.dir/scenario.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/numeric/CMakeFiles/wavekey_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/wavekey_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wavekey_sim.dir/camera.cpp.o"
+  "CMakeFiles/wavekey_sim.dir/camera.cpp.o.d"
+  "CMakeFiles/wavekey_sim.dir/gesture.cpp.o"
+  "CMakeFiles/wavekey_sim.dir/gesture.cpp.o.d"
+  "CMakeFiles/wavekey_sim.dir/imu_sensor.cpp.o"
+  "CMakeFiles/wavekey_sim.dir/imu_sensor.cpp.o.d"
+  "CMakeFiles/wavekey_sim.dir/rfid_channel.cpp.o"
+  "CMakeFiles/wavekey_sim.dir/rfid_channel.cpp.o.d"
+  "CMakeFiles/wavekey_sim.dir/scenario.cpp.o"
+  "CMakeFiles/wavekey_sim.dir/scenario.cpp.o.d"
+  "libwavekey_sim.a"
+  "libwavekey_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wavekey_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

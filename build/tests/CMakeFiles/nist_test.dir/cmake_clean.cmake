@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nist_test.dir/nist_test.cpp.o"
+  "CMakeFiles/nist_test.dir/nist_test.cpp.o.d"
+  "nist_test"
+  "nist_test.pdb"
+  "nist_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nist_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

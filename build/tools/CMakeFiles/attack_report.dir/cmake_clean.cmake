@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_report.dir/attack_report.cpp.o"
+  "CMakeFiles/attack_report.dir/attack_report.cpp.o.d"
+  "attack_report"
+  "attack_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

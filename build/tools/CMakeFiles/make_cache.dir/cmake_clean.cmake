@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/make_cache.dir/make_cache.cpp.o"
+  "CMakeFiles/make_cache.dir/make_cache.cpp.o.d"
+  "make_cache"
+  "make_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/make_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

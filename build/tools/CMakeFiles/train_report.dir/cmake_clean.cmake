@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_report.dir/train_report.cpp.o"
+  "CMakeFiles/train_report.dir/train_report.cpp.o.d"
+  "train_report"
+  "train_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

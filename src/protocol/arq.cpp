@@ -1,0 +1,90 @@
+#include "protocol/arq.hpp"
+
+#include <array>
+
+namespace wavekey::protocol {
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> data) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::uint8_t b : data) c = table[(c ^ b) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+ArqStats& ArqStats::operator+=(const ArqStats& o) {
+  data_frames_sent += o.data_frames_sent;
+  retransmissions += o.retransmissions;
+  acks_sent += o.acks_sent;
+  corrupt_frames_dropped += o.corrupt_frames_dropped;
+  duplicate_frames += o.duplicate_frames;
+  messages_lost += o.messages_lost;
+  return *this;
+}
+
+Bytes encode_data_frame(std::uint32_t seq, MessageType type,
+                        std::span<const std::uint8_t> payload) {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(FrameKind::kData));
+  w.u32(seq);
+  w.u8(static_cast<std::uint8_t>(type));
+  w.blob(payload);
+  Bytes body = w.take();
+  WireWriter tagged;
+  tagged.bytes(body);
+  tagged.u32(crc32(body));
+  return tagged.take();
+}
+
+Bytes encode_ack_frame(std::uint32_t seq) {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(FrameKind::kAck));
+  w.u32(seq);
+  w.u8(0);
+  w.blob(Bytes{});
+  Bytes body = w.take();
+  WireWriter tagged;
+  tagged.bytes(body);
+  tagged.u32(crc32(body));
+  return tagged.take();
+}
+
+std::optional<ArqFrame> decode_frame(std::span<const std::uint8_t> wire) {
+  constexpr std::size_t kTagBytes = 4;
+  if (wire.size() < kTagBytes + 1) return std::nullopt;
+  const std::span<const std::uint8_t> body = wire.first(wire.size() - kTagBytes);
+  try {
+    WireReader tag_reader(wire.subspan(wire.size() - kTagBytes));
+    if (tag_reader.u32() != crc32(body)) return std::nullopt;
+
+    WireReader r(body);
+    ArqFrame frame;
+    const std::uint8_t kind = r.u8();
+    if (kind != static_cast<std::uint8_t>(FrameKind::kData) &&
+        kind != static_cast<std::uint8_t>(FrameKind::kAck))
+      return std::nullopt;
+    frame.kind = static_cast<FrameKind>(kind);
+    frame.seq = r.u32();
+    frame.type = static_cast<MessageType>(r.u8());
+    frame.payload = r.blob();
+    r.expect_done();
+    if (frame.kind == FrameKind::kAck && !frame.payload.empty()) return std::nullopt;
+    return frame;
+  } catch (const WireError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace wavekey::protocol

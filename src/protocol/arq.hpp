@@ -1,0 +1,71 @@
+#pragma once
+
+// ARQ framing for the key-agreement transport: every protocol message is
+// wrapped in a sequence-numbered frame carrying a CRC-32 integrity tag, so
+// the receiver can discard corrupted or duplicated frames and acknowledge
+// good ones. The tag defends against *channel noise*, not adversaries — no
+// shared key exists yet at this layer; adversarial tampering is still caught
+// end-to-end by the protocol itself (OT consistency + HMAC confirmation).
+//
+// The retransmission policy (timers, bounded exponential backoff, the tau
+// budget) lives in protocol/session.cpp; this header only defines the frame
+// format, its codec, and the knobs/counters shared with callers.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "protocol/wire.hpp"
+
+namespace wavekey::protocol {
+
+/// Retransmission policy of the stop-and-wait ARQ used per protocol message.
+struct ArqConfig {
+  double initial_rto_s = 0.015;   ///< first retransmission timeout
+  double backoff = 2.0;           ///< timeout multiplier per retry
+  double max_rto_s = 0.240;       ///< backoff ceiling
+  std::size_t max_retransmits = 8;///< retransmissions per message (excl. first send)
+};
+
+/// Telemetry counters of one ARQ session (both directions pooled).
+struct ArqStats {
+  std::uint32_t data_frames_sent = 0;   ///< first sends + retransmissions
+  std::uint32_t retransmissions = 0;
+  std::uint32_t acks_sent = 0;
+  std::uint32_t corrupt_frames_dropped = 0;  ///< CRC/parse rejects at either end
+  std::uint32_t duplicate_frames = 0;        ///< valid frames for an already-ACKed seq
+  std::uint32_t messages_lost = 0;           ///< messages abandoned after max retries
+
+  ArqStats& operator+=(const ArqStats& o);
+};
+
+/// Frame kind tag (first byte on the wire).
+enum class FrameKind : std::uint8_t {
+  kData = 1,
+  kAck = 2,
+};
+
+/// A decoded, integrity-checked frame.
+struct ArqFrame {
+  FrameKind kind = FrameKind::kData;
+  std::uint32_t seq = 0;
+  MessageType type = MessageType::kMsgA;  ///< meaningful for data frames only
+  Bytes payload;                          ///< empty for ACKs
+};
+
+/// CRC-32 (IEEE 802.3, reflected) over `data`.
+std::uint32_t crc32(std::span<const std::uint8_t> data);
+
+/// Encodes a data frame: kind | seq | type | blob(payload) | crc32.
+Bytes encode_data_frame(std::uint32_t seq, MessageType type, std::span<const std::uint8_t> payload);
+
+/// Encodes an acknowledgement for `seq`.
+Bytes encode_ack_frame(std::uint32_t seq);
+
+/// Decodes and integrity-checks a frame. Returns nullopt on truncation,
+/// trailing garbage, unknown kind, or CRC mismatch — corruption is expected
+/// channel behaviour at this layer, not an error condition, so this never
+/// throws.
+std::optional<ArqFrame> decode_frame(std::span<const std::uint8_t> wire);
+
+}  // namespace wavekey::protocol

@@ -1,0 +1,111 @@
+#include "protocol/faulty_channel.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wavekey::protocol {
+
+FaultyChannelConfig FaultyChannelConfig::symmetric(const LinkFaultConfig& faults,
+                                                   std::uint64_t seed) {
+  FaultyChannelConfig c;
+  c.mobile_to_server = faults;
+  c.server_to_mobile = faults;
+  c.seed = seed;
+  return c;
+}
+
+FaultyChannelConfig FaultyChannelConfig::wifi_indoor(std::uint64_t seed) {
+  LinkFaultConfig f;
+  f.loss = 0.02;
+  f.corrupt = 0.005;
+  f.duplicate = 0.005;
+  f.jitter = JitterDistribution::kExponential;
+  f.jitter_s = 0.003;
+  return symmetric(f, seed);
+}
+
+FaultyChannelConfig FaultyChannelConfig::congested(std::uint64_t seed) {
+  LinkFaultConfig f;
+  f.loss = 0.15;
+  f.corrupt = 0.02;
+  f.duplicate = 0.03;
+  f.reorder = 0.05;
+  f.jitter = JitterDistribution::kExponential;
+  f.jitter_s = 0.010;
+  return symmetric(f, seed);
+}
+
+FaultyChannel::FaultyChannel(const FaultyChannelConfig& config)
+    : config_(config), rng_(config.seed) {}
+
+const LinkFaultConfig& FaultyChannel::faults_for(const std::string& from) const {
+  return from == "mobile" ? config_.mobile_to_server : config_.server_to_mobile;
+}
+
+namespace {
+
+double sample_jitter(const LinkFaultConfig& f, Rng& rng) {
+  switch (f.jitter) {
+    case JitterDistribution::kNone:
+      return 0.0;
+    case JitterDistribution::kUniform:
+      return rng.uniform(0.0, f.jitter_s);
+    case JitterDistribution::kExponential: {
+      const double u = rng.uniform();
+      return -f.jitter_s * std::log(1.0 - u);
+    }
+    case JitterDistribution::kNormal:
+      return std::abs(rng.normal(0.0, f.jitter_s));
+  }
+  return 0.0;
+}
+
+void corrupt_payload(const LinkFaultConfig& f, Bytes& payload, Rng& rng) {
+  if (payload.empty()) return;
+  const std::size_t nbits =
+      1 + rng.uniform_u64(f.corrupt_bits_max == 0 ? 1 : f.corrupt_bits_max);
+  for (std::size_t i = 0; i < nbits; ++i) {
+    const std::size_t bit = rng.uniform_u64(payload.size() * 8);
+    payload[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+  }
+}
+
+}  // namespace
+
+std::vector<Delivery> FaultyChannel::transmit(const InFlightMessage& msg, double base_latency_s,
+                                              const Interceptor& adversary) {
+  const LinkFaultConfig& f = faults_for(msg.from);
+  const std::size_t copies = 1 + (rng_.uniform() < f.duplicate ? 1 : 0);
+
+  std::vector<Delivery> out;
+  for (std::size_t c = 0; c < copies; ++c) {
+    if (rng_.uniform() < f.loss) continue;
+    Bytes payload = msg.payload;
+    if (rng_.uniform() < f.corrupt) corrupt_payload(f, payload, rng_);
+    double delay = base_latency_s + sample_jitter(f, rng_);
+    if (rng_.uniform() < f.reorder) delay += f.reorder_hold_s * (1.0 + rng_.uniform());
+    if (adversary) {
+      InFlightMessage copy{msg.from, msg.to, msg.type, std::move(payload), msg.send_time};
+      const double extra = adversary(copy);
+      payload = std::move(copy.payload);
+      if (extra < 0.0) continue;
+      delay += extra;
+    }
+    out.push_back(Delivery{msg.send_time + delay, std::move(payload)});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Delivery& a, const Delivery& b) { return a.arrival_s < b.arrival_s; });
+  return out;
+}
+
+Interceptor FaultyChannel::as_interceptor() {
+  // Captures `this`; the channel must outlive the returned interceptor.
+  return [this](InFlightMessage& msg) -> double {
+    const LinkFaultConfig& f = faults_for(msg.from);
+    if (rng_.uniform() < f.loss) return -1.0;
+    if (rng_.uniform() < f.corrupt) corrupt_payload(f, msg.payload, rng_);
+    return sample_jitter(f, rng_);
+  };
+}
+
+}  // namespace wavekey::protocol

@@ -6,14 +6,28 @@
 // critical messages (M_A,R and M_B,M must arrive within
 // gesture_window + tau of the gesture start, SIV-D2), and an adversary
 // interposition hook used by the attack suite (eavesdrop / tamper / delay).
+//
+// Two transports are available:
+//  * run_key_agreement — the paper's single-shot exchange: each message is
+//    sent exactly once; a lost or late message aborts the session.
+//  * run_key_agreement_arq — the same protocol over a stop-and-wait ARQ
+//    (protocol/arq.hpp) running on a FaultyChannel
+//    (protocol/faulty_channel.hpp): sequence-numbered CRC-tagged frames,
+//    per-message retransmission timers with bounded exponential backoff, all
+//    charged against the session clock so the tau deadline still bites.
+//    Retries that cannot finish inside gesture_window + tau fail fast with
+//    FailureReason::kTimeout.
 
 #include <functional>
 #include <optional>
 #include <string>
 
+#include "protocol/arq.hpp"
 #include "protocol/key_agreement.hpp"
 
 namespace wavekey::protocol {
+
+class FaultyChannel;
 
 /// A message in flight; adversaries may observe or mutate it.
 struct InFlightMessage {
@@ -27,6 +41,8 @@ struct InFlightMessage {
 /// Adversary hook. Return value is the extra delay (seconds) the message
 /// suffers; mutate `msg.payload` to tamper. Return a negative value to drop
 /// the message entirely (the session then fails by timeout/parse error).
+/// Under the ARQ transport the hook sees every physical frame copy
+/// (retransmissions and duplicates included), framed per protocol/arq.hpp.
 using Interceptor = std::function<double(InFlightMessage& msg)>;
 
 struct SessionConfig {
@@ -45,15 +61,24 @@ enum class FailureReason {
   kDeadlineExceeded,   ///< M_A,R or M_B,M arrived after 2 + tau
   kReconciliationFailed,  ///< server could not recover K_M (seed mismatch)
   kBadResponse,        ///< HMAC verification failed at the mobile
-  kMalformedMessage,   ///< wire-format error (tampering/drop)
+  kMalformedMessage,   ///< wire-format error (tampering)
+  kMessageDropped,     ///< a message never arrived (loss / adversary drop)
+  kTimeout,            ///< ARQ retries could not finish inside the tau budget
 };
+
+/// Human-readable name of a failure reason (telemetry / bench output).
+const char* failure_reason_name(FailureReason reason);
 
 struct SessionResult {
   bool success = false;
   FailureReason failure = FailureReason::kNone;
   BitVec mobile_key;
   BitVec server_key;
-  double elapsed_s = 0.0;  ///< session-clock time from gesture start to key
+  double elapsed_s = 0.0;  ///< session clock at exit (success or failure)
+  /// Latest arrival among the deadline-bound messages (M_A,R at the mobile,
+  /// M_B,M at the server); <= gesture_window + tau on every success.
+  double critical_arrival_s = 0.0;
+  ArqStats arq;            ///< all-zero under the single-shot transport
 };
 
 /// Runs the complete protocol given the two key-seeds (produced by the
@@ -65,5 +90,14 @@ SessionResult run_key_agreement(const SessionConfig& config, const BitVec& mobil
                                 const BitVec& server_seed, crypto::Drbg& mobile_rng,
                                 crypto::Drbg& server_rng,
                                 const Interceptor& interceptor = {});
+
+/// Same protocol over the ARQ transport on a faulty link. `channel` is the
+/// session's link model (must outlive the call); `interceptor` optionally
+/// stacks an adversary on top of the channel faults.
+SessionResult run_key_agreement_arq(const SessionConfig& config, const ArqConfig& arq,
+                                    FaultyChannel& channel, const BitVec& mobile_seed,
+                                    const BitVec& server_seed, crypto::Drbg& mobile_rng,
+                                    crypto::Drbg& server_rng,
+                                    const Interceptor& interceptor = {});
 
 }  // namespace wavekey::protocol

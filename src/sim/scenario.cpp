@@ -4,6 +4,38 @@
 
 namespace wavekey::sim {
 
+LinkQuality LinkQuality::for_environment(int id, bool dynamic) {
+  LinkQuality q;
+  switch (id) {
+    case 1:  // static lab: near-clean link
+      q.loss = 0.005;
+      q.jitter_ms = 1.0;
+      break;
+    case 2:  // office: light WiFi contention
+      q.loss = 0.02;
+      q.jitter_ms = 3.0;
+      q.duplicate = 0.005;
+      break;
+    case 3:  // corridor / mall: moderate congestion
+      q.loss = 0.05;
+      q.corrupt = 0.005;
+      q.duplicate = 0.01;
+      q.jitter_ms = 6.0;
+      break;
+    default:  // hall / dense deployment: heavy 2.4 GHz congestion
+      q.loss = 0.08;
+      q.corrupt = 0.01;
+      q.duplicate = 0.02;
+      q.jitter_ms = 10.0;
+      break;
+  }
+  if (dynamic) {  // walkers shadow the link intermittently
+    q.loss += 0.04;
+    q.jitter_ms += 4.0;
+  }
+  return q;
+}
+
 ScenarioSimulator::ScenarioSimulator(ScenarioConfig config, std::uint64_t seed)
     : config_(std::move(config)), rng_(seed) {}
 

@@ -7,12 +7,29 @@
 // 0 degrees — is the default-constructed configuration.
 
 #include <cstdint>
+#include <optional>
 
 #include "sim/gesture.hpp"
 #include "sim/imu_sensor.hpp"
 #include "sim/rfid_channel.hpp"
 
 namespace wavekey::sim {
+
+/// Quality of the WiFi/BLE control link between the two parties. The sim's
+/// environments differ not only in RF multipath (rfid_channel) but also in
+/// how congested the data link is; this struct carries the plain numbers so
+/// that core/ can map them onto a protocol::FaultyChannelConfig without sim
+/// depending on protocol.
+struct LinkQuality {
+  double loss = 0.0;        ///< per-frame loss probability
+  double corrupt = 0.0;     ///< per-frame bit-corruption probability
+  double duplicate = 0.0;   ///< per-frame duplication probability
+  double jitter_ms = 0.0;   ///< exponential latency-jitter scale
+
+  /// Link profile of environment `id` in [1,4] (denser/busier environments
+  /// get lossier links); `dynamic` adds crowd-induced loss and jitter.
+  static LinkQuality for_environment(int id, bool dynamic);
+};
 
 struct ScenarioConfig {
   VolunteerStyle volunteer{};
@@ -23,6 +40,10 @@ struct ScenarioConfig {
   double distance_m = 5.0;
   double azimuth_deg = 0.0;
   GestureParams gesture{};
+  /// Control-link quality; nullopt derives it from the environment via
+  /// LinkQuality::for_environment. Only the fault-tolerant transport
+  /// (core::WaveKeySystem::establish_key_robust) consumes this.
+  std::optional<LinkQuality> link;
 };
 
 /// One simulated session: the ground-truth gesture plus both recordings.

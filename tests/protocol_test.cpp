@@ -9,6 +9,7 @@
 #include <string>
 
 #include "crypto/drbg.hpp"
+#include "numeric/rng.hpp"
 #include "protocol/key_agreement.hpp"
 #include "protocol/session.hpp"
 #include "protocol/wire.hpp"
@@ -173,7 +174,7 @@ TEST_F(AgreementTest, DroppedMessageFailsCleanly) {
   const SessionResult r =
       run_key_agreement(config_, seed, seed, mobile_rng_, server_rng_, dropper);
   EXPECT_FALSE(r.success);
-  EXPECT_EQ(r.failure, FailureReason::kMalformedMessage);
+  EXPECT_EQ(r.failure, FailureReason::kMessageDropped);
 }
 
 TEST_F(AgreementTest, TamperedOtMessageNeverYieldsAgreedKey) {
@@ -267,6 +268,104 @@ TEST(PadExchangeTest, MalformedMessagesThrowWireError) {
   Bytes truncated = sender.message_a();
   truncated.resize(truncated.size() / 2);
   EXPECT_THROW(PadReceiver(params, rng.random_bits(8), truncated, rng), WireError);
+}
+
+// --- malformed-input robustness: seeded mutation fuzzing of the decoders ---
+//
+// Every decoder that touches attacker-controlled bytes must either parse or
+// throw WireError/invalid_argument — never crash, never exhibit UB. ~1k
+// seeded mutations per decoder: truncations, bit flips, random buffers, and
+// junk extensions.
+
+Bytes mutate_wire(const Bytes& base, Rng& rng) {
+  Bytes out = base;
+  switch (rng.uniform_u64(4)) {
+    case 0:  // truncate
+      out.resize(static_cast<std::size_t>(rng.uniform_u64(base.size() + 1)));
+      break;
+    case 1: {  // flip 1..8 bits
+      if (out.empty()) break;
+      const std::size_t flips = 1 + rng.uniform_u64(8);
+      for (std::size_t i = 0; i < flips; ++i) {
+        const std::size_t bit = rng.uniform_u64(out.size() * 8);
+        out[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+      }
+      break;
+    }
+    case 2:  // fully random buffer
+      out.resize(static_cast<std::size_t>(rng.uniform_u64(300)));
+      rng.fill_bytes(out);
+      break;
+    default:  // append junk
+      for (std::size_t i = 0, n = 1 + rng.uniform_u64(32); i < n; ++i)
+        out.push_back(static_cast<std::uint8_t>(rng.uniform_u64(256)));
+      break;
+  }
+  return out;
+}
+
+/// Runs `decode` on ~1k mutations of `base`; only clean outcomes allowed.
+template <typename F>
+void fuzz_decoder(const Bytes& base, std::uint64_t seed, F&& decode) {
+  Rng rng(seed);
+  for (int i = 0; i < 1000; ++i) {
+    const Bytes mutated = mutate_wire(base, rng);
+    try {
+      decode(mutated);  // parsing garbage successfully is fine; UB is not
+    } catch (const WireError&) {
+    } catch (const std::invalid_argument&) {
+    }
+  }
+}
+
+TEST(MalformedInputFuzz, ChallengeParseNeverCrashes) {
+  AgreementParams params;
+  params.seed_bits = 48;
+  params.key_bits = 256;
+  params.eta = 0.10;
+  crypto::Drbg rng(91);
+  const Challenge c = make_challenge(params, rng.random_bits(params.prelim_key_bits()), rng);
+  fuzz_decoder(c.serialize(), 1001,
+               [&](const Bytes& wire) { (void)Challenge::parse(params, wire); });
+}
+
+TEST(MalformedInputFuzz, PadReceiverNeverCrashes) {
+  AgreementParams params;
+  params.seed_bits = 16;
+  params.key_bits = 128;
+  crypto::Drbg rng(92);
+  const PadSender sender(params, rng);
+  const BitVec seed = rng.random_bits(16);
+  fuzz_decoder(sender.message_a(), 1002, [&](const Bytes& wire) {
+    crypto::Drbg fresh(7);
+    (void)PadReceiver(params, seed, wire, fresh);
+  });
+}
+
+TEST(MalformedInputFuzz, ReceivePadsNeverCrashes) {
+  AgreementParams params;
+  params.seed_bits = 16;
+  params.key_bits = 128;
+  crypto::Drbg rng(93);
+  const PadSender sender(params, rng);
+  const BitVec seed = rng.random_bits(16);
+  const PadReceiver receiver(params, seed, sender.message_a(), rng);
+  const Bytes msg_e = sender.make_cipher_message(receiver.message_b(), rng);
+  fuzz_decoder(msg_e, 1003, [&](const Bytes& wire) { (void)receiver.receive_pads(wire); });
+}
+
+TEST(MalformedInputFuzz, WireReaderNeverCrashes) {
+  WireWriter w;
+  w.u8(3);
+  w.u32(123456);
+  w.blob(Bytes{1, 2, 3, 4, 5, 6, 7, 8});
+  fuzz_decoder(w.take(), 1004, [&](const Bytes& wire) {
+    WireReader r(wire);
+    (void)r.u8();
+    (void)r.u32();
+    (void)r.blob();
+    r.expect_done();
+  });
 }
 
 TEST(ReconciliationTest, ChallengeRoundTrip) {

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# CI driver: builds and runs the tier-1 ctest suite twice — a plain
+# RelWithDebInfo build and a WAVEKEY_SANITIZE=ON (ASan + UBSan) build — so
+# every merge exercises both correctness and memory/UB cleanliness.
+#
+# Usage: tools/ci.sh [--plain-only|--sanitize-only]
+# Environment: WAVEKEY_CI_JOBS (parallelism, default nproc),
+#              WAVEKEY_BENCH_SCALE is NOT consumed here (tests only).
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${WAVEKEY_CI_JOBS:-$(nproc)}"
+MODE="${1:-all}"
+
+run_suite() {
+  local name="$1" dir="$2"
+  shift 2
+  echo "=== [$name] configure ==="
+  cmake -B "$dir" -S . "$@"
+  echo "=== [$name] build ==="
+  cmake --build "$dir" -j "$JOBS"
+  echo "=== [$name] ctest ==="
+  ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
+}
+
+case "$MODE" in
+  --sanitize-only) ;;
+  *) run_suite plain build-ci ;;
+esac
+
+case "$MODE" in
+  --plain-only) ;;
+  *)
+    # UBSan aborts on any finding (-fno-sanitize-recover=all); ASan halts on
+    # the first error by default, which is exactly what CI wants.
+    ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}" \
+      run_suite sanitize build-ci-sanitize -DWAVEKEY_SANITIZE=ON
+    ;;
+esac
+
+echo "=== CI ok ==="

@@ -1,0 +1,199 @@
+// Concurrent pairing throughput: sessions/sec and service-latency
+// percentiles of core::PairingEngine vs. worker-thread count. Emits a JSON
+// curve (one object per thread count) plus the 4-thread-over-1-thread
+// speedup and the total count of tau-deadline violations (must stay zero).
+//
+// Sessions are synthetic — SeedQuantizer::from_normal bins standard-normal
+// latents, and the server latent is the mobile latent plus small Gaussian
+// noise, so the seed mismatch sits far below eta and every session succeeds
+// deterministically; no trained model is needed, keeping the bench CI-cheap.
+//
+// Each session spends `radio_wait_ms` blocked in emulated radio I/O (BLE
+// connection-interval round-trips between the phone and the reader). Worker
+// threads overlap those waits, which is what the throughput curve measures;
+// it therefore scales with thread count even on a single-core host. Real
+// crypto cost is still charged into each session's virtual clock by the
+// protocol layer, so CPU contention between concurrent sessions counts
+// against the tau window and would surface as tau violations.
+//
+// Knobs: WAVEKEY_BENCH_SCALE scales sessions per point (default 1.0);
+// WAVEKEY_BENCH_THREADS is a comma-separated thread-count list (default
+// "1,2,4,8"); WAVEKEY_RADIO_WAIT_MS overrides the emulated radio wait.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/pairing_engine.hpp"
+#include "core/seed_quantizer.hpp"
+#include "numeric/rng.hpp"
+#include "runtime/thread_pool.hpp"
+
+using namespace wavekey;
+using namespace wavekey::core;
+
+namespace {
+
+int session_count() {
+  double scale = 1.0;
+  if (const char* env = std::getenv("WAVEKEY_BENCH_SCALE")) {
+    const double s = std::atof(env);
+    if (s > 0.0) scale = s;
+  }
+  const int n = static_cast<int>(64 * scale);
+  return n < 8 ? 8 : n;
+}
+
+std::vector<std::size_t> thread_counts() {
+  std::vector<std::size_t> counts;
+  if (const char* env = std::getenv("WAVEKEY_BENCH_THREADS")) {
+    std::string spec(env);
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+      const std::size_t comma = spec.find(',', pos);
+      const std::string tok = spec.substr(pos, comma == std::string::npos ? comma : comma - pos);
+      const long v = std::strtol(tok.c_str(), nullptr, 10);
+      if (v > 0) counts.push_back(static_cast<std::size_t>(v));
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+  }
+  if (counts.empty()) counts = {1, 2, 4, 8};
+  return counts;
+}
+
+double radio_wait_s() {
+  if (const char* env = std::getenv("WAVEKEY_RADIO_WAIT_MS")) {
+    const double ms = std::atof(env);
+    if (ms >= 0.0) return ms / 1000.0;
+  }
+  return 0.045;  // ~3 BLE connection intervals at 15 ms
+}
+
+double percentile_ms(std::vector<double> values_s, double p) {
+  if (values_s.empty()) return 0.0;
+  std::sort(values_s.begin(), values_s.end());
+  const double rank = p * static_cast<double>(values_s.size());
+  std::size_t idx = static_cast<std::size_t>(rank);
+  if (idx >= values_s.size()) idx = values_s.size() - 1;
+  return values_s[idx] * 1000.0;
+}
+
+struct Point {
+  std::size_t threads = 0;
+  double wall_s = 0.0;
+  double sessions_per_sec = 0.0;
+  double success_rate = 0.0;
+  double p50_service_ms = 0.0;
+  double p95_service_ms = 0.0;
+  double p99_service_ms = 0.0;
+  double p99_critical_ms = 0.0;
+  int tau_violations = 0;
+};
+
+Point run_point(const SeedQuantizer& quantizer, const WaveKeyConfig& wk, std::size_t threads,
+                int sessions) {
+  PairingEngineConfig config;
+  config.threads = threads;
+  config.queue_capacity = 32;
+  config.radio_wait_s = radio_wait_s();
+  config.session.tau_s = wk.tau_s;
+  config.session.gesture_window_s = wk.gesture_window_s;
+  config.session.params.key_bits = wk.key_bits;
+  config.session.params.eta = wk.eta;
+
+  // Same request stream at every thread count: deterministic latents and
+  // per-session crypto seeds, so the points differ only in scheduling.
+  std::vector<PairingRequest> requests;
+  requests.reserve(static_cast<std::size_t>(sessions));
+  for (int i = 0; i < sessions; ++i) {
+    Rng rng(static_cast<std::uint64_t>(i) * 6151 + 29);
+    PairingRequest req;
+    req.id = static_cast<std::uint64_t>(i);
+    req.rng_seed = static_cast<std::uint64_t>(i) * 7919 + 17;
+    req.mobile_latent.resize(quantizer.latent_dim());
+    req.server_latent.resize(quantizer.latent_dim());
+    for (std::size_t d = 0; d < quantizer.latent_dim(); ++d) {
+      req.mobile_latent[d] = rng.normal();
+      // Cross-modal residual far below the eta=0.10 correction budget.
+      req.server_latent[d] = req.mobile_latent[d] + rng.normal(0.0, 0.03);
+    }
+    requests.push_back(std::move(req));
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  PairingEngine engine(quantizer, config);
+  for (auto& req : requests) engine.submit(std::move(req));
+  const std::vector<PairingReport> reports = engine.finish();
+  const double wall = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  Point point;
+  point.threads = threads;
+  point.wall_s = wall;
+  point.sessions_per_sec = static_cast<double>(sessions) / wall;
+  std::vector<double> service_s, critical_s;
+  int ok = 0;
+  for (const PairingReport& r : reports) {
+    if (r.success) ++ok;
+    if (r.tau_violation) ++point.tau_violations;
+    service_s.push_back(r.service_s);
+    critical_s.push_back(r.critical_latency_s);
+  }
+  point.success_rate = static_cast<double>(ok) / static_cast<double>(sessions);
+  point.p50_service_ms = percentile_ms(service_s, 0.50);
+  point.p95_service_ms = percentile_ms(service_s, 0.95);
+  point.p99_service_ms = percentile_ms(service_s, 0.99);
+  point.p99_critical_ms = percentile_ms(critical_s, 0.99);
+  return point;
+}
+
+}  // namespace
+
+int main() {
+  const WaveKeyConfig wk;
+  const SeedQuantizer quantizer = SeedQuantizer::from_normal(wk);
+  const int sessions = session_count();
+  const std::vector<std::size_t> counts = thread_counts();
+
+  std::printf("{\n  \"bench\": \"throughput\",\n  \"sessions_per_point\": %d,\n"
+              "  \"radio_wait_ms\": %.1f,\n  \"hardware_threads\": %zu,\n"
+              "  \"tau_budget_ms\": %.1f,\n  \"points\": [\n",
+              sessions, radio_wait_s() * 1000.0, runtime::ThreadPool::hardware_threads(),
+              wk.tau_s * 1000.0);
+
+  std::vector<Point> points;
+  bool first = true;
+  int total_violations = 0;
+  bool all_succeeded = true;
+  bool p99_within_tau = true;
+  for (std::size_t threads : counts) {
+    const Point p = run_point(quantizer, wk, threads, sessions);
+    points.push_back(p);
+    total_violations += p.tau_violations;
+    if (p.success_rate < 1.0) all_succeeded = false;
+    if (p.p99_critical_ms > wk.tau_s * 1000.0) p99_within_tau = false;
+    std::printf("%s    {\"threads\": %zu, \"wall_s\": %.3f, \"sessions_per_sec\": %.2f, "
+                "\"success_rate\": %.4f, \"p50_service_ms\": %.2f, \"p95_service_ms\": %.2f, "
+                "\"p99_service_ms\": %.2f, \"p99_critical_ms\": %.2f, \"tau_violations\": %d}",
+                first ? "" : ",\n", p.threads, p.wall_s, p.sessions_per_sec, p.success_rate,
+                p.p50_service_ms, p.p95_service_ms, p.p99_service_ms, p.p99_critical_ms,
+                p.tau_violations);
+    first = false;
+  }
+
+  double one_thread = 0.0, four_thread = 0.0;
+  for (const Point& p : points) {
+    if (p.threads == 1) one_thread = p.sessions_per_sec;
+    if (p.threads == 4) four_thread = p.sessions_per_sec;
+  }
+  const double speedup = one_thread > 0.0 ? four_thread / one_thread : 0.0;
+
+  std::printf("\n  ],\n  \"speedup_4t_over_1t\": %.2f,\n"
+              "  \"tau_deadline_violations\": %d\n}\n",
+              speedup, total_violations);
+  return (all_succeeded && p99_within_tau && total_violations == 0) ? 0 : 1;
+}

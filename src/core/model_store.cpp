@@ -2,9 +2,12 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <memory>
 
 #include "nn/layer.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace wavekey::core {
 namespace {
@@ -80,7 +83,19 @@ WaveKeySystem load_or_train(const std::string& path, const DatasetConfig& datase
                  dataset.size(), path.c_str());
   Rng rng(42);
   EncoderPair encoders(config.latent_dim, rng);
-  encoders.train(dataset, train_config);
+  {
+    // WAVEKEY_TRAIN_THREADS=N parallelizes the batch dimension of training.
+    // The chunked-reduction contract in src/nn keeps the result deterministic
+    // for a fixed N, and N=1 is bit-identical to serial (DESIGN.md §7).
+    std::unique_ptr<runtime::ScopedComputePool> scoped;
+    if (const char* env = std::getenv("WAVEKEY_TRAIN_THREADS")) {
+      const long threads = std::strtol(env, nullptr, 10);
+      if (threads > 1)
+        scoped = std::make_unique<runtime::ScopedComputePool>(
+            static_cast<std::size_t>(threads));
+    }
+    encoders.train(dataset, train_config);
+  }
 
   WaveKeySystem system(std::move(encoders), config);
   // Calibrate quantizer bins + eta on *held-out* sessions (same generator,

@@ -1,0 +1,135 @@
+#include "core/pairing_engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <future>
+#include <mutex>
+#include <thread>
+
+#include "crypto/drbg.hpp"
+#include "runtime/bounded_queue.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace wavekey::core {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct Job {
+  PairingRequest request;
+  Clock::time_point enqueued;
+};
+
+}  // namespace
+
+struct PairingEngine::Impl {
+  const SeedQuantizer& quantizer;
+  PairingEngineConfig config;
+  runtime::BoundedQueue<Job> queue;
+  runtime::ThreadPool pool;
+  std::vector<std::future<void>> drainers;
+  std::mutex reports_mutex;
+  std::vector<PairingReport> reports;
+  bool finished = false;
+
+  Impl(const SeedQuantizer& q, const PairingEngineConfig& c)
+      : quantizer(q),
+        config(c),
+        queue(c.queue_capacity),
+        pool(std::max<std::size_t>(c.threads, 1)) {
+    // The protocol's seed length must match what the quantizer emits.
+    config.session.params.seed_bits = quantizer.seed_bits();
+    // One drainer per worker thread: each loops over the admission queue
+    // until it is closed and drained, so the pool never idles while jobs
+    // are pending and blocking radio waits overlap across sessions.
+    for (std::size_t t = 0; t < pool.size(); ++t)
+      drainers.push_back(pool.submit([this] {
+        while (auto job = queue.pop()) service(std::move(*job));
+      }));
+  }
+
+  void service(Job&& job) {
+    const Clock::time_point start = Clock::now();
+    PairingReport report;
+    report.id = job.request.id;
+    report.queue_wait_s = std::chrono::duration<double>(start - job.enqueued).count();
+    try {
+      // Quantization is real per-session compute: charge its measured
+      // wall-clock cost into the virtual session clock so contention between
+      // concurrent sessions counts against the tau window.
+      const Clock::time_point q0 = Clock::now();
+      const BitVec mobile_seed = quantizer.quantize(job.request.mobile_latent);
+      const double mobile_quant_s = seconds_since(q0);
+      const Clock::time_point q1 = Clock::now();
+      const BitVec server_seed = quantizer.quantize(job.request.server_latent);
+      const double server_quant_s = seconds_since(q1);
+
+      protocol::SessionConfig session = config.session;
+      session.mobile_compute_s += mobile_quant_s;
+      session.server_compute_s += server_quant_s;
+
+      // Blocking radio I/O emulation: the exchange spends real time waiting
+      // on the air interface (BLE connection intervals). Sleeping releases
+      // this worker's CPU so other sessions' compute proceeds underneath.
+      if (config.radio_wait_s > 0.0)
+        std::this_thread::sleep_for(std::chrono::duration<double>(config.radio_wait_s));
+
+      crypto::Drbg mobile_rng(job.request.rng_seed ^ 0xAB1Eull);
+      crypto::Drbg server_rng(job.request.rng_seed ^ 0x5E44ull);
+      const protocol::SessionResult result = protocol::run_key_agreement(
+          session, mobile_seed, server_seed, mobile_rng, server_rng);
+
+      report.success = result.success;
+      report.failure = result.failure;
+      report.key = result.mobile_key;
+      report.elapsed_s = result.elapsed_s;
+      report.critical_latency_s = result.critical_arrival_s - session.gesture_window_s;
+      report.tau_violation = result.success && report.critical_latency_s > session.tau_s;
+    } catch (const std::exception& e) {
+      report.success = false;
+      report.failure = protocol::FailureReason::kMalformedMessage;
+      report.error = e.what();
+    }
+    report.service_s = seconds_since(start);
+    std::lock_guard<std::mutex> lock(reports_mutex);
+    reports.push_back(std::move(report));
+  }
+
+  std::vector<PairingReport> finish() {
+    if (!finished) {
+      finished = true;
+      queue.close();
+      for (auto& f : drainers) f.get();
+      drainers.clear();
+    }
+    std::lock_guard<std::mutex> lock(reports_mutex);
+    std::vector<PairingReport> out = reports;
+    std::sort(out.begin(), out.end(),
+              [](const PairingReport& a, const PairingReport& b) { return a.id < b.id; });
+    return out;
+  }
+};
+
+PairingEngine::PairingEngine(const SeedQuantizer& quantizer, const PairingEngineConfig& config)
+    : impl_(new Impl(quantizer, config)) {}
+
+PairingEngine::~PairingEngine() {
+  impl_->finish();  // close + drain before the pool is torn down
+  delete impl_;
+}
+
+bool PairingEngine::submit(PairingRequest request) {
+  return impl_->queue.push({std::move(request), Clock::now()});
+}
+
+std::vector<PairingReport> PairingEngine::finish() { return impl_->finish(); }
+
+std::size_t PairingEngine::threads() const { return impl_->pool.size(); }
+
+}  // namespace wavekey::core

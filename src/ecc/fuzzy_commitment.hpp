@@ -8,6 +8,12 @@
 // to C(r), and thereby recovers exactly K_M. The helper reveals at most
 // nsym bytes of information about K_M (the code's redundancy), which the
 // overall key length budgets for.
+//
+// Thread-safety: immutable after construction; commit/recover are const
+// with call-local state, so one instance is safe to share across threads
+// (each concurrent pairing session in core::PairingEngine does exactly
+// that). The Drbg passed to commit() is the caller's and must not be
+// shared between threads.
 
 #include <cstdint>
 #include <optional>

@@ -2,6 +2,10 @@
 
 // GF(2^8) arithmetic with the primitive polynomial x^8+x^4+x^3+x^2+1 (0x11D),
 // the field underlying the Reed-Solomon reconciliation code.
+//
+// Thread-safety: all operations are static, read-only lookups into tables
+// built once under C++11 magic-static initialization — safe to call from
+// any number of threads concurrently.
 
 #include <array>
 #include <cstdint>

@@ -10,6 +10,10 @@
 // This is the workhorse behind the key-reconciliation step: a flipped
 // key-seed bit corrupts one whole key segment, i.e. a short burst of bytes,
 // which symbol-level RS absorbs efficiently (DESIGN.md SS4.3).
+//
+// Thread-safety: a codec instance is immutable after construction and
+// encode/decode/syndromes are const with call-local working state — one
+// shared instance may serve any number of threads concurrently.
 
 #include <cstdint>
 #include <optional>

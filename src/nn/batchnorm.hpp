@@ -6,6 +6,11 @@
 // devices use one fixed quantizer-bin layout (SIV-C / SIV-E2). To preserve
 // exactly that property we support affine=false (no learnable gamma/beta),
 // which is how the WaveKey encoders instantiate it.
+//
+// Thread-safety: externally synchronized like every Layer (see layer.hpp).
+// Batch statistics are an inherently cross-sample reduction, so this layer
+// stays serial even when a compute pool is installed — it is O(N*F) and
+// never the training bottleneck.
 
 #include "nn/layer.hpp"
 

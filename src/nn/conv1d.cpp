@@ -5,6 +5,8 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "runtime/thread_pool.hpp"
+
 namespace wavekey::nn {
 namespace {
 
@@ -45,7 +47,9 @@ Tensor Conv1D::forward(const Tensor& input, bool /*training*/) {
   const std::size_t lout = output_length(lin);
 
   Tensor out({n, out_ch_, lout});
-  for (std::size_t s = 0; s < n; ++s) {
+  // Per-sample data parallelism: samples write disjoint output planes, so
+  // the result is identical at any pool size.
+  runtime::parallel_for(runtime::compute_pool(), n, [&](std::size_t s) {
     for (std::size_t oc = 0; oc < out_ch_; ++oc) {
       for (std::size_t t = 0; t < lout; ++t) {
         float acc = b_[oc];
@@ -63,7 +67,7 @@ Tensor Conv1D::forward(const Tensor& input, bool /*training*/) {
         out.at3(s, oc, t) = acc;
       }
     }
-  }
+  });
   return out;
 }
 
@@ -76,28 +80,47 @@ Tensor Conv1D::backward(const Tensor& grad_output) {
     throw std::logic_error("Conv1D::backward: shape mismatch");
 
   Tensor grad_in({n, in_ch_, lin});
-  for (std::size_t s = 0; s < n; ++s) {
-    for (std::size_t oc = 0; oc < out_ch_; ++oc) {
-      for (std::size_t t = 0; t < lout; ++t) {
-        const float g = grad_output.at3(s, oc, t);
-        if (g == 0.0f) continue;
-        b_grad_[oc] += g;
-        const std::ptrdiff_t start =
-            static_cast<std::ptrdiff_t>(t * stride_) - static_cast<std::ptrdiff_t>(padding_);
-        for (std::size_t ic = 0; ic < in_ch_; ++ic) {
-          const float* x = input_.raw() + (s * in_ch_ + ic) * lin;
-          float* gx = grad_in.raw() + (s * in_ch_ + ic) * lin;
-          float* gw = w_grad_.raw() + (oc * in_ch_ + ic) * kernel_;
-          const float* wk = w_.raw() + (oc * in_ch_ + ic) * kernel_;
-          for (std::size_t k = 0; k < kernel_; ++k) {
-            const std::ptrdiff_t idx = start + static_cast<std::ptrdiff_t>(k);
-            if (idx >= 0 && idx < static_cast<std::ptrdiff_t>(lin)) {
-              gw[k] += g * x[idx];
-              gx[idx] += g * wk[k];
+  // Chunked parameter-gradient reduction, folded in chunk order (see
+  // Dense::backward); the single-chunk path is bit-identical to serial.
+  const std::size_t chunks = runtime::parallel_lanes(runtime::compute_pool(), n);
+  std::vector<Tensor> w_partial, b_partial;
+  if (chunks > 1) {
+    w_partial.assign(chunks, Tensor(w_grad_.shape()));
+    b_partial.assign(chunks, Tensor(b_grad_.shape()));
+  }
+  runtime::parallel_for_chunks(
+      runtime::compute_pool(), n, [&](std::size_t chunk, std::size_t s0, std::size_t s1) {
+        Tensor& wg = chunks > 1 ? w_partial[chunk] : w_grad_;
+        Tensor& bg = chunks > 1 ? b_partial[chunk] : b_grad_;
+        for (std::size_t s = s0; s < s1; ++s) {
+          for (std::size_t oc = 0; oc < out_ch_; ++oc) {
+            for (std::size_t t = 0; t < lout; ++t) {
+              const float g = grad_output.at3(s, oc, t);
+              if (g == 0.0f) continue;
+              bg[oc] += g;
+              const std::ptrdiff_t start =
+                  static_cast<std::ptrdiff_t>(t * stride_) - static_cast<std::ptrdiff_t>(padding_);
+              for (std::size_t ic = 0; ic < in_ch_; ++ic) {
+                const float* x = input_.raw() + (s * in_ch_ + ic) * lin;
+                float* gx = grad_in.raw() + (s * in_ch_ + ic) * lin;
+                float* gw = wg.raw() + (oc * in_ch_ + ic) * kernel_;
+                const float* wk = w_.raw() + (oc * in_ch_ + ic) * kernel_;
+                for (std::size_t k = 0; k < kernel_; ++k) {
+                  const std::ptrdiff_t idx = start + static_cast<std::ptrdiff_t>(k);
+                  if (idx >= 0 && idx < static_cast<std::ptrdiff_t>(lin)) {
+                    gw[k] += g * x[idx];
+                    gx[idx] += g * wk[k];
+                  }
+                }
+              }
             }
           }
         }
-      }
+      });
+  if (chunks > 1) {
+    for (std::size_t c = 0; c < chunks; ++c) {
+      for (std::size_t i = 0; i < w_grad_.size(); ++i) w_grad_[i] += w_partial[c][i];
+      for (std::size_t i = 0; i < b_grad_.size(); ++i) b_grad_[i] += b_partial[c][i];
     }
   }
   return grad_in;
@@ -150,7 +173,8 @@ Tensor ConvTranspose1D::forward(const Tensor& input, bool /*training*/) {
   const std::size_t lout = output_length(lin);
 
   Tensor out({n, out_ch_, lout});
-  for (std::size_t s = 0; s < n; ++s) {
+  // Per-sample data parallelism (disjoint output planes, see Conv1D).
+  runtime::parallel_for(runtime::compute_pool(), n, [&](std::size_t s) {
     for (std::size_t oc = 0; oc < out_ch_; ++oc)
       for (std::size_t t = 0; t < lout; ++t) out.at3(s, oc, t) = b_[oc];
     for (std::size_t ic = 0; ic < in_ch_; ++ic) {
@@ -165,7 +189,7 @@ Tensor ConvTranspose1D::forward(const Tensor& input, bool /*training*/) {
         }
       }
     }
-  }
+  });
   return out;
 }
 
@@ -178,30 +202,49 @@ Tensor ConvTranspose1D::backward(const Tensor& grad_output) {
     throw std::logic_error("ConvTranspose1D::backward: shape mismatch");
 
   Tensor grad_in({n, in_ch_, lin});
-  for (std::size_t s = 0; s < n; ++s) {
-    // Bias gradient: sum over positions.
-    for (std::size_t oc = 0; oc < out_ch_; ++oc) {
-      const float* gy = grad_output.raw() + (s * out_ch_ + oc) * lout;
-      float acc = 0.0f;
-      for (std::size_t t = 0; t < lout; ++t) acc += gy[t];
-      b_grad_[oc] += acc;
-    }
-    for (std::size_t ic = 0; ic < in_ch_; ++ic) {
-      const float* x = input_.raw() + (s * in_ch_ + ic) * lin;
-      float* gx = grad_in.raw() + (s * in_ch_ + ic) * lin;
-      for (std::size_t t = 0; t < lin; ++t) {
-        for (std::size_t oc = 0; oc < out_ch_; ++oc) {
-          const float* gy = grad_output.raw() + (s * out_ch_ + oc) * lout;
-          const float* wk = w_.raw() + (ic * out_ch_ + oc) * kernel_;
-          float* gw = w_grad_.raw() + (ic * out_ch_ + oc) * kernel_;
-          float acc = 0.0f;
-          for (std::size_t k = 0; k < kernel_; ++k) {
-            acc += gy[t * stride_ + k] * wk[k];
-            gw[k] += gy[t * stride_ + k] * x[t];
+  // Chunked parameter-gradient reduction, folded in chunk order (see
+  // Dense::backward); the single-chunk path is bit-identical to serial.
+  const std::size_t chunks = runtime::parallel_lanes(runtime::compute_pool(), n);
+  std::vector<Tensor> w_partial, b_partial;
+  if (chunks > 1) {
+    w_partial.assign(chunks, Tensor(w_grad_.shape()));
+    b_partial.assign(chunks, Tensor(b_grad_.shape()));
+  }
+  runtime::parallel_for_chunks(
+      runtime::compute_pool(), n, [&](std::size_t chunk, std::size_t s0, std::size_t s1) {
+        Tensor& wg = chunks > 1 ? w_partial[chunk] : w_grad_;
+        Tensor& bg = chunks > 1 ? b_partial[chunk] : b_grad_;
+        for (std::size_t s = s0; s < s1; ++s) {
+          // Bias gradient: sum over positions.
+          for (std::size_t oc = 0; oc < out_ch_; ++oc) {
+            const float* gy = grad_output.raw() + (s * out_ch_ + oc) * lout;
+            float acc = 0.0f;
+            for (std::size_t t = 0; t < lout; ++t) acc += gy[t];
+            bg[oc] += acc;
           }
-          gx[t] += acc;
+          for (std::size_t ic = 0; ic < in_ch_; ++ic) {
+            const float* x = input_.raw() + (s * in_ch_ + ic) * lin;
+            float* gx = grad_in.raw() + (s * in_ch_ + ic) * lin;
+            for (std::size_t t = 0; t < lin; ++t) {
+              for (std::size_t oc = 0; oc < out_ch_; ++oc) {
+                const float* gy = grad_output.raw() + (s * out_ch_ + oc) * lout;
+                const float* wk = w_.raw() + (ic * out_ch_ + oc) * kernel_;
+                float* gw = wg.raw() + (ic * out_ch_ + oc) * kernel_;
+                float acc = 0.0f;
+                for (std::size_t k = 0; k < kernel_; ++k) {
+                  acc += gy[t * stride_ + k] * wk[k];
+                  gw[k] += gy[t * stride_ + k] * x[t];
+                }
+                gx[t] += acc;
+              }
+            }
+          }
         }
-      }
+      });
+  if (chunks > 1) {
+    for (std::size_t c = 0; c < chunks; ++c) {
+      for (std::size_t i = 0; i < w_grad_.size(); ++i) w_grad_[i] += w_partial[c][i];
+      for (std::size_t i = 0; i < b_grad_.size(); ++i) b_grad_[i] += b_partial[c][i];
     }
   }
   return grad_in;

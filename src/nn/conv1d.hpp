@@ -3,6 +3,11 @@
 // 1-D convolution and transposed convolution over [N, C, L] tensors — the
 // building blocks of IMU-En / RF-En (two conv layers each) and the decoder
 // De (two deconvolutional layers), per Fig. 5 of the paper.
+//
+// Thread-safety: externally synchronized like every Layer (see layer.hpp).
+// forward/backward parallelize over the batch internally via
+// runtime::compute_pool(), with the deterministic chunk-ordered gradient
+// reduction of DESIGN.md §7.2 (pool size <= 1 is bit-identical to serial).
 
 #include "nn/layer.hpp"
 

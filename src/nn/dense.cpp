@@ -5,6 +5,8 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "runtime/thread_pool.hpp"
+
 namespace wavekey::nn {
 
 Dense::Dense(std::size_t in_features, std::size_t out_features, Rng& rng)
@@ -24,16 +26,21 @@ Tensor Dense::forward(const Tensor& input, bool /*training*/) {
   input_ = input;
   const std::size_t n = input.dim(0);
   Tensor out({n, out_});
-  for (std::size_t s = 0; s < n; ++s) {
-    const float* x = input.raw() + s * in_;
-    float* y = out.raw() + s * out_;
-    for (std::size_t o = 0; o < out_; ++o) {
-      const float* wrow = w_.raw() + o * in_;
-      float acc = b_[o];
-      for (std::size_t i = 0; i < in_; ++i) acc += wrow[i] * x[i];
-      y[o] = acc;
-    }
-  }
+  // Per-sample data parallelism: every sample writes a disjoint output row,
+  // so the result is identical at any pool size.
+  runtime::parallel_for_chunks(
+      runtime::compute_pool(), n, [&](std::size_t, std::size_t s0, std::size_t s1) {
+        for (std::size_t s = s0; s < s1; ++s) {
+          const float* x = input.raw() + s * in_;
+          float* y = out.raw() + s * out_;
+          for (std::size_t o = 0; o < out_; ++o) {
+            const float* wrow = w_.raw() + o * in_;
+            float acc = b_[o];
+            for (std::size_t i = 0; i < in_; ++i) acc += wrow[i] * x[i];
+            y[o] = acc;
+          }
+        }
+      });
   return out;
 }
 
@@ -43,20 +50,43 @@ Tensor Dense::backward(const Tensor& grad_output) {
     throw std::logic_error("Dense::backward: shape mismatch");
   const std::size_t n = input_.dim(0);
   Tensor grad_in({n, in_});
-  for (std::size_t s = 0; s < n; ++s) {
-    const float* x = input_.raw() + s * in_;
-    const float* gy = grad_output.raw() + s * out_;
-    float* gx = grad_in.raw() + s * in_;
-    for (std::size_t o = 0; o < out_; ++o) {
-      const float g = gy[o];
-      if (g == 0.0f) continue;
-      b_grad_[o] += g;
-      float* gw = w_grad_.raw() + o * in_;
-      const float* wrow = w_.raw() + o * in_;
-      for (std::size_t i = 0; i < in_; ++i) {
-        gw[i] += g * x[i];
-        gx[i] += g * wrow[i];
-      }
+  // Input gradients are per-sample disjoint; parameter gradients are a
+  // cross-sample reduction. Each chunk accumulates into its own partial in
+  // sample order, and the partials are folded into w_grad_/b_grad_ in
+  // ascending chunk order — deterministic for a fixed pool size, and the
+  // single-chunk path (pool size <= 1) accumulates directly, bit-identical
+  // to the serial implementation.
+  const std::size_t chunks = runtime::parallel_lanes(runtime::compute_pool(), n);
+  std::vector<Tensor> w_partial, b_partial;
+  if (chunks > 1) {
+    w_partial.assign(chunks, Tensor(w_grad_.shape()));
+    b_partial.assign(chunks, Tensor(b_grad_.shape()));
+  }
+  runtime::parallel_for_chunks(
+      runtime::compute_pool(), n, [&](std::size_t chunk, std::size_t s0, std::size_t s1) {
+        Tensor& wg = chunks > 1 ? w_partial[chunk] : w_grad_;
+        Tensor& bg = chunks > 1 ? b_partial[chunk] : b_grad_;
+        for (std::size_t s = s0; s < s1; ++s) {
+          const float* x = input_.raw() + s * in_;
+          const float* gy = grad_output.raw() + s * out_;
+          float* gx = grad_in.raw() + s * in_;
+          for (std::size_t o = 0; o < out_; ++o) {
+            const float g = gy[o];
+            if (g == 0.0f) continue;
+            bg[o] += g;
+            float* gw = wg.raw() + o * in_;
+            const float* wrow = w_.raw() + o * in_;
+            for (std::size_t i = 0; i < in_; ++i) {
+              gw[i] += g * x[i];
+              gx[i] += g * wrow[i];
+            }
+          }
+        }
+      });
+  if (chunks > 1) {
+    for (std::size_t c = 0; c < chunks; ++c) {
+      for (std::size_t i = 0; i < w_grad_.size(); ++i) w_grad_[i] += w_partial[c][i];
+      for (std::size_t i = 0; i < b_grad_.size(); ++i) b_grad_[i] += b_partial[c][i];
     }
   }
   return grad_in;

@@ -3,6 +3,12 @@
 // Fully connected layer, including the neuron add/remove surgery needed by
 // the paper's l_f pruning study (SVI-C1: neurons are removed from the final
 // dense layers in ascending output-variance order, then the model retrains).
+//
+// Thread-safety: externally synchronized like every Layer (see layer.hpp).
+// forward/backward parallelize over the batch internally via
+// runtime::compute_pool(); the weight-gradient reduction folds per-chunk
+// partials in fixed chunk order, so results depend only on the pool size
+// (pool size <= 1 is bit-identical to serial).
 
 #include "nn/layer.hpp"
 

@@ -3,6 +3,13 @@
 // Layer interface of the mini NN framework plus the stateless layers
 // (ReLU, Flatten). Explicit forward/backward — no autograd tape — because
 // the WaveKey models are small straight-line stacks.
+//
+// Thread-safety: layers cache activations in forward() and accumulate
+// gradients in backward(), so a layer instance is *externally synchronized*:
+// never run forward/backward/params on the same instance from two threads.
+// Parallelism happens *inside* forward/backward instead — the batched
+// layers split the sample dimension across runtime::compute_pool() under
+// the deterministic chunking contract of DESIGN.md §7.2.
 
 #include <cstdint>
 #include <iosfwd>

@@ -3,6 +3,9 @@
 // Loss functions. The WaveKey objective (Eq. (3) of the paper) is assembled
 // in core/encoders.cpp from these primitives:
 //   L = sum_i ||f_M,i - f_R,i||_2 + lambda * ||De(f_M,i) - R_i^Mag||_2
+//
+// Thread-safety: pure functions of their arguments — no shared state,
+// reentrant, safe to call concurrently with distinct outputs.
 
 #include <utility>
 

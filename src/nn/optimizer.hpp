@@ -1,6 +1,10 @@
 #pragma once
 
 // First-order optimizers for the joint encoder/decoder training loop.
+//
+// Thread-safety: externally synchronized. An optimizer owns per-parameter
+// state (momentum / Adam moments) keyed to its parameter list; step() must
+// not run concurrently with itself or with backward() on the same model.
 
 #include <vector>
 

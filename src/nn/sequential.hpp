@@ -5,6 +5,12 @@
 // architecture, then streams weights in); each layer validates its own
 // hyperparameters against the stream, so an architecture mismatch is a
 // loud error rather than silent corruption.
+//
+// Thread-safety: externally synchronized, like the layers it contains —
+// forward/backward mutate per-layer activation caches, so one Sequential
+// must be driven by one thread at a time (batch parallelism lives inside
+// the layers; see layer.hpp and DESIGN.md §7). Distinct Sequential
+// instances are fully independent.
 
 #include <iosfwd>
 #include <memory>

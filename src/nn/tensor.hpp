@@ -4,6 +4,12 @@
 // replaces the paper's PyTorch dependency. Row-major float storage with an
 // explicit shape; just enough structure for the WaveKey encoder/decoder
 // stacks (batched 1-D convolutions and dense layers).
+//
+// Thread-safety: Tensor is a plain value type with exclusive storage (no
+// copy-on-write, no shared buffers). Concurrent const access to one
+// instance is safe; any mutation requires external synchronization.
+// Concurrent writes to *disjoint element ranges* of one tensor are safe —
+// the property the parallel per-sample loops in the layers rely on.
 
 #include <cstddef>
 #include <initializer_list>

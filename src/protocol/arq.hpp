@@ -10,6 +10,10 @@
 // The retransmission policy (timers, bounded exponential backoff, the tau
 // budget) lives in protocol/session.cpp; this header only defines the frame
 // format, its codec, and the knobs/counters shared with callers.
+//
+// Thread-safety: the frame codec functions are pure and reentrant;
+// ArqConfig / ArqStats are plain value types. Nothing here synchronizes —
+// concurrent sessions each own their frames and counters.
 
 #include <cstdint>
 #include <optional>

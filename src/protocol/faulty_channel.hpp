@@ -16,6 +16,11 @@
 //    maps to a drop, corruption mutates the payload, jitter maps to delay.
 //    Duplication and reordering are inexpressible through that interface and
 //    are ignored by the adapter (the ARQ path exercises them).
+//
+// Thread-safety: a FaultyChannel advances seeded PRNG streams on every
+// transmit, so it is externally synchronized — give each session its own
+// channel instance (the reproducibility of a fault trace depends on a
+// single consumer draining the stream in order).
 
 #include <vector>
 

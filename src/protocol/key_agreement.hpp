@@ -21,6 +21,12 @@
 //
 // The classes are pure message-in/message-out state machines; transport,
 // timing (the tau deadline), and adversaries live in protocol/session.hpp.
+//
+// Thread-safety: each PadSender/PadReceiver owns only per-instance state
+// and touches no globals; the free functions are pure. Distinct instances
+// and distinct argument sets are safe to drive from distinct threads
+// concurrently; a single instance is externally synchronized. This
+// reentrancy is what lets core::PairingEngine run N sessions in parallel.
 
 #include <optional>
 

@@ -17,6 +17,15 @@
 //    charged against the session clock so the tau deadline still bites.
 //    Retries that cannot finish inside gesture_window + tau fail fast with
 //    FailureReason::kTimeout.
+//
+// Thread-safety: run_key_agreement / run_key_agreement_arq are reentrant —
+// all state lives in the arguments, so concurrent calls with *distinct*
+// Drbgs, channels, and interceptors are safe (core::PairingEngine relies on
+// exactly this). The Drbgs and the FaultyChannel advance internal state and
+// must not be shared across concurrent calls. Wall-clock crypto cost is
+// measured inside each call and charged to that session's virtual clock, so
+// under CPU contention concurrent sessions honestly slow each other down
+// against the tau deadline (DESIGN.md §7.3).
 
 #include <functional>
 #include <optional>

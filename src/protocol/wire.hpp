@@ -4,6 +4,10 @@
 // framing, length-prefixed fields, explicit type tags — malformed or
 // truncated messages throw WireError, which the protocol engine converts
 // into a clean session abort (never undefined behaviour on attacker input).
+//
+// Thread-safety: readers and writers are cheap single-use value objects
+// with no shared state; confine each instance to one thread. Distinct
+// instances on distinct buffers are trivially safe in parallel.
 
 #include <cstdint>
 #include <span>

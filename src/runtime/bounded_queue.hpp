@@ -1,0 +1,83 @@
+#pragma once
+
+// Bounded multi-producer/multi-consumer queue — the admission channel of
+// core::PairingEngine. A full queue *blocks* producers (backpressure, so a
+// flood of pairing requests degrades into queue-wait latency instead of
+// unbounded memory growth), an empty queue blocks consumers, and close()
+// wakes everyone: producers start failing fast, consumers drain whatever is
+// left and then observe end-of-stream.
+//
+// Thread-safety: every public method is safe to call concurrently from any
+// thread (one mutex, two condition variables). T only needs to be movable.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+namespace wavekey::runtime {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  /// @param capacity  maximum queued items; must be >= 1.
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity < 1 ? 1 : capacity) {}
+
+  /// Blocks while the queue is full. Returns false (item not enqueued) if
+  /// the queue is or becomes closed.
+  bool push(T item) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks while the queue is empty and open. Returns nullopt only when the
+  /// queue is closed *and* fully drained — consumers never miss items.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Idempotent. After close(): push() fails fast, pop() drains then ends.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace wavekey::runtime

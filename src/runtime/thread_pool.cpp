@@ -1,0 +1,145 @@
+#include "runtime/thread_pool.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+
+namespace {
+// Which pool (if any) owns the current thread; guards against a worker
+// re-entering its own pool's parallel_for and deadlocking on itself.
+thread_local const void* t_owning_pool = nullptr;
+}  // namespace
+
+namespace wavekey::runtime {
+
+struct ThreadPool::State {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<std::packaged_task<void()>> queue;
+  bool stopping = false;
+};
+
+ThreadPool::ThreadPool(std::size_t size) : state_(std::make_unique<State>()) {
+  workers_.reserve(size);
+  for (std::size_t i = 0; i < size; ++i) workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    state_->stopping = true;
+  }
+  state_->cv.notify_all();
+  for (std::thread& w : workers_) w.join();
+  // No workers: any tasks still queued (possible only via submit() racing
+  // destruction, which the contract forbids) would be broken promises; with
+  // size 0 the queue is always empty because submit() runs inline.
+}
+
+void ThreadPool::worker_loop() {
+  t_owning_pool = this;
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(state_->mutex);
+      state_->cv.wait(lock, [&] { return state_->stopping || !state_->queue.empty(); });
+      if (state_->queue.empty()) return;  // stopping && drained
+      task = std::move(state_->queue.front());
+      state_->queue.pop_front();
+    }
+    task();  // packaged_task routes exceptions into the future
+  }
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> task) {
+  std::packaged_task<void()> packaged(std::move(task));
+  std::future<void> future = packaged.get_future();
+  if (workers_.empty()) {
+    packaged();  // no workers: inline execution, exception still in the future
+    return future;
+  }
+  {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    if (state_->stopping) throw std::logic_error("ThreadPool::submit: pool is shutting down");
+    state_->queue.push_back(std::move(packaged));
+  }
+  state_->cv.notify_one();
+  return future;
+}
+
+std::size_t ThreadPool::hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+std::size_t parallel_lanes(const ThreadPool* pool, std::size_t n) {
+  const std::size_t size = pool ? std::max<std::size_t>(pool->size(), 1) : 1;
+  return std::min(size, std::max<std::size_t>(n, 1));
+}
+
+void parallel_for_chunks(ThreadPool* pool, std::size_t n,
+                         const std::function<void(std::size_t, std::size_t, std::size_t)>& body) {
+  const std::size_t chunks = parallel_lanes(pool, n);
+  if (chunks <= 1) {
+    body(0, 0, n);
+    return;
+  }
+  assert(t_owning_pool != pool && "parallel_for from a worker of the same pool would deadlock");
+
+  // Fixed chunking: chunk c covers [c*q + min(c,r), …) with q = n/chunks,
+  // r = n%chunks — a pure function of (n, chunks), never of scheduling.
+  const std::size_t q = n / chunks;
+  const std::size_t r = n % chunks;
+  const auto bounds = [&](std::size_t c) {
+    const std::size_t begin = c * q + std::min(c, r);
+    return std::pair<std::size_t, std::size_t>{begin, begin + q + (c < r ? 1 : 0)};
+  };
+
+  std::vector<std::future<void>> futures;
+  futures.reserve(chunks - 1);
+  for (std::size_t c = 1; c < chunks; ++c) {
+    const auto [begin, end] = bounds(c);
+    futures.push_back(pool->submit([&body, c, begin, end] { body(c, begin, end); }));
+  }
+
+  std::exception_ptr first_error;
+  try {
+    const auto [begin, end] = bounds(0);
+    body(0, begin, end);
+  } catch (...) {
+    first_error = std::current_exception();
+  }
+  for (std::future<void>& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void parallel_for(ThreadPool* pool, std::size_t n, const std::function<void(std::size_t)>& body) {
+  parallel_for_chunks(pool, n, [&body](std::size_t, std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+  });
+}
+
+namespace {
+ThreadPool* g_compute_pool = nullptr;
+}  // namespace
+
+ThreadPool* compute_pool() { return g_compute_pool; }
+void set_compute_pool(ThreadPool* pool) { g_compute_pool = pool; }
+
+ScopedComputePool::ScopedComputePool(std::size_t size)
+    : pool_(size), previous_(compute_pool()) {
+  set_compute_pool(&pool_);
+}
+
+ScopedComputePool::~ScopedComputePool() { set_compute_pool(previous_); }
+
+}  // namespace wavekey::runtime

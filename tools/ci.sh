@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
-# CI driver: builds and runs the tier-1 ctest suite twice — a plain
-# RelWithDebInfo build and a WAVEKEY_SANITIZE=ON (ASan + UBSan) build — so
-# every merge exercises both correctness and memory/UB cleanliness.
+# CI driver: builds and runs the tier-1 ctest suite in three configurations —
+# a plain RelWithDebInfo build (plus the bench_throughput JSON/tau gate), a
+# WAVEKEY_SANITIZE=ON (ASan + UBSan) build, and a WAVEKEY_TSAN=ON
+# (ThreadSanitizer) build scoped to the concurrency suites — so every merge
+# exercises correctness, memory/UB cleanliness, and data-race freedom.
 #
-# Usage: tools/ci.sh [--plain-only|--sanitize-only]
+# Usage: tools/ci.sh [--plain-only|--sanitize-only|--tsan-only]
 # Environment: WAVEKEY_CI_JOBS (parallelism, default nproc),
-#              WAVEKEY_BENCH_SCALE is NOT consumed here (tests only).
+#              WAVEKEY_BENCH_SCALE is consumed only by the throughput gate
+#              (fixed at 0.25 there); tests do not read it.
 
 set -euo pipefail
 
@@ -24,18 +27,62 @@ run_suite() {
   ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
 }
 
+throughput_gate() {
+  # The bench itself exits non-zero on any failed session or tau violation;
+  # the python pass additionally rejects malformed JSON and re-checks the
+  # p99 critical-message latency against the tau budget point by point.
+  echo "=== [plain] bench_throughput gate ==="
+  WAVEKEY_BENCH_SCALE=0.25 ./build-ci/bench/bench_throughput \
+    > build-ci/bench_throughput.json
+  python3 - build-ci/bench_throughput.json <<'PYEOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    data = json.load(f)
+tau = data["tau_budget_ms"]
+points = data["points"]
+assert points, "bench_throughput emitted no points"
+for p in points:
+    assert p["p99_critical_ms"] <= tau, (
+        f"p99 critical latency {p['p99_critical_ms']} ms exceeds the "
+        f"tau budget {tau} ms at {p['threads']} threads")
+assert data["tau_deadline_violations"] == 0, "tau deadline violations detected"
+print(f"bench_throughput ok: speedup_4t_over_1t={data['speedup_4t_over_1t']}, "
+      f"tau violations=0, {len(points)} points")
+PYEOF
+}
+
 case "$MODE" in
-  --sanitize-only) ;;
-  *) run_suite plain build-ci ;;
+  --sanitize-only|--tsan-only) ;;
+  *)
+    run_suite plain build-ci
+    throughput_gate
+    ;;
 esac
 
 case "$MODE" in
-  --plain-only) ;;
+  --plain-only|--tsan-only) ;;
   *)
     # UBSan aborts on any finding (-fno-sanitize-recover=all); ASan halts on
     # the first error by default, which is exactly what CI wants.
     ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}" \
       run_suite sanitize build-ci-sanitize -DWAVEKEY_SANITIZE=ON
+    ;;
+esac
+
+case "$MODE" in
+  --plain-only|--sanitize-only) ;;
+  *)
+    # TSan is scoped to the concurrency suites (thread pool + pairing
+    # engine): that is where the shared mutable state lives, and the 5-15x
+    # TSan slowdown makes the full training suite impractical in CI.
+    echo "=== [tsan] configure ==="
+    cmake -B build-ci-tsan -S . -DWAVEKEY_TSAN=ON
+    echo "=== [tsan] build ==="
+    cmake --build build-ci-tsan -j "$JOBS" \
+      --target thread_pool_test pairing_engine_test
+    echo "=== [tsan] ctest (concurrency suites) ==="
+    ctest --test-dir build-ci-tsan --output-on-failure -j "$JOBS" \
+      -R 'ThreadPool|BoundedQueue|PairingEngine|TrainingDeterminism'
     ;;
 esac
 

@@ -12,6 +12,8 @@
 #include "crypto/sha256.hpp"
 #include "dsp/savitzky_golay.hpp"
 #include "ecc/reed_solomon.hpp"
+#include "nn/conv1d.hpp"
+#include "nn/dense.hpp"
 #include "protocol/session.hpp"
 #include "sim/scenario.hpp"
 
@@ -46,6 +48,36 @@ void BM_Fe25519_Pow(benchmark::State& state) {
 }
 BENCHMARK(BM_Fe25519_Pow);
 
+void BM_Fe25519_GeneratorPow(benchmark::State& state) {
+  crypto::Drbg drbg(2);
+  auto e = drbg.random_scalar_bytes();
+  e[31] &= 0x7F;
+  benchmark::DoNotOptimize(crypto::Fe25519::generator_pow(e));  // build the comb table
+  for (auto _ : state) benchmark::DoNotOptimize(crypto::Fe25519::generator_pow(e));
+}
+BENCHMARK(BM_Fe25519_GeneratorPow);
+
+void BM_Fe25519_Square(benchmark::State& state) {
+  crypto::Drbg drbg(2);
+  auto e = drbg.random_scalar_bytes();
+  e[31] &= 0x7F;
+  crypto::Fe25519 x = crypto::Fe25519::generator().pow(e);
+  for (auto _ : state) {
+    x = x.square();
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_Fe25519_Square);
+
+void BM_Fe25519_Inverse(benchmark::State& state) {
+  crypto::Drbg drbg(2);
+  auto e = drbg.random_scalar_bytes();
+  e[31] &= 0x7F;
+  const crypto::Fe25519 x = crypto::Fe25519::generator().pow(e);
+  for (auto _ : state) benchmark::DoNotOptimize(x.inverse());
+}
+BENCHMARK(BM_Fe25519_Inverse);
+
 void BM_OtInstance(benchmark::State& state) {
   crypto::Drbg rng(3);
   const std::vector<std::uint8_t> s0(8, 1), s1(8, 2);
@@ -57,6 +89,16 @@ void BM_OtInstance(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_OtInstance);
+
+void BM_OtSenderEncrypt(benchmark::State& state) {
+  crypto::Drbg rng(3);
+  const std::vector<std::uint8_t> s0(8, 1), s1(8, 2);
+  const crypto::OtSender sender(rng);
+  const crypto::OtReceiver receiver(rng, true, sender.first_message());
+  for (auto _ : state)
+    benchmark::DoNotOptimize(sender.encrypt(receiver.response(), s0, s1));
+}
+BENCHMARK(BM_OtSenderEncrypt);
 
 void BM_ReedSolomon_Decode(benchmark::State& state) {
   const ecc::ReedSolomon rs(16);
@@ -93,6 +135,26 @@ void BM_ImuEncoderInference(benchmark::State& state) {
   for (auto _ : state) benchmark::DoNotOptimize(micro_encoders().imu_features(input));
 }
 BENCHMARK(BM_ImuEncoderInference);
+
+void BM_Conv1dForward(benchmark::State& state) {
+  // The IMU encoder's first layer shape: Conv1D(3 -> 16, k=7, s=2, p=3).
+  Rng rng(11);
+  nn::Conv1D conv(3, 16, 7, 2, 3, rng);
+  nn::Tensor input({1, 3, 200});
+  for (std::size_t i = 0; i < input.size(); ++i) input[i] = static_cast<float>(rng.normal());
+  for (auto _ : state) benchmark::DoNotOptimize(conv.forward(input, false));
+}
+BENCHMARK(BM_Conv1dForward);
+
+void BM_DenseForward(benchmark::State& state) {
+  // The IMU encoder's bottleneck layer shape: Dense(1200 -> 128).
+  Rng rng(12);
+  nn::Dense dense(1200, 128, rng);
+  nn::Tensor input({1, 1200});
+  for (std::size_t i = 0; i < input.size(); ++i) input[i] = static_cast<float>(rng.normal());
+  for (auto _ : state) benchmark::DoNotOptimize(dense.forward(input, false));
+}
+BENCHMARK(BM_DenseForward);
 
 void BM_GestureSimulation(benchmark::State& state) {
   sim::ScenarioConfig sc;

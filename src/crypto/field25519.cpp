@@ -11,6 +11,10 @@ using u128 = unsigned __int128;
 constexpr std::array<std::uint64_t, 4> kP = {0xFFFFFFFFFFFFFFEDULL, 0xFFFFFFFFFFFFFFFFULL,
                                              0xFFFFFFFFFFFFFFFFULL, 0x7FFFFFFFFFFFFFFFULL};
 
+// p - 1 = 2^255 - 20, the order of the multiplicative group Z_p^*.
+constexpr std::array<std::uint64_t, 4> kPm1 = {0xFFFFFFFFFFFFFFECULL, 0xFFFFFFFFFFFFFFFFULL,
+                                               0xFFFFFFFFFFFFFFFFULL, 0x7FFFFFFFFFFFFFFFULL};
+
 // Returns a >= b for 4-limb little-endian numbers.
 bool geq(const std::array<std::uint64_t, 4>& a, const std::array<std::uint64_t, 4>& b) {
   for (int i = 3; i >= 0; --i) {
@@ -29,37 +33,183 @@ void sub_in_place(std::array<std::uint64_t, 4>& a, const std::array<std::uint64_
   }
 }
 
+using Limbs = std::array<std::uint64_t, 4>;
+
+// Folds a 512-bit product into 4 limbs using 2^256 == `fold` (mod m), where
+// m is p (fold = 38) or p-1 (fold = 40). The result is < 2^256 and still
+// needs the caller's final conditional subtractions.
+std::array<std::uint64_t, 4> fold512(const std::array<std::uint64_t, 8>& t, std::uint64_t fold) {
+  std::array<std::uint64_t, 4> r;
+  std::uint64_t carry = 0;
+  for (int i = 0; i < 4; ++i) {
+    const u128 cur = (u128)t[i] + (u128)t[i + 4] * fold + carry;
+    r[i] = static_cast<std::uint64_t>(cur);
+    carry = static_cast<std::uint64_t>(cur >> 64);
+  }
+  // carry * 2^256 == carry * fold; loop until no carry escapes (at most
+  // twice — magnitudes shrink geometrically).
+  while (carry) {
+    u128 c2 = (u128)carry * fold;
+    carry = 0;
+    for (int i = 0; i < 4 && c2; ++i) {
+      const u128 s = (u128)r[i] + static_cast<std::uint64_t>(c2);
+      r[i] = static_cast<std::uint64_t>(s);
+      c2 = (c2 >> 64) + (s >> 64);
+    }
+    carry = static_cast<std::uint64_t>(c2);
+  }
+  return r;
+}
+
+// Schoolbook 4x4 multiply into 8 limbs — cold-path helper for the exponent
+// arithmetic mod p-1 (the hot field paths use the column kernels below).
+std::array<std::uint64_t, 8> mul_wide(const std::array<std::uint64_t, 4>& a,
+                                      const std::array<std::uint64_t, 4>& b) {
+  std::array<std::uint64_t, 8> t{};
+  for (int i = 0; i < 4; ++i) {
+    std::uint64_t carry = 0;
+    for (int j = 0; j < 4; ++j) {
+      const u128 cur = (u128)a[i] * b[j] + t[i + j] + carry;
+      t[i + j] = static_cast<std::uint64_t>(cur);
+      carry = static_cast<std::uint64_t>(cur >> 64);
+    }
+    t[i + 4] += carry;
+  }
+  return t;
+}
+
+// --- hot-path field kernels -------------------------------------------------
+//
+// mul_raw / sqr_raw are *column-wise* (Comba-style): all 64x64 partial
+// products are formed independently, column sums are accumulated in 128-bit
+// lanes (each sums at most 7 sub-2^64 terms, no overflow), and a single
+// carry sweep plus a fused 2^256==38 fold produce the result. Unlike the
+// row-major schoolbook, nothing serializes on per-product carries, so the
+// multiplies pipeline — this is the latency that bounds every
+// exponentiation (255 dependent squarings per pow).
+//
+// Contract: inputs are any values < 2^256 congruent to the intended field
+// element; the result is again < 2^256 and congruent mod p but NOT
+// canonical. Exponentiation ladders stay in this relaxed representation and
+// canonicalize once at the end (reduce_once), instead of paying the
+// conditional subtractions on every step.
+
+// Carry-sweeps eight 128-bit column sums into 8 limbs, then folds mod p.
+inline Limbs sweep_and_fold(u128 c0, u128 c1, u128 c2, u128 c3, u128 c4, u128 c5, u128 c6,
+                            u128 c7) {
+  std::uint64_t t[8];
+  u128 acc = c0;
+  t[0] = static_cast<std::uint64_t>(acc);
+  acc = c1 + (acc >> 64);
+  t[1] = static_cast<std::uint64_t>(acc);
+  acc = c2 + (acc >> 64);
+  t[2] = static_cast<std::uint64_t>(acc);
+  acc = c3 + (acc >> 64);
+  t[3] = static_cast<std::uint64_t>(acc);
+  acc = c4 + (acc >> 64);
+  t[4] = static_cast<std::uint64_t>(acc);
+  acc = c5 + (acc >> 64);
+  t[5] = static_cast<std::uint64_t>(acc);
+  acc = c6 + (acc >> 64);
+  t[6] = static_cast<std::uint64_t>(acc);
+  acc = c7 + (acc >> 64);
+  t[7] = static_cast<std::uint64_t>(acc);
+
+  Limbs r;
+  u128 f = (u128)t[0] + (u128)t[4] * 38;
+  r[0] = static_cast<std::uint64_t>(f);
+  f = (u128)t[1] + (u128)t[5] * 38 + (f >> 64);
+  r[1] = static_cast<std::uint64_t>(f);
+  f = (u128)t[2] + (u128)t[6] * 38 + (f >> 64);
+  r[2] = static_cast<std::uint64_t>(f);
+  f = (u128)t[3] + (u128)t[7] * 38 + (f >> 64);
+  r[3] = static_cast<std::uint64_t>(f);
+  std::uint64_t carry = static_cast<std::uint64_t>(f >> 64);
+  while (carry) {
+    u128 c = (u128)carry * 38;
+    carry = 0;
+    for (int i = 0; i < 4 && c; ++i) {
+      const u128 s = (u128)r[i] + static_cast<std::uint64_t>(c);
+      r[i] = static_cast<std::uint64_t>(s);
+      c = (c >> 64) + (s >> 64);
+    }
+    carry = static_cast<std::uint64_t>(c);
+  }
+  return r;
+}
+
+inline std::uint64_t lo(u128 v) { return static_cast<std::uint64_t>(v); }
+inline std::uint64_t hi(u128 v) { return static_cast<std::uint64_t>(v >> 64); }
+
+inline Limbs mul_raw(const Limbs& a, const Limbs& b) {
+  const u128 p00 = (u128)a[0] * b[0], p01 = (u128)a[0] * b[1], p02 = (u128)a[0] * b[2],
+             p03 = (u128)a[0] * b[3];
+  const u128 p10 = (u128)a[1] * b[0], p11 = (u128)a[1] * b[1], p12 = (u128)a[1] * b[2],
+             p13 = (u128)a[1] * b[3];
+  const u128 p20 = (u128)a[2] * b[0], p21 = (u128)a[2] * b[1], p22 = (u128)a[2] * b[2],
+             p23 = (u128)a[2] * b[3];
+  const u128 p30 = (u128)a[3] * b[0], p31 = (u128)a[3] * b[1], p32 = (u128)a[3] * b[2],
+             p33 = (u128)a[3] * b[3];
+  return sweep_and_fold(
+      lo(p00), (u128)lo(p01) + lo(p10) + hi(p00), (u128)lo(p02) + lo(p11) + lo(p20) + hi(p01) + hi(p10),
+      (u128)lo(p03) + lo(p12) + lo(p21) + lo(p30) + hi(p02) + hi(p11) + hi(p20),
+      (u128)lo(p13) + lo(p22) + lo(p31) + hi(p03) + hi(p12) + hi(p21) + hi(p30),
+      (u128)lo(p23) + lo(p32) + hi(p13) + hi(p22) + hi(p31), (u128)lo(p33) + hi(p23) + hi(p32),
+      hi(p33));
+}
+
+inline Limbs sqr_raw(const Limbs& a) {
+  // 6 off-diagonal products doubled in the column sums + 4 diagonals:
+  // 10 multiplies instead of 16.
+  const u128 p01 = (u128)a[0] * a[1], p02 = (u128)a[0] * a[2], p03 = (u128)a[0] * a[3];
+  const u128 p12 = (u128)a[1] * a[2], p13 = (u128)a[1] * a[3], p23 = (u128)a[2] * a[3];
+  const u128 d0 = (u128)a[0] * a[0], d1 = (u128)a[1] * a[1], d2 = (u128)a[2] * a[2],
+             d3 = (u128)a[3] * a[3];
+  return sweep_and_fold(lo(d0), 2 * ((u128)lo(p01)) + hi(d0),
+                        2 * ((u128)lo(p02) + hi(p01)) + lo(d1),
+                        2 * ((u128)lo(p03) + lo(p12) + hi(p02)) + hi(d1),
+                        2 * ((u128)lo(p13) + hi(p03) + hi(p12)) + lo(d2),
+                        2 * ((u128)lo(p23) + hi(p13)) + hi(d2), 2 * ((u128)hi(p23)) + lo(d3),
+                        hi(d3));
+}
+
+std::array<std::uint64_t, 4> limbs_from_bytes(std::span<const std::uint8_t> bytes32) {
+  std::array<std::uint64_t, 4> r;
+  for (int i = 0; i < 4; ++i) {
+    std::uint64_t v = 0;
+    for (int b = 0; b < 8; ++b) v |= std::uint64_t{bytes32[i * 8 + b]} << (8 * b);
+    r[i] = v;
+  }
+  return r;
+}
+
+std::array<std::uint8_t, 32> bytes_from_limbs(const std::array<std::uint64_t, 4>& limbs) {
+  std::array<std::uint8_t, 32> out;
+  for (int i = 0; i < 4; ++i)
+    for (int b = 0; b < 8; ++b) out[i * 8 + b] = static_cast<std::uint8_t>(limbs[i] >> (8 * b));
+  return out;
+}
+
 }  // namespace
 
 void Fe25519::reduce_once() {
-  // limbs_ < 2^256; subtract p up to twice to canonicalize (value < 2p after
-  // addition; < ~2.2p after multiplication folding).
+  // Canonicalizes any value < 2^256. Since 2^256 = 2p + 38, at most two
+  // conditional subtractions are ever taken; every internal path (addition
+  // carry fold, 512-bit product fold) feeds values below that bound.
   while (geq(limbs_, kP)) sub_in_place(limbs_, kP);
 }
 
 Fe25519 Fe25519::from_bytes(std::span<const std::uint8_t> bytes32) {
   if (bytes32.size() != 32) throw std::invalid_argument("Fe25519::from_bytes: need 32 bytes");
   Fe25519 r;
-  for (int i = 0; i < 4; ++i) {
-    std::uint64_t v = 0;
-    for (int b = 0; b < 8; ++b) v |= std::uint64_t{bytes32[i * 8 + b]} << (8 * b);
-    r.limbs_[i] = v;
-  }
-  // Fold anything >= 2^255 back down: x = lo + 2^255*hi_bit -> lo + 19*hi_bit
-  // is handled by the generic reduce (value < 2^256 < ~2p only if top bit
-  // pattern small); do a full fold instead: treat as lo + 2^256*0, value may
-  // be up to 2^256-1 < 4p + something; loop reduce.
+  r.limbs_ = limbs_from_bytes(bytes32);
+  // The raw value is < 2^256 = 2p + 38, so reduce_once canonicalizes it
+  // with at most two subtractions of p.
   r.reduce_once();
   return r;
 }
 
-std::array<std::uint8_t, 32> Fe25519::to_bytes() const {
-  std::array<std::uint8_t, 32> out;
-  for (int i = 0; i < 4; ++i)
-    for (int b = 0; b < 8; ++b)
-      out[i * 8 + b] = static_cast<std::uint8_t>(limbs_[i] >> (8 * b));
-  return out;
-}
+std::array<std::uint8_t, 32> Fe25519::to_bytes() const { return bytes_from_limbs(limbs_); }
 
 Fe25519 Fe25519::operator+(const Fe25519& o) const {
   Fe25519 r;
@@ -92,41 +242,62 @@ Fe25519 Fe25519::operator-(const Fe25519& o) const {
 }
 
 Fe25519 Fe25519::operator*(const Fe25519& o) const {
-  // Schoolbook 4x4 multiply into 8 limbs.
-  std::array<std::uint64_t, 8> t{};
-  for (int i = 0; i < 4; ++i) {
-    std::uint64_t carry = 0;
-    for (int j = 0; j < 4; ++j) {
-      const u128 cur = (u128)limbs_[i] * o.limbs_[j] + t[i + j] + carry;
-      t[i + j] = static_cast<std::uint64_t>(cur);
-      carry = static_cast<std::uint64_t>(cur >> 64);
-    }
-    t[i + 4] += carry;
-  }
-
-  // Fold the high 256 bits: 2^256 == 38 (mod p), so result = lo + 38*hi.
   Fe25519 r;
-  std::uint64_t carry = 0;
-  for (int i = 0; i < 4; ++i) {
-    const u128 cur = (u128)t[i] + (u128)t[i + 4] * 38 + carry;
-    r.limbs_[i] = static_cast<std::uint64_t>(cur);
-    carry = static_cast<std::uint64_t>(cur >> 64);
-  }
-  // carry < 38; fold again: carry * 2^256 == carry * 38.
-  if (carry) {
-    u128 c2 = (u128)carry * 38;
-    for (int i = 0; i < 4 && c2; ++i) {
-      const u128 s = (u128)r.limbs_[i] + static_cast<std::uint64_t>(c2);
-      r.limbs_[i] = static_cast<std::uint64_t>(s);
-      c2 = (c2 >> 64) + (s >> 64);
-    }
-  }
+  r.limbs_ = mul_raw(limbs_, o.limbs_);
+  r.reduce_once();
+  return r;
+}
+
+Fe25519 Fe25519::square() const {
+  Fe25519 r;
+  r.limbs_ = sqr_raw(limbs_);
   r.reduce_once();
   return r;
 }
 
 Fe25519 Fe25519::pow(std::span<const std::uint8_t> exponent32) const {
   if (exponent32.size() != 32) throw std::invalid_argument("Fe25519::pow: need 32-byte exponent");
+  const auto bit = [&](int i) { return (exponent32[i >> 3] >> (i & 7)) & 1; };
+  int top = 255;
+  while (top >= 0 && !bit(top)) --top;
+  if (top < 0) return Fe25519::one();
+
+  // Odd powers x^1, x^3, ..., x^15 — everything a 4-bit window can need.
+  // The whole ladder runs on the relaxed (< 2^256) representation and
+  // canonicalizes once at the end.
+  Limbs odd[8];
+  odd[0] = limbs_;
+  const Limbs x2 = sqr_raw(limbs_);
+  for (int i = 1; i < 8; ++i) odd[i] = mul_raw(odd[i - 1], x2);
+
+  // MSB-first sliding window: skip zero runs with plain squarings; on a set
+  // bit, greedily take the longest window (<= 4 bits) ending in a set bit so
+  // the multiplier is an odd power from the table.
+  Limbs result = {1, 0, 0, 0};
+  int i = top;
+  while (i >= 0) {
+    if (!bit(i)) {
+      result = sqr_raw(result);
+      --i;
+      continue;
+    }
+    int l = i >= 3 ? i - 3 : 0;
+    while (!bit(l)) ++l;
+    int w = 0;
+    for (int j = i; j >= l; --j) w = (w << 1) | bit(j);
+    for (int j = 0; j <= i - l; ++j) result = sqr_raw(result);
+    result = mul_raw(result, odd[(w - 1) >> 1]);
+    i = l - 1;
+  }
+  Fe25519 r;
+  r.limbs_ = result;
+  r.reduce_once();
+  return r;
+}
+
+Fe25519 Fe25519::pow_schoolbook(std::span<const std::uint8_t> exponent32) const {
+  if (exponent32.size() != 32)
+    throw std::invalid_argument("Fe25519::pow_schoolbook: need 32-byte exponent");
   Fe25519 result = Fe25519::one();
   Fe25519 base = *this;
   for (std::size_t byte = 0; byte < 32; ++byte) {
@@ -138,15 +309,87 @@ Fe25519 Fe25519::pow(std::span<const std::uint8_t> exponent32) const {
   return result;
 }
 
+Fe25519 Fe25519::generator_pow(std::span<const std::uint8_t> exponent32) {
+  if (exponent32.size() != 32)
+    throw std::invalid_argument("Fe25519::generator_pow: need 32-byte exponent");
+  // Comb table over the fixed base g: row i holds g^(v * 2^(8i)) for every
+  // byte value v, so g^e is the product of one entry per exponent byte —
+  // no squarings at all. Built once (thread-safe magic static), 32*256
+  // elements = 256 KiB.
+  struct CombTable {
+    std::array<std::array<Fe25519, 256>, 32> row;
+    CombTable() {
+      Fe25519 base = generator();  // g^(2^(8i)) for the current row
+      for (int i = 0; i < 32; ++i) {
+        row[i][0] = Fe25519::one();
+        for (int v = 1; v < 256; ++v) row[i][v] = row[i][v - 1] * base;
+        if (i + 1 < 32) {
+          for (int s = 0; s < 8; ++s) base = base.square();
+        }
+      }
+    }
+  };
+  static const CombTable table;
+
+  Limbs result = table.row[0][exponent32[0]].limbs_;
+  for (int i = 1; i < 32; ++i) {
+    const std::uint8_t v = exponent32[i];
+    if (v != 0) result = mul_raw(result, table.row[i][v].limbs_);
+  }
+  Fe25519 r;
+  r.limbs_ = result;
+  r.reduce_once();
+  return r;
+}
+
 Fe25519 Fe25519::inverse() const {
   if (is_zero()) throw std::domain_error("Fe25519::inverse of zero");
-  // p - 2 = 2^255 - 21.
-  std::array<std::uint8_t, 32> e{};
-  std::array<std::uint64_t, 4> pm2 = kP;
-  pm2[0] -= 2;  // no borrow: low limb of p is ...ED >= 2
-  for (int i = 0; i < 4; ++i)
-    for (int b = 0; b < 8; ++b) e[i * 8 + b] = static_cast<std::uint8_t>(pm2[i] >> (8 * b));
-  return pow(e);
+  // x^(p-2) = x^(2^255 - 21) via the standard curve25519 addition chain:
+  // 254 squarings + 11 multiplies (the schoolbook ladder needs ~255 + ~254).
+  // Runs entirely on the relaxed representation, canonicalized at the end.
+  const auto pow2k = [](Limbs v, int k) {
+    for (int i = 0; i < k; ++i) v = sqr_raw(v);
+    return v;
+  };
+  const Limbs& z = limbs_;
+  const Limbs z2 = sqr_raw(z);                                   // 2
+  const Limbs z9 = mul_raw(pow2k(z2, 2), z);                     // 9
+  const Limbs z11 = mul_raw(z9, z2);                             // 11
+  const Limbs z2_5_0 = mul_raw(sqr_raw(z11), z9);                // 2^5 - 2^0
+  const Limbs z2_10_0 = mul_raw(pow2k(z2_5_0, 5), z2_5_0);       // 2^10 - 2^0
+  const Limbs z2_20_0 = mul_raw(pow2k(z2_10_0, 10), z2_10_0);    // 2^20 - 2^0
+  const Limbs z2_40_0 = mul_raw(pow2k(z2_20_0, 20), z2_20_0);    // 2^40 - 2^0
+  const Limbs z2_50_0 = mul_raw(pow2k(z2_40_0, 10), z2_10_0);    // 2^50 - 2^0
+  const Limbs z2_100_0 = mul_raw(pow2k(z2_50_0, 50), z2_50_0);   // 2^100 - 2^0
+  const Limbs z2_200_0 = mul_raw(pow2k(z2_100_0, 100), z2_100_0);  // 2^200 - 2^0
+  const Limbs z2_250_0 = mul_raw(pow2k(z2_200_0, 50), z2_50_0);    // 2^250 - 2^0
+  Fe25519 r;
+  r.limbs_ = mul_raw(pow2k(z2_250_0, 5), z11);  // 2^255 - 2^5 + 11 = 2^255 - 21
+  r.reduce_once();
+  return r;
+}
+
+std::array<std::uint8_t, 32> Fe25519::exp_mul_mod_p_minus_1(std::span<const std::uint8_t> a32,
+                                                            std::span<const std::uint8_t> b32) {
+  if (a32.size() != 32 || b32.size() != 32)
+    throw std::invalid_argument("Fe25519::exp_mul_mod_p_minus_1: need 32-byte exponents");
+  // 2^255 == 20 (mod p-1), hence 2^256 == 40: same fold shape as the field
+  // reduction, different constant.
+  std::array<std::uint64_t, 4> r =
+      fold512(mul_wide(limbs_from_bytes(a32), limbs_from_bytes(b32)), 40);
+  while (geq(r, kPm1)) sub_in_place(r, kPm1);
+  return bytes_from_limbs(r);
+}
+
+std::array<std::uint8_t, 32> Fe25519::exp_neg_mod_p_minus_1(std::span<const std::uint8_t> a32) {
+  if (a32.size() != 32)
+    throw std::invalid_argument("Fe25519::exp_neg_mod_p_minus_1: need 32-byte exponent");
+  std::array<std::uint64_t, 4> a = limbs_from_bytes(a32);
+  while (geq(a, kPm1)) sub_in_place(a, kPm1);
+  if ((a[0] | a[1] | a[2] | a[3]) == 0) return bytes_from_limbs(a);  // -0 == 0
+  std::array<std::uint64_t, 4> r = kPm1;
+  sub_in_place(r, a);
+  return bytes_from_limbs(r);
 }
 
 std::string Fe25519::to_hex() const {

@@ -26,15 +26,22 @@ Bytes ot_derive_key(const Fe25519& element) {
 }
 
 OtSender::OtSender(Drbg& rng) : a_(draw_exponent(rng)) {
-  ma_ = Fe25519::generator().pow(a_);
+  ma_ = Fe25519::generator_pow(a_);
+  // Exponent arithmetic mod the group order p-1 is valid for any nonzero
+  // base (Fermat), so -a^2 collapses to a single fixed-base exponentiation.
+  k1_factor_ = Fe25519::generator_pow(
+      Fe25519::exp_neg_mod_p_minus_1(Fe25519::exp_mul_mod_p_minus_1(a_, a_)));
 }
 
 std::pair<Bytes, Bytes> OtSender::encrypt(const Fe25519& mb,
                                           std::span<const std::uint8_t> secret0,
                                           std::span<const std::uint8_t> secret1) const {
   if (mb.is_zero()) throw std::invalid_argument("OtSender::encrypt: zero M_b");
+  // (M_b / M_a)^a = M_b^a * g^(-a^2): the whole call costs one variable-base
+  // exponentiation plus one multiply (k1_factor_ is precomputed in the
+  // constructor).
   const Fe25519 k0_elem = mb.pow(a_);
-  const Fe25519 k1_elem = (mb * ma_.inverse()).pow(a_);
+  const Fe25519 k1_elem = k0_elem * k1_factor_;
   const Bytes k0 = ot_derive_key(k0_elem);
   const Bytes k1 = ot_derive_key(k1_elem);
   return {stream_crypt(k0, secret0), stream_crypt(k1, secret1)};
@@ -43,7 +50,7 @@ std::pair<Bytes, Bytes> OtSender::encrypt(const Fe25519& mb,
 OtReceiver::OtReceiver(Drbg& rng, bool choice, const Fe25519& ma)
     : choice_(choice), b_(draw_exponent(rng)), ma_(ma) {
   if (ma.is_zero()) throw std::invalid_argument("OtReceiver: zero M_a");
-  const Fe25519 gb = Fe25519::generator().pow(b_);
+  const Fe25519 gb = Fe25519::generator_pow(b_);
   mb_ = choice_ ? ma_ * gb : gb;
 }
 

@@ -29,7 +29,8 @@ using Bytes = std::vector<std::uint8_t>;
 /// Sender side of one OT instance.
 class OtSender {
  public:
-  /// Draws the ephemeral exponent `a` from the DRBG and precomputes M_a.
+  /// Draws the ephemeral exponent `a` from the DRBG and precomputes M_a
+  /// together with k1_factor_ = g^(-a^2 mod (p-1)) (see encrypt()).
   explicit OtSender(Drbg& rng);
 
   /// The first protocol message M_a.
@@ -44,6 +45,13 @@ class OtSender {
  private:
   std::array<std::uint8_t, 32> a_;
   Fe25519 ma_;
+  // g^(-a^2 mod (p-1)), fixed per instance. encrypt() uses the identity
+  //   (M_b / M_a)^a = M_b^a * (g^a)^-a = M_b^a * g^(-a^2),
+  // so k_1's group element is one field multiply on top of k_0's — no
+  // inverse and no second exponentiation per call. (This supersedes merely
+  // caching M_a^-1, which would still cost a full M_b-dependent
+  // exponentiation per encrypt.)
+  Fe25519 k1_factor_;
 };
 
 /// Receiver side of one OT instance.

@@ -27,9 +27,11 @@ Tensor BatchNorm1D::forward(const Tensor& input, bool training) {
   const std::size_t n = input.dim(0);
   last_training_ = training;
 
-  Tensor out(input.shape());
-  x_hat_ = Tensor(input.shape());
-  batch_std_ = Tensor({features_});
+  // All three are fully written below — uninitialized + arena reuse keeps
+  // the steady-state forward allocation-free.
+  Tensor out = Tensor::uninitialized(input.shape());
+  x_hat_.resize_uninitialized(input.shape());
+  batch_std_.resize_uninitialized({features_});
 
   for (std::size_t f = 0; f < features_; ++f) {
     float m, v;
@@ -65,7 +67,7 @@ Tensor BatchNorm1D::backward(const Tensor& grad_output) {
   if (!grad_output.same_shape(x_hat_))
     throw std::logic_error("BatchNorm1D::backward: shape mismatch");
   const std::size_t n = grad_output.dim(0);
-  Tensor grad_in(grad_output.shape());
+  Tensor grad_in = Tensor::uninitialized(grad_output.shape());  // fully written
 
   for (std::size_t f = 0; f < features_; ++f) {
     const float g = affine_ ? gamma_[f] : 1.0f;

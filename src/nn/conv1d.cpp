@@ -1,10 +1,12 @@
 #include "nn/conv1d.hpp"
 
 #include <cmath>
+#include <cstring>
 #include <istream>
 #include <ostream>
 #include <stdexcept>
 
+#include "nn/gemm.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace wavekey::nn {
@@ -12,6 +14,68 @@ namespace {
 
 float init_scale(std::size_t fan_in, std::size_t fan_out) {
   return static_cast<float>(std::sqrt(2.0 / static_cast<double>(fan_in + fan_out)));
+}
+
+// Valid output-position range [t0, t1) for kernel tap offset d = k - padding:
+// the positions t with 0 <= t*stride + d < lin. Everything outside reads the
+// zero padding — this is the interior/edge split that keeps the per-MAC
+// bounds check out of every inner loop below.
+struct TapRange {
+  std::size_t t0, t1;
+};
+
+TapRange tap_range(std::ptrdiff_t d, std::size_t lin, std::size_t stride, std::size_t lout) {
+  const std::ptrdiff_t s = static_cast<std::ptrdiff_t>(stride);
+  const std::ptrdiff_t t0 = d >= 0 ? 0 : (-d + s - 1) / s;
+  const std::ptrdiff_t last_src = static_cast<std::ptrdiff_t>(lin) - 1 - d;
+  const std::ptrdiff_t t1 = last_src < 0 ? 0 : last_src / s + 1;
+  const std::size_t lo = std::min<std::size_t>(static_cast<std::size_t>(std::max<std::ptrdiff_t>(t0, 0)), lout);
+  const std::size_t hi = std::min<std::size_t>(static_cast<std::size_t>(std::max<std::ptrdiff_t>(t1, 0)), lout);
+  return {lo, std::max(lo, hi)};
+}
+
+// Packs one sample [in_ch, lin] into cols [in_ch*kernel, lout] with
+// cols[ic*kernel + k][t] = x[ic][t*stride + k - padding] (0 in the padding).
+// Interior columns are contiguous copies (memcpy for stride 1); only the
+// edge ranges touch the zero fill.
+void im2col(const float* x, std::size_t in_ch, std::size_t lin, std::size_t kernel,
+            std::size_t stride, std::size_t padding, std::size_t lout, float* cols) {
+  for (std::size_t ic = 0; ic < in_ch; ++ic) {
+    const float* xc = x + ic * lin;
+    for (std::size_t k = 0; k < kernel; ++k) {
+      float* row = cols + (ic * kernel + k) * lout;
+      const std::ptrdiff_t d = static_cast<std::ptrdiff_t>(k) - static_cast<std::ptrdiff_t>(padding);
+      const TapRange r = tap_range(d, lin, stride, lout);
+      if (r.t0 > 0) std::memset(row, 0, r.t0 * sizeof(float));
+      if (r.t1 < lout) std::memset(row + r.t1, 0, (lout - r.t1) * sizeof(float));
+      if (stride == 1) {
+        if (r.t1 > r.t0)
+          std::memcpy(row + r.t0, xc + static_cast<std::ptrdiff_t>(r.t0) + d,
+                      (r.t1 - r.t0) * sizeof(float));
+      } else {
+        for (std::size_t t = r.t0; t < r.t1; ++t)
+          row[t] = xc[static_cast<std::ptrdiff_t>(t * stride) + d];
+      }
+    }
+  }
+}
+
+// Scatter-adds cols [in_ch*kernel, lout] back into one sample's input
+// gradient [in_ch, lin] — the adjoint of im2col. Rows are processed in
+// (ic, k) order, so the accumulation order is a pure function of the
+// shapes (deterministic).
+void col2im_add(const float* cols, std::size_t in_ch, std::size_t lin, std::size_t kernel,
+                std::size_t stride, std::size_t padding, std::size_t lout, float* gx) {
+  for (std::size_t ic = 0; ic < in_ch; ++ic) {
+    float* gc = gx + ic * lin;
+    for (std::size_t k = 0; k < kernel; ++k) {
+      const float* row = cols + (ic * kernel + k) * lout;
+      const std::ptrdiff_t d = static_cast<std::ptrdiff_t>(k) - static_cast<std::ptrdiff_t>(padding);
+      const TapRange r = tap_range(d, lin, stride, lout);
+      for (std::size_t t = r.t0; t < r.t1; ++t)
+        gc[static_cast<std::ptrdiff_t>(t * stride) + d] += row[t];
+    }
+  }
 }
 
 }  // namespace
@@ -45,27 +109,26 @@ Tensor Conv1D::forward(const Tensor& input, bool /*training*/) {
   const std::size_t n = input.dim(0);
   const std::size_t lin = input.dim(2);
   const std::size_t lout = output_length(lin);
+  const std::size_t ick = in_ch_ * kernel_;
 
-  Tensor out({n, out_ch_, lout});
+  // im2col + GEMM lowering: the weight tensor [out_ch, in_ch, kernel] *is*
+  // the row-major [out_ch, in_ch*kernel] GEMM operand, so out = W * cols
+  // with the GEMM accumulating in (ic, k) order — the same reduction order
+  // as the naive kernel (reference_kernels.cpp), only without the per-MAC
+  // padding branch.
+  Tensor out = Tensor::uninitialized({n, out_ch_, lout});
   // Per-sample data parallelism: samples write disjoint output planes, so
   // the result is identical at any pool size.
-  runtime::parallel_for(runtime::compute_pool(), n, [&](std::size_t s) {
-    for (std::size_t oc = 0; oc < out_ch_; ++oc) {
-      for (std::size_t t = 0; t < lout; ++t) {
-        float acc = b_[oc];
-        const std::ptrdiff_t start =
-            static_cast<std::ptrdiff_t>(t * stride_) - static_cast<std::ptrdiff_t>(padding_);
-        for (std::size_t ic = 0; ic < in_ch_; ++ic) {
-          const float* x = input.raw() + (s * in_ch_ + ic) * lin;
-          const float* wk = w_.raw() + (oc * in_ch_ + ic) * kernel_;
-          for (std::size_t k = 0; k < kernel_; ++k) {
-            const std::ptrdiff_t idx = start + static_cast<std::ptrdiff_t>(k);
-            if (idx >= 0 && idx < static_cast<std::ptrdiff_t>(lin))
-              acc += wk[k] * x[idx];
-          }
-        }
-        out.at3(s, oc, t) = acc;
-      }
+  runtime::for_each_chunk(runtime::compute_pool(), n,
+                          [&](std::size_t, std::size_t s0, std::size_t s1) {
+    Tensor cols = Tensor::uninitialized({ick, lout});  // per-worker scratch
+    for (std::size_t s = s0; s < s1; ++s) {
+      im2col(input.raw() + s * in_ch_ * lin, in_ch_, lin, kernel_, stride_, padding_, lout,
+             cols.raw());
+      float* y = out.raw() + s * out_ch_ * lout;
+      for (std::size_t oc = 0; oc < out_ch_; ++oc)
+        std::fill(y + oc * lout, y + (oc + 1) * lout, b_[oc]);
+      gemm_nn(out_ch_, lout, ick, w_.raw(), ick, cols.raw(), lout, y, lout, /*accumulate=*/true);
     }
   });
   return out;
@@ -78,8 +141,9 @@ Tensor Conv1D::backward(const Tensor& grad_output) {
   if (grad_output.rank() != 3 || grad_output.dim(0) != n || grad_output.dim(1) != out_ch_ ||
       grad_output.dim(2) != lout)
     throw std::logic_error("Conv1D::backward: shape mismatch");
+  const std::size_t ick = in_ch_ * kernel_;
 
-  Tensor grad_in({n, in_ch_, lin});
+  Tensor grad_in({n, in_ch_, lin});  // zeroed: col2im_add accumulates
   // Chunked parameter-gradient reduction, folded in chunk order (see
   // Dense::backward); the single-chunk path is bit-identical to serial.
   const std::size_t chunks = runtime::parallel_lanes(runtime::compute_pool(), n);
@@ -88,33 +152,29 @@ Tensor Conv1D::backward(const Tensor& grad_output) {
     w_partial.assign(chunks, Tensor(w_grad_.shape()));
     b_partial.assign(chunks, Tensor(b_grad_.shape()));
   }
-  runtime::parallel_for_chunks(
+  runtime::for_each_chunk(
       runtime::compute_pool(), n, [&](std::size_t chunk, std::size_t s0, std::size_t s1) {
         Tensor& wg = chunks > 1 ? w_partial[chunk] : w_grad_;
         Tensor& bg = chunks > 1 ? b_partial[chunk] : b_grad_;
+        Tensor cols = Tensor::uninitialized({ick, lout});   // per-worker scratch
+        Tensor dcols = Tensor::uninitialized({ick, lout});
         for (std::size_t s = s0; s < s1; ++s) {
+          const float* gy = grad_output.raw() + s * out_ch_ * lout;
+          im2col(input_.raw() + s * in_ch_ * lin, in_ch_, lin, kernel_, stride_, padding_, lout,
+                 cols.raw());
+          // dW += dY * cols^T, dB += row sums of dY.
+          gemm_nt(out_ch_, ick, lout, gy, lout, cols.raw(), lout, wg.raw(), ick,
+                  /*accumulate=*/true);
           for (std::size_t oc = 0; oc < out_ch_; ++oc) {
-            for (std::size_t t = 0; t < lout; ++t) {
-              const float g = grad_output.at3(s, oc, t);
-              if (g == 0.0f) continue;
-              bg[oc] += g;
-              const std::ptrdiff_t start =
-                  static_cast<std::ptrdiff_t>(t * stride_) - static_cast<std::ptrdiff_t>(padding_);
-              for (std::size_t ic = 0; ic < in_ch_; ++ic) {
-                const float* x = input_.raw() + (s * in_ch_ + ic) * lin;
-                float* gx = grad_in.raw() + (s * in_ch_ + ic) * lin;
-                float* gw = wg.raw() + (oc * in_ch_ + ic) * kernel_;
-                const float* wk = w_.raw() + (oc * in_ch_ + ic) * kernel_;
-                for (std::size_t k = 0; k < kernel_; ++k) {
-                  const std::ptrdiff_t idx = start + static_cast<std::ptrdiff_t>(k);
-                  if (idx >= 0 && idx < static_cast<std::ptrdiff_t>(lin)) {
-                    gw[k] += g * x[idx];
-                    gx[idx] += g * wk[k];
-                  }
-                }
-              }
-            }
+            float acc = 0.0f;
+            for (std::size_t t = 0; t < lout; ++t) acc += gy[oc * lout + t];
+            bg[oc] += acc;
           }
+          // dX = col2im(W^T * dY).
+          gemm_tn(ick, lout, out_ch_, w_.raw(), ick, gy, lout, dcols.raw(), lout,
+                  /*accumulate=*/false);
+          col2im_add(dcols.raw(), in_ch_, lin, kernel_, stride_, padding_, lout,
+                     grad_in.raw() + s * in_ch_ * lin);
         }
       });
   if (chunks > 1) {
@@ -171,21 +231,29 @@ Tensor ConvTranspose1D::forward(const Tensor& input, bool /*training*/) {
   const std::size_t n = input.dim(0);
   const std::size_t lin = input.dim(2);
   const std::size_t lout = output_length(lin);
+  const std::size_t ock = out_ch_ * kernel_;
 
-  Tensor out({n, out_ch_, lout});
+  // GEMM + col2im lowering: the weight tensor [in_ch, out_ch, kernel] is the
+  // row-major [in_ch, out_ch*kernel] operand, so cmat = W^T * x gives every
+  // (oc, k, t) contribution at once; the scatter y[oc][t*stride+k] += cmat
+  // needs no bounds checks because lout = (lin-1)*stride + kernel by
+  // construction.
+  Tensor out = Tensor::uninitialized({n, out_ch_, lout});
   // Per-sample data parallelism (disjoint output planes, see Conv1D).
-  runtime::parallel_for(runtime::compute_pool(), n, [&](std::size_t s) {
-    for (std::size_t oc = 0; oc < out_ch_; ++oc)
-      for (std::size_t t = 0; t < lout; ++t) out.at3(s, oc, t) = b_[oc];
-    for (std::size_t ic = 0; ic < in_ch_; ++ic) {
-      const float* x = input.raw() + (s * in_ch_ + ic) * lin;
-      for (std::size_t t = 0; t < lin; ++t) {
-        const float xv = x[t];
-        if (xv == 0.0f) continue;
-        for (std::size_t oc = 0; oc < out_ch_; ++oc) {
-          float* y = out.raw() + (s * out_ch_ + oc) * lout;
-          const float* wk = w_.raw() + (ic * out_ch_ + oc) * kernel_;
-          for (std::size_t k = 0; k < kernel_; ++k) y[t * stride_ + k] += xv * wk[k];
+  runtime::for_each_chunk(runtime::compute_pool(), n,
+                          [&](std::size_t, std::size_t s0, std::size_t s1) {
+    Tensor cmat = Tensor::uninitialized({ock, lin});  // per-worker scratch
+    for (std::size_t s = s0; s < s1; ++s) {
+      const float* x = input.raw() + s * in_ch_ * lin;
+      gemm_tn(ock, lin, in_ch_, w_.raw(), ock, x, lin, cmat.raw(), lin, /*accumulate=*/false);
+      float* y = out.raw() + s * out_ch_ * lout;
+      for (std::size_t oc = 0; oc < out_ch_; ++oc)
+        std::fill(y + oc * lout, y + (oc + 1) * lout, b_[oc]);
+      for (std::size_t oc = 0; oc < out_ch_; ++oc) {
+        float* yc = y + oc * lout;
+        for (std::size_t k = 0; k < kernel_; ++k) {
+          const float* row = cmat.raw() + (oc * kernel_ + k) * lin;
+          for (std::size_t t = 0; t < lin; ++t) yc[t * stride_ + k] += row[t];
         }
       }
     }
@@ -200,8 +268,9 @@ Tensor ConvTranspose1D::backward(const Tensor& grad_output) {
   if (grad_output.rank() != 3 || grad_output.dim(0) != n || grad_output.dim(1) != out_ch_ ||
       grad_output.dim(2) != lout)
     throw std::logic_error("ConvTranspose1D::backward: shape mismatch");
+  const std::size_t ock = out_ch_ * kernel_;
 
-  Tensor grad_in({n, in_ch_, lin});
+  Tensor grad_in = Tensor::uninitialized({n, in_ch_, lin});  // GEMM overwrites every element
   // Chunked parameter-gradient reduction, folded in chunk order (see
   // Dense::backward); the single-chunk path is bit-identical to serial.
   const std::size_t chunks = runtime::parallel_lanes(runtime::compute_pool(), n);
@@ -210,35 +279,36 @@ Tensor ConvTranspose1D::backward(const Tensor& grad_output) {
     w_partial.assign(chunks, Tensor(w_grad_.shape()));
     b_partial.assign(chunks, Tensor(b_grad_.shape()));
   }
-  runtime::parallel_for_chunks(
+  runtime::for_each_chunk(
       runtime::compute_pool(), n, [&](std::size_t chunk, std::size_t s0, std::size_t s1) {
         Tensor& wg = chunks > 1 ? w_partial[chunk] : w_grad_;
         Tensor& bg = chunks > 1 ? b_partial[chunk] : b_grad_;
+        // cols2[(oc*kernel + k)][t] = dY[oc][t*stride + k] — the im2col of
+        // the *output* gradient; both backward products contract against it.
+        Tensor cols2 = Tensor::uninitialized({ock, lin});  // per-worker scratch
         for (std::size_t s = s0; s < s1; ++s) {
-          // Bias gradient: sum over positions.
+          const float* x = input_.raw() + s * in_ch_ * lin;
+          const float* gy = grad_output.raw() + s * out_ch_ * lout;
           for (std::size_t oc = 0; oc < out_ch_; ++oc) {
-            const float* gy = grad_output.raw() + (s * out_ch_ + oc) * lout;
+            const float* gc = gy + oc * lout;
             float acc = 0.0f;
-            for (std::size_t t = 0; t < lout; ++t) acc += gy[t];
+            for (std::size_t t = 0; t < lout; ++t) acc += gc[t];
             bg[oc] += acc;
-          }
-          for (std::size_t ic = 0; ic < in_ch_; ++ic) {
-            const float* x = input_.raw() + (s * in_ch_ + ic) * lin;
-            float* gx = grad_in.raw() + (s * in_ch_ + ic) * lin;
-            for (std::size_t t = 0; t < lin; ++t) {
-              for (std::size_t oc = 0; oc < out_ch_; ++oc) {
-                const float* gy = grad_output.raw() + (s * out_ch_ + oc) * lout;
-                const float* wk = w_.raw() + (ic * out_ch_ + oc) * kernel_;
-                float* gw = wg.raw() + (ic * out_ch_ + oc) * kernel_;
-                float acc = 0.0f;
-                for (std::size_t k = 0; k < kernel_; ++k) {
-                  acc += gy[t * stride_ + k] * wk[k];
-                  gw[k] += gy[t * stride_ + k] * x[t];
-                }
-                gx[t] += acc;
+            for (std::size_t k = 0; k < kernel_; ++k) {
+              float* row = cols2.raw() + (oc * kernel_ + k) * lin;
+              if (stride_ == 1) {
+                std::memcpy(row, gc + k, lin * sizeof(float));
+              } else {
+                for (std::size_t t = 0; t < lin; ++t) row[t] = gc[t * stride_ + k];
               }
             }
           }
+          // dX = W * cols2  (contract over (oc, k)).
+          gemm_nn(in_ch_, lin, ock, w_.raw(), ock, cols2.raw(), lin,
+                  grad_in.raw() + s * in_ch_ * lin, lin, /*accumulate=*/false);
+          // dW += X * cols2^T.
+          gemm_nt(in_ch_, ock, lin, x, lin, cols2.raw(), lin, wg.raw(), ock,
+                  /*accumulate=*/true);
         }
       });
   if (chunks > 1) {

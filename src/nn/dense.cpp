@@ -1,10 +1,12 @@
 #include "nn/dense.hpp"
 
 #include <cmath>
+#include <cstring>
 #include <istream>
 #include <ostream>
 #include <stdexcept>
 
+#include "nn/gemm.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace wavekey::nn {
@@ -25,22 +27,19 @@ Tensor Dense::forward(const Tensor& input, bool /*training*/) {
     throw std::invalid_argument("Dense::forward: expected [N, " + std::to_string(in_) + "]");
   input_ = input;
   const std::size_t n = input.dim(0);
-  Tensor out({n, out_});
-  // Per-sample data parallelism: every sample writes a disjoint output row,
-  // so the result is identical at any pool size.
-  runtime::parallel_for_chunks(
-      runtime::compute_pool(), n, [&](std::size_t, std::size_t s0, std::size_t s1) {
-        for (std::size_t s = s0; s < s1; ++s) {
-          const float* x = input.raw() + s * in_;
-          float* y = out.raw() + s * out_;
-          for (std::size_t o = 0; o < out_; ++o) {
-            const float* wrow = w_.raw() + o * in_;
-            float acc = b_[o];
-            for (std::size_t i = 0; i < in_; ++i) acc += wrow[i] * x[i];
-            y[o] = acc;
-          }
-        }
-      });
+  // Y = X * W^T + b as a dot-product GEMM (both operands read K-contiguous;
+  // each output element keeps one ascending-k accumulator, same reduction
+  // order as the naive kernel). Per-sample data parallelism: every sample
+  // writes a disjoint output row, so the result is identical at any pool
+  // size.
+  Tensor out = Tensor::uninitialized({n, out_});
+  runtime::for_each_chunk(runtime::compute_pool(), n,
+                          [&](std::size_t, std::size_t s0, std::size_t s1) {
+    for (std::size_t s = s0; s < s1; ++s)
+      std::memcpy(out.raw() + s * out_, b_.raw(), out_ * sizeof(float));
+    gemm_nt(s1 - s0, out_, in_, input.raw() + s0 * in_, in_, w_.raw(), in_,
+            out.raw() + s0 * out_, out_, /*accumulate=*/true);
+  });
   return out;
 }
 
@@ -49,39 +48,34 @@ Tensor Dense::backward(const Tensor& grad_output) {
       grad_output.dim(0) != input_.dim(0))
     throw std::logic_error("Dense::backward: shape mismatch");
   const std::size_t n = input_.dim(0);
-  Tensor grad_in({n, in_});
+  Tensor grad_in = Tensor::uninitialized({n, in_});  // GEMM overwrites every element
   // Input gradients are per-sample disjoint; parameter gradients are a
   // cross-sample reduction. Each chunk accumulates into its own partial in
-  // sample order, and the partials are folded into w_grad_/b_grad_ in
-  // ascending chunk order — deterministic for a fixed pool size, and the
-  // single-chunk path (pool size <= 1) accumulates directly, bit-identical
-  // to the serial implementation.
+  // sample order (gemm_tn contracts over the chunk's samples in ascending
+  // order), and the partials are folded into w_grad_/b_grad_ in ascending
+  // chunk order — deterministic for a fixed pool size, and the single-chunk
+  // path (pool size <= 1) accumulates directly, bit-identical to serial.
   const std::size_t chunks = runtime::parallel_lanes(runtime::compute_pool(), n);
   std::vector<Tensor> w_partial, b_partial;
   if (chunks > 1) {
     w_partial.assign(chunks, Tensor(w_grad_.shape()));
     b_partial.assign(chunks, Tensor(b_grad_.shape()));
   }
-  runtime::parallel_for_chunks(
+  runtime::for_each_chunk(
       runtime::compute_pool(), n, [&](std::size_t chunk, std::size_t s0, std::size_t s1) {
         Tensor& wg = chunks > 1 ? w_partial[chunk] : w_grad_;
         Tensor& bg = chunks > 1 ? b_partial[chunk] : b_grad_;
-        for (std::size_t s = s0; s < s1; ++s) {
-          const float* x = input_.raw() + s * in_;
-          const float* gy = grad_output.raw() + s * out_;
-          float* gx = grad_in.raw() + s * in_;
-          for (std::size_t o = 0; o < out_; ++o) {
-            const float g = gy[o];
-            if (g == 0.0f) continue;
-            bg[o] += g;
-            float* gw = wg.raw() + o * in_;
-            const float* wrow = w_.raw() + o * in_;
-            for (std::size_t i = 0; i < in_; ++i) {
-              gw[i] += g * x[i];
-              gx[i] += g * wrow[i];
-            }
-          }
-        }
+        const float* x = input_.raw() + s0 * in_;
+        const float* gy = grad_output.raw() + s0 * out_;
+        const std::size_t cn = s1 - s0;
+        // dX = dY * W.
+        gemm_nn(cn, in_, out_, gy, out_, w_.raw(), in_, grad_in.raw() + s0 * in_, in_,
+                /*accumulate=*/false);
+        // dW += dY^T * X  (contract over the chunk's samples).
+        gemm_tn(out_, in_, cn, gy, out_, x, in_, wg.raw(), in_, /*accumulate=*/true);
+        // dB += column sums of dY.
+        for (std::size_t s = 0; s < cn; ++s)
+          for (std::size_t o = 0; o < out_; ++o) bg[o] += gy[s * out_ + o];
       });
   if (chunks > 1) {
     for (std::size_t c = 0; c < chunks; ++c) {

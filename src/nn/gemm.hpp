@@ -1,0 +1,41 @@
+#pragma once
+
+// Register/cache-blocked single-precision GEMM micro-kernels used by the
+// im2col-lowered conv layers and the Dense layer (DESIGN.md §8). Three
+// layout variants cover every product the layers need without materializing
+// transposes:
+//
+//   gemm_nn: C[M,N] (+)= A[M,K]        * B[K,N]   broadcast/outer-product
+//   gemm_nt: C[M,N] (+)= A[M,K]        * B[N,K]^T dot-product (K contiguous)
+//   gemm_tn: C[M,N] (+)= A[K,M]^T      * B[K,N]   outer-product, A strided
+//
+// All matrices are row-major with explicit leading dimensions. Every C
+// element is accumulated strictly in ascending-k order with a single
+// accumulator, so results are a pure function of the operands — blocking
+// changes memory traffic, never the floating-point reduction order. That is
+// what lets the optimized layers preserve the §7.2 determinism contract.
+//
+// Thread-safety: pure functions; callers may run them concurrently on
+// disjoint C ranges.
+
+#include <cstddef>
+
+namespace wavekey::nn {
+
+/// C[M,N] = A[M,K] * B[K,N] (+ C when accumulate). Row-major, leading
+/// dimensions lda/ldb/ldc in elements.
+void gemm_nn(std::size_t m, std::size_t n, std::size_t k, const float* a, std::size_t lda,
+             const float* b, std::size_t ldb, float* c, std::size_t ldc, bool accumulate);
+
+/// C[M,N] = A[M,K] * B[N,K]^T (+ C when accumulate): both operands are read
+/// K-contiguously (dot products), ideal when the "B" matrix is stored with
+/// the contraction axis innermost (Dense weights, grad-weight products).
+void gemm_nt(std::size_t m, std::size_t n, std::size_t k, const float* a, std::size_t lda,
+             const float* b, std::size_t ldb, float* c, std::size_t ldc, bool accumulate);
+
+/// C[M,N] = A[K,M]^T * B[K,N] (+ C when accumulate): contraction over A's
+/// *row* index (A is read column-wise), used for W^T * dY style products.
+void gemm_tn(std::size_t m, std::size_t n, std::size_t k, const float* a, std::size_t lda,
+             const float* b, std::size_t ldb, float* c, std::size_t ldc, bool accumulate);
+
+}  // namespace wavekey::nn

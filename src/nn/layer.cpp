@@ -7,12 +7,13 @@
 namespace wavekey::nn {
 
 Tensor ReLU::forward(const Tensor& input, bool /*training*/) {
-  mask_ = Tensor(input.shape());
+  mask_.resize_uninitialized(input.shape());  // every element written below
   Tensor out = input;
   for (std::size_t i = 0; i < out.size(); ++i) {
     if (out[i] > 0.0f) {
       mask_[i] = 1.0f;
     } else {
+      mask_[i] = 0.0f;
       out[i] = 0.0f;
     }
   }
@@ -49,9 +50,9 @@ Reshape::Reshape(std::vector<std::size_t> per_sample_shape)
 
 Tensor Reshape::forward(const Tensor& input, bool /*training*/) {
   input_shape_ = input.shape();
-  std::vector<std::size_t> target{input.dim(0)};
-  target.insert(target.end(), per_sample_shape_.begin(), per_sample_shape_.end());
-  return input.reshaped(std::move(target));
+  Shape target{input.dim(0)};
+  for (std::size_t d : per_sample_shape_) target.push_back(d);
+  return input.reshaped(target);
 }
 
 Tensor Reshape::backward(const Tensor& grad_output) {

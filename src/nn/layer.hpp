@@ -78,7 +78,7 @@ class Flatten final : public Layer {
   void load(std::istream& is) override;
 
  private:
-  std::vector<std::size_t> input_shape_;
+  Shape input_shape_;
 };
 
 /// Reshapes [N, F] to [N, C, L] with F == C*L (entry point into deconv
@@ -95,8 +95,8 @@ class Reshape final : public Layer {
   void load(std::istream& is) override;
 
  private:
-  std::vector<std::size_t> per_sample_shape_;
-  std::vector<std::size_t> input_shape_;
+  std::vector<std::size_t> per_sample_shape_;  // fixed at construction
+  Shape input_shape_;
 };
 
 // --- binary stream helpers shared by the layer implementations ---

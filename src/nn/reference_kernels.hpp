@@ -1,0 +1,38 @@
+#pragma once
+
+// The pre-GEMM naive layer kernels, retained verbatim as the executable
+// specification of Conv1D / ConvTranspose1D / Dense forward+backward. The
+// optimized im2col+GEMM paths in the layers must match these within
+// floating-point reassociation tolerance (kernel_equiv_test.cpp), and the
+// sanitizer CI legs exercise both implementations through that suite.
+//
+// All functions are serial and allocation-transparent — they never consult
+// the compute pool, which also makes them the ground truth for the §7.2
+// determinism contract (pool size <= 1 must equal serial bit for bit).
+
+#include "nn/tensor.hpp"
+
+namespace wavekey::nn::reference {
+
+/// Forward cross-correlation; input [N, in_ch, L], w [out_ch, in_ch, k].
+Tensor conv1d_forward(const Tensor& input, const Tensor& w, const Tensor& b, std::size_t stride,
+                      std::size_t padding);
+
+/// Backward pass: accumulates into w_grad/b_grad, returns grad_input.
+Tensor conv1d_backward(const Tensor& input, const Tensor& w, const Tensor& grad_output,
+                       std::size_t stride, std::size_t padding, Tensor& w_grad, Tensor& b_grad);
+
+/// Forward transposed convolution; input [N, in_ch, L], w [in_ch, out_ch, k].
+Tensor conv_transpose1d_forward(const Tensor& input, const Tensor& w, const Tensor& b,
+                                std::size_t stride);
+
+Tensor conv_transpose1d_backward(const Tensor& input, const Tensor& w, const Tensor& grad_output,
+                                 std::size_t stride, Tensor& w_grad, Tensor& b_grad);
+
+/// Forward affine map; input [N, in], w [out, in].
+Tensor dense_forward(const Tensor& input, const Tensor& w, const Tensor& b);
+
+Tensor dense_backward(const Tensor& input, const Tensor& w, const Tensor& grad_output,
+                      Tensor& w_grad, Tensor& b_grad);
+
+}  // namespace wavekey::nn::reference

@@ -1,0 +1,99 @@
+#include "nn/tensor.hpp"
+
+namespace wavekey::nn {
+namespace {
+
+// Per-thread free list of float buffers. Bounded so pathological workloads
+// cannot hoard memory: at most kMaxBlocks buffers / kMaxBytes bytes pooled
+// per thread; excess releases fall through to delete[].
+constexpr std::size_t kMaxBlocks = 64;
+constexpr std::size_t kMaxBytes = std::size_t{64} << 20;  // 64 MiB per thread
+
+struct Block {
+  float* ptr;
+  std::size_t capacity;  // elements
+};
+
+struct Pool;
+// Raw per-thread handles. tl_pool is null before first use and again after
+// thread-exit teardown; tl_pool_gone distinguishes the two so release can
+// fall back to delete[] instead of touching a destroyed pool, and acquire
+// never re-enters a destroyed function-local thread_local.
+thread_local Pool* tl_pool = nullptr;
+thread_local bool tl_pool_gone = false;
+thread_local TensorArenaStats tl_stats;  // trivially destructible, outlives Pool
+
+struct Pool {
+  std::vector<Block> blocks;
+  std::size_t pooled_bytes = 0;
+
+  Pool() { tl_pool = this; }
+  ~Pool() {
+    tl_pool = nullptr;
+    tl_pool_gone = true;
+    for (const Block& b : blocks) delete[] b.ptr;
+  }
+};
+
+Pool* pool_for_acquire() {
+  if (tl_pool == nullptr && !tl_pool_gone) {
+    thread_local Pool pool;  // registers itself in tl_pool
+  }
+  return tl_pool;
+}
+
+}  // namespace
+
+namespace detail {
+
+float* arena_acquire(std::size_t n, std::size_t& capacity_out) {
+  Pool* pool = pool_for_acquire();
+  if (pool != nullptr) {
+    // Best fit: the smallest pooled block that holds n elements, so big
+    // blocks stay available for big tensors.
+    std::size_t best = pool->blocks.size();
+    for (std::size_t i = 0; i < pool->blocks.size(); ++i) {
+      const Block& b = pool->blocks[i];
+      if (b.capacity >= n && (best == pool->blocks.size() || b.capacity < pool->blocks[best].capacity))
+        best = i;
+    }
+    if (best != pool->blocks.size()) {
+      const Block b = pool->blocks[best];
+      pool->blocks[best] = pool->blocks.back();
+      pool->blocks.pop_back();
+      pool->pooled_bytes -= b.capacity * sizeof(float);
+      ++tl_stats.pool_reuses;
+      capacity_out = b.capacity;
+      return b.ptr;
+    }
+  }
+  ++tl_stats.heap_allocations;
+  tl_stats.heap_bytes += n * sizeof(float);
+  capacity_out = n;
+  return new float[n];
+}
+
+void arena_release(float* p, std::size_t capacity) noexcept {
+  Pool* pool = tl_pool;
+  if (pool == nullptr || pool->blocks.size() >= kMaxBlocks ||
+      pool->pooled_bytes + capacity * sizeof(float) > kMaxBytes) {
+    delete[] p;
+    return;
+  }
+  pool->blocks.push_back(Block{p, capacity});
+  pool->pooled_bytes += capacity * sizeof(float);
+}
+
+}  // namespace detail
+
+TensorArenaStats tensor_arena_stats() { return tl_stats; }
+
+void tensor_arena_trim() {
+  Pool* pool = tl_pool;
+  if (pool == nullptr) return;
+  for (const Block& b : pool->blocks) delete[] b.ptr;
+  pool->blocks.clear();
+  pool->pooled_bytes = 0;
+}
+
+}  // namespace wavekey::nn

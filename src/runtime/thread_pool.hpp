@@ -83,6 +83,32 @@ void parallel_for_chunks(ThreadPool* pool, std::size_t n,
 /// exactly like parallel_for_chunks.
 void parallel_for(ThreadPool* pool, std::size_t n, const std::function<void(std::size_t)>& body);
 
+/// Template variant of parallel_for_chunks: identical chunk layout, but the
+/// serial path (null pool / size <= 1 / n <= 1) invokes the body directly
+/// without materializing a std::function — large lambdas would otherwise
+/// heap-allocate even when no pool is installed. The nn hot paths use this
+/// so single-threaded steady-state inference performs zero allocations
+/// (see tensor.hpp's arena contract). The parallel path delegates to
+/// parallel_for_chunks via a non-owning reference wrapper.
+template <typename Body>
+void for_each_chunk(ThreadPool* pool, std::size_t n, Body&& body) {
+  if (parallel_lanes(pool, n) <= 1) {
+    body(std::size_t{0}, std::size_t{0}, n);
+    return;
+  }
+  parallel_for_chunks(
+      pool, n,
+      std::function<void(std::size_t, std::size_t, std::size_t)>(std::ref(body)));
+}
+
+/// Element-wise counterpart of for_each_chunk.
+template <typename Body>
+void for_each_index(ThreadPool* pool, std::size_t n, Body&& body) {
+  for_each_chunk(pool, n, [&body](std::size_t, std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+  });
+}
+
 /// Process-global pool consulted by the nn layers for batch-level data
 /// parallelism. Defaults to nullptr (fully serial). Not synchronized:
 /// install while no compute is in flight.

@@ -215,6 +215,87 @@ TEST(Fe25519Test, PowLawComposition) {
   EXPECT_EQ(g.pow(a).pow(b), g.pow(b).pow(a));
 }
 
+TEST(Fe25519Test, WindowedPowMatchesSchoolbook) {
+  // Random exponents plus the boundary patterns a sliding window can trip
+  // on: zero, one, all-ones runs, a lone top bit, and p-2.
+  Drbg rng(155);
+  const Fe25519 g = Fe25519::generator();
+  std::vector<std::vector<std::uint8_t>> exps;
+  for (int i = 0; i < 12; ++i) exps.push_back(rng.random_scalar_bytes());
+  std::vector<std::uint8_t> e(32, 0);
+  exps.push_back(e);  // 0
+  e[0] = 1;
+  exps.push_back(e);  // 1
+  e.assign(32, 0xFF);
+  exps.push_back(e);  // 2^256 - 1
+  e.assign(32, 0);
+  e[31] = 0x80;
+  exps.push_back(e);  // 2^255
+  e.assign(32, 0xFF);
+  e[0] = 0xEB;
+  e[31] = 0x7F;
+  exps.push_back(e);  // p - 2
+  for (const auto& exp : exps) {
+    EXPECT_EQ(g.pow(exp), g.pow_schoolbook(exp));
+    const Fe25519 x = Fe25519::from_bytes(rng.random_scalar_bytes());
+    EXPECT_EQ(x.pow(exp), x.pow_schoolbook(exp));
+  }
+}
+
+TEST(Fe25519Test, GeneratorPowMatchesSchoolbook) {
+  Drbg rng(156);
+  const Fe25519 g = Fe25519::generator();
+  for (int i = 0; i < 12; ++i) {
+    const auto e = rng.random_scalar_bytes();
+    EXPECT_EQ(Fe25519::generator_pow(e), g.pow_schoolbook(e));
+  }
+  std::array<std::uint8_t, 32> zero{};
+  EXPECT_EQ(Fe25519::generator_pow(zero), Fe25519::one());
+}
+
+TEST(Fe25519Test, SquareMatchesMultiply) {
+  Drbg rng(157);
+  for (int i = 0; i < 25; ++i) {
+    const Fe25519 x = Fe25519::from_bytes(rng.random_scalar_bytes());
+    EXPECT_EQ(x.square(), x * x);
+  }
+  EXPECT_EQ(Fe25519::zero().square(), Fe25519::zero());
+  EXPECT_EQ(Fe25519::one().square(), Fe25519::one());
+}
+
+TEST(Fe25519Test, InverseMatchesFermatSchoolbook) {
+  // inverse() uses an addition chain; it must equal x^(p-2) bit for bit.
+  std::array<std::uint8_t, 32> pm2;
+  pm2.fill(0xFF);
+  pm2[0] = 0xEB;
+  pm2[31] = 0x7F;
+  Drbg rng(158);
+  for (int i = 0; i < 8; ++i) {
+    const Fe25519 x = Fe25519::from_bytes(rng.random_scalar_bytes());
+    if (x.is_zero()) continue;
+    EXPECT_EQ(x.inverse(), x.pow_schoolbook(pm2));
+  }
+}
+
+TEST(Fe25519Test, ExponentArithmeticModGroupOrder) {
+  // (g^a)^b == g^(a*b mod p-1) and g^a * g^(-a) == 1 — the identities the
+  // OT sender's precomputed k1 factor relies on.
+  Drbg rng(159);
+  const Fe25519 g = Fe25519::generator();
+  for (int i = 0; i < 8; ++i) {
+    auto a = rng.random_scalar_bytes();
+    auto b = rng.random_scalar_bytes();
+    const auto ab = Fe25519::exp_mul_mod_p_minus_1(a, b);
+    EXPECT_EQ(g.pow(a).pow(b), Fe25519::generator_pow(ab));
+    const auto na = Fe25519::exp_neg_mod_p_minus_1(a);
+    EXPECT_EQ(Fe25519::generator_pow(a) * Fe25519::generator_pow(na), Fe25519::one());
+    const Fe25519 x = Fe25519::from_bytes(rng.random_scalar_bytes());
+    if (!x.is_zero()) EXPECT_EQ(x.pow(a) * x.pow(na), Fe25519::one());
+  }
+  std::array<std::uint8_t, 32> zero{};
+  EXPECT_EQ(Fe25519::exp_neg_mod_p_minus_1(zero), zero);
+}
+
 TEST(Fe25519Test, BytesRoundTrip) {
   Drbg rng(59);
   for (int i = 0; i < 10; ++i) {

@@ -183,15 +183,20 @@ TEST(TrainingDeterminism, PoolSizeOneIsBitIdenticalToSerial) {
   EXPECT_EQ(serial, pooled1) << "pool size 1 must reproduce serial training bit for bit";
 
   // A fixed pool size must also be reproducible against itself: the chunked
-  // reduction depends only on (input, pool size), never on scheduling.
-  std::string pooled3_a, pooled3_b;
-  {
-    runtime::ScopedComputePool pool(3);
-    pooled3_a = trained_weight_bytes(dataset);
+  // reduction depends only on (input, pool size), never on scheduling. Pool
+  // sizes 2, 3 and 4 exercise distinct chunk layouts over the GEMM-lowered
+  // kernels.
+  for (const std::size_t size : {std::size_t{2}, std::size_t{3}, std::size_t{4}}) {
+    std::string pooled_a, pooled_b;
+    {
+      runtime::ScopedComputePool pool(size);
+      pooled_a = trained_weight_bytes(dataset);
+    }
+    {
+      runtime::ScopedComputePool pool(size);
+      pooled_b = trained_weight_bytes(dataset);
+    }
+    EXPECT_EQ(pooled_a, pooled_b)
+        << "pool size " << size << " must be reproducible run to run";
   }
-  {
-    runtime::ScopedComputePool pool(3);
-    pooled3_b = trained_weight_bytes(dataset);
-  }
-  EXPECT_EQ(pooled3_a, pooled3_b) << "same pool size must be reproducible run to run";
 }

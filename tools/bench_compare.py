@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Compare a bench_micro JSON run against the committed baseline.
+
+Guards the hot-path kernels against performance regressions in CI:
+
+    bench_micro --benchmark_format=json ... > current.json
+    tools/bench_compare.py BENCH_micro.json current.json
+
+Exit status is 1 if any gated benchmark slowed down by more than the
+threshold (default 15%). To stay meaningful across machines, every time is
+normalized by the anchor benchmark (BM_Sha256_1KiB): a host that is
+uniformly 2x slower than the baseline machine shifts the anchor by the same
+factor and cancels out; only *relative* kernel regressions trip the gate.
+
+Stdlib only — no third-party dependencies.
+"""
+
+import argparse
+import json
+import sys
+
+ANCHOR = "BM_Sha256_1KiB"
+
+# Benchmarks the gate protects. Names absent from either file are reported
+# and skipped (so adding a new benchmark does not break older baselines),
+# but a missing anchor is a hard error.
+GATED = [
+    "BM_Fe25519_Pow",
+    "BM_Fe25519_GeneratorPow",
+    "BM_Fe25519_Inverse",
+    "BM_OtInstance",
+    "BM_OtSenderEncrypt",
+    "BM_ImuEncoderInference",
+    "BM_Conv1dForward",
+    "BM_DenseForward",
+]
+
+
+def load_times(path):
+    """Returns {benchmark name: min real_time in ns} over all repetitions."""
+    with open(path) as f:
+        doc = json.load(f)
+    times = {}
+    for entry in doc.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev); keep per-repetition ones.
+        if entry.get("run_type", "iteration") != "iteration":
+            continue
+        name = entry["name"]
+        t = float(entry["real_time"])
+        unit = entry.get("time_unit", "ns")
+        scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[unit]
+        t *= scale
+        if name not in times or t < times[name]:
+            times[name] = t
+    return times
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline", help="committed baseline JSON (BENCH_micro.json)")
+    ap.add_argument("current", help="freshly measured JSON")
+    ap.add_argument("--threshold", type=float, default=0.15,
+                    help="allowed fractional slowdown after normalization (default 0.15)")
+    args = ap.parse_args()
+
+    base = load_times(args.baseline)
+    cur = load_times(args.current)
+
+    if ANCHOR not in base or ANCHOR not in cur:
+        print(f"bench_compare: anchor {ANCHOR} missing from baseline or current run",
+              file=sys.stderr)
+        return 1
+    anchor_ratio = cur[ANCHOR] / base[ANCHOR]
+    print(f"anchor {ANCHOR}: baseline {base[ANCHOR]:.0f} ns, current {cur[ANCHOR]:.0f} ns "
+          f"(machine factor {anchor_ratio:.3f})")
+
+    failed = []
+    for name in GATED:
+        if name not in base or name not in cur:
+            print(f"  {name:<28} SKIP (missing from {'baseline' if name not in base else 'current'})")
+            continue
+        normalized = (cur[name] / base[name]) / anchor_ratio
+        verdict = "ok"
+        if normalized > 1.0 + args.threshold:
+            verdict = "REGRESSION"
+            failed.append(name)
+        print(f"  {name:<28} base {base[name]:>12.0f} ns  cur {cur[name]:>12.0f} ns  "
+              f"normalized x{normalized:.3f}  {verdict}")
+
+    if failed:
+        print(f"bench_compare: {len(failed)} gated benchmark(s) regressed more than "
+              f"{args.threshold:.0%}: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    print("bench_compare: all gated benchmarks within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

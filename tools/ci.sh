@@ -3,9 +3,13 @@
 # a plain RelWithDebInfo build (plus the bench_throughput JSON/tau gate), a
 # WAVEKEY_SANITIZE=ON (ASan + UBSan) build, and a WAVEKEY_TSAN=ON
 # (ThreadSanitizer) build scoped to the concurrency suites — so every merge
-# exercises correctness, memory/UB cleanliness, and data-race freedom.
+# exercises correctness, memory/UB cleanliness, and data-race freedom. A
+# fourth Release (-O3) leg runs bench_micro and gates the hot-path kernels
+# against the committed BENCH_micro.json baseline via tools/bench_compare.py
+# (anchor-normalized, so it tolerates uniformly slower machines but trips on
+# relative kernel regressions > 15%).
 #
-# Usage: tools/ci.sh [--plain-only|--sanitize-only|--tsan-only]
+# Usage: tools/ci.sh [--plain-only|--sanitize-only|--tsan-only|--perf-only]
 # Environment: WAVEKEY_CI_JOBS (parallelism, default nproc),
 #              WAVEKEY_BENCH_SCALE is consumed only by the throughput gate
 #              (fixed at 0.25 there); tests do not read it.
@@ -51,8 +55,26 @@ print(f"bench_throughput ok: speedup_4t_over_1t={data['speedup_4t_over_1t']}, "
 PYEOF
 }
 
+perf_gate() {
+  # Release (-O3) leg: measure the gated hot-path benchmarks and compare
+  # against the committed baseline. Repetitions + min-over-reps (inside
+  # bench_compare) damp scheduler noise.
+  echo "=== [perf] configure ==="
+  cmake -B build-ci-release -S . -DCMAKE_BUILD_TYPE=Release
+  echo "=== [perf] build bench_micro ==="
+  cmake --build build-ci-release -j "$JOBS" --target bench_micro
+  echo "=== [perf] bench_micro vs BENCH_micro.json ==="
+  ./build-ci-release/bench/bench_micro \
+    --benchmark_format=json \
+    --benchmark_repetitions=3 \
+    --benchmark_min_time=0.05 \
+    --benchmark_filter='BM_Sha256_1KiB|BM_Fe25519_Pow|BM_Fe25519_GeneratorPow|BM_Fe25519_Square|BM_Fe25519_Inverse|BM_OtInstance|BM_OtSenderEncrypt|BM_ImuEncoderInference|BM_Conv1dForward|BM_DenseForward' \
+    > build-ci-release/bench_micro.json
+  tools/bench_compare.py BENCH_micro.json build-ci-release/bench_micro.json
+}
+
 case "$MODE" in
-  --sanitize-only|--tsan-only) ;;
+  --sanitize-only|--tsan-only|--perf-only) ;;
   *)
     run_suite plain build-ci
     throughput_gate
@@ -60,7 +82,7 @@ case "$MODE" in
 esac
 
 case "$MODE" in
-  --plain-only|--tsan-only) ;;
+  --plain-only|--tsan-only|--perf-only) ;;
   *)
     # UBSan aborts on any finding (-fno-sanitize-recover=all); ASan halts on
     # the first error by default, which is exactly what CI wants.
@@ -70,19 +92,28 @@ case "$MODE" in
 esac
 
 case "$MODE" in
-  --plain-only|--sanitize-only) ;;
+  --plain-only|--sanitize-only|--perf-only) ;;
   *)
     # TSan is scoped to the concurrency suites (thread pool + pairing
-    # engine): that is where the shared mutable state lives, and the 5-15x
-    # TSan slowdown makes the full training suite impractical in CI.
+    # engine) plus the kernel-equivalence suite, which drives the GEMM
+    # kernels through the compute pool: that is where the shared mutable
+    # state lives, and the 5-15x TSan slowdown makes the full training
+    # suite impractical in CI.
     echo "=== [tsan] configure ==="
     cmake -B build-ci-tsan -S . -DWAVEKEY_TSAN=ON
     echo "=== [tsan] build ==="
     cmake --build build-ci-tsan -j "$JOBS" \
-      --target thread_pool_test pairing_engine_test
+      --target thread_pool_test pairing_engine_test kernel_equiv_test
     echo "=== [tsan] ctest (concurrency suites) ==="
     ctest --test-dir build-ci-tsan --output-on-failure -j "$JOBS" \
-      -R 'ThreadPool|BoundedQueue|PairingEngine|TrainingDeterminism'
+      -R 'ThreadPool|BoundedQueue|PairingEngine|TrainingDeterminism|KernelEquivalence|TensorArena'
+    ;;
+esac
+
+case "$MODE" in
+  --sanitize-only|--tsan-only) ;;
+  *)
+    perf_gate
     ;;
 esac
 

@@ -5,16 +5,24 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <string_view>
+
 #include "core/dataset.hpp"
 #include "core/encoders.hpp"
+#include "crypto/chacha20.hpp"
 #include "crypto/drbg.hpp"
 #include "crypto/field25519.hpp"
 #include "crypto/sha256.hpp"
 #include "dsp/savitzky_golay.hpp"
+#include "ecc/gf256.hpp"
 #include "ecc/reed_solomon.hpp"
 #include "nn/conv1d.hpp"
 #include "nn/dense.hpp"
+#include "nn/gemm.hpp"
 #include "protocol/session.hpp"
+#include "runtime/cpu.hpp"
 #include "sim/scenario.hpp"
 
 using namespace wavekey;
@@ -180,6 +188,161 @@ void BM_FullKeyAgreement256(benchmark::State& state) {
 }
 BENCHMARK(BM_FullKeyAgreement256);
 
+// --- SIMD kernel benchmarks (DESIGN.md §8.5) -------------------------------
+// These go through the public dispatched entry points, so they measure
+// whatever tier runtime::cpu selected (override with WAVEKEY_SIMD).
+
+void BM_Gf256AddmulSlice(benchmark::State& state) {
+  Rng rng(13);
+  std::vector<std::uint8_t> dst(4096), src(4096);
+  for (auto& v : src) v = static_cast<std::uint8_t>(rng.uniform_u64(256));
+  for (auto _ : state) {
+    ecc::Gf256::addmul_slice(dst.data(), src.data(), dst.size(), 0x57);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 4096);
+}
+BENCHMARK(BM_Gf256AddmulSlice);
+
+void BM_RsEncode(benchmark::State& state) {
+  // RS(255, 223): 32 parity bytes, the widest shape the protocol uses.
+  const ecc::ReedSolomon rs(32);
+  Rng rng(14);
+  std::vector<std::uint8_t> data(223);
+  for (auto& d : data) d = static_cast<std::uint8_t>(rng.uniform_u64(256));
+  for (auto _ : state) benchmark::DoNotOptimize(rs.encode(data));
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 223);
+}
+BENCHMARK(BM_RsEncode);
+
+void BM_ChaCha20Block(benchmark::State& state) {
+  const std::vector<std::uint8_t> key(32, 0x42), nonce(12, 0x24);
+  crypto::ChaCha20 c(key, nonce);
+  std::vector<std::uint8_t> out(4096);
+  for (auto _ : state) {
+    c.keystream(out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 4096);
+}
+BENCHMARK(BM_ChaCha20Block);
+
+void BM_GemmF32(benchmark::State& state) {
+  // 64x64x64 NN-shaped multiply through the dispatched gemm_nn.
+  constexpr std::size_t kDim = 64;
+  Rng rng(15);
+  std::vector<float> a(kDim * kDim), b(kDim * kDim), c(kDim * kDim, 0.0f);
+  for (auto& v : a) v = static_cast<float>(rng.normal());
+  for (auto& v : b) v = static_cast<float>(rng.normal());
+  for (auto _ : state) {
+    nn::gemm_nn(kDim, kDim, kDim, a.data(), kDim, b.data(), kDim, c.data(), kDim, false);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 2 * kDim * kDim * kDim);
+}
+BENCHMARK(BM_GemmF32);
+
+// --- `--simd-check`: forced-scalar vs AVX2 speedup assertion ---------------
+// Run from tools/ci.sh on AVX2 hosts: re-times the four SIMD kernels with
+// the dispatch tier forced to scalar and then to AVX2 (in-process, via the
+// test hook) and fails unless each shows at least a 2x win. On non-AVX2
+// hosts this is a no-op success.
+
+template <typename F>
+double best_seconds(F&& f, int reps, int iters) {
+  double best = 1e100;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < iters; ++i) f();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best;
+}
+
+template <typename F>
+bool check_speedup(const char* name, F&& f, int iters) {
+  using runtime::cpu::SimdTier;
+  constexpr int kReps = 5;
+  constexpr double kMinSpeedup = 2.0;
+  runtime::cpu::force_tier_for_testing(SimdTier::kScalar);
+  const double scalar_s = best_seconds(f, kReps, iters);
+  runtime::cpu::force_tier_for_testing(SimdTier::kAvx2);
+  const double avx2_s = best_seconds(f, kReps, iters);
+  runtime::cpu::force_tier_for_testing(std::nullopt);
+  const double speedup = scalar_s / avx2_s;
+  const bool ok = speedup >= kMinSpeedup;
+  std::printf("simd-check %-18s scalar %10.1f us  avx2 %10.1f us  speedup %5.2fx  [%s]\n",
+              name, scalar_s * 1e6, avx2_s * 1e6, speedup, ok ? "ok" : "FAIL");
+  return ok;
+}
+
+int run_simd_check() {
+  using runtime::cpu::SimdTier;
+  if (runtime::cpu::detected_tier() < SimdTier::kAvx2) {
+    std::printf("simd-check: host lacks AVX2, skipping\n");
+    return 0;
+  }
+  bool ok = true;
+
+  Rng rng(16);
+  std::vector<std::uint8_t> dst(4096), src(4096);
+  for (auto& v : src) v = static_cast<std::uint8_t>(rng.uniform_u64(256));
+  ok &= check_speedup(
+      "Gf256AddmulSlice",
+      [&] {
+        ecc::Gf256::addmul_slice(dst.data(), src.data(), dst.size(), 0x57);
+        benchmark::DoNotOptimize(dst.data());
+      },
+      2000);
+
+  const ecc::ReedSolomon rs(32);
+  std::vector<std::uint8_t> data(223);
+  for (auto& d : data) d = static_cast<std::uint8_t>(rng.uniform_u64(256));
+  ok &= check_speedup(
+      "RsEncode", [&] { benchmark::DoNotOptimize(rs.encode(data)); }, 500);
+
+  const std::vector<std::uint8_t> key(32, 0x42), nonce(12, 0x24);
+  crypto::ChaCha20 chacha(key, nonce);
+  std::vector<std::uint8_t> stream(4096);
+  ok &= check_speedup(
+      "ChaCha20Block",
+      [&] {
+        chacha.keystream(stream);
+        benchmark::DoNotOptimize(stream.data());
+      },
+      1000);
+
+  constexpr std::size_t kDim = 64;
+  std::vector<float> ga(kDim * kDim), gb(kDim * kDim), gc(kDim * kDim, 0.0f);
+  for (auto& v : ga) v = static_cast<float>(rng.normal());
+  for (auto& v : gb) v = static_cast<float>(rng.normal());
+  ok &= check_speedup(
+      "GemmF32",
+      [&] {
+        nn::gemm_nn(kDim, kDim, kDim, ga.data(), kDim, gb.data(), kDim, gc.data(), kDim,
+                    false);
+        benchmark::DoNotOptimize(gc.data());
+      },
+      500);
+
+  if (!ok) {
+    std::printf("simd-check: FAILED (some kernels below the 2x floor)\n");
+    return 1;
+  }
+  std::printf("simd-check: all kernels >= 2x over forced scalar\n");
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--simd-check") return run_simd_check();
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

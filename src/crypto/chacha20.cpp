@@ -1,7 +1,15 @@
 #include "crypto/chacha20.hpp"
 
 #include <bit>
+#include <cstring>
 #include <stdexcept>
+
+#include "runtime/cpu.hpp"
+
+#if defined(__SSE2__) || defined(_M_X64)
+#define WAVEKEY_CHACHA_SSE2 1
+#include <emmintrin.h>
+#endif
 
 namespace wavekey::crypto {
 namespace {
@@ -24,6 +32,103 @@ void quarter_round(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c, std::ui
 
 }  // namespace
 
+void chacha20_blocks_scalar(const std::uint32_t state[16], std::uint8_t* out,
+                            std::size_t nblocks) {
+  for (std::size_t blk = 0; blk < nblocks; ++blk) {
+    std::array<std::uint32_t, 16> x;
+    std::memcpy(x.data(), state, 64);
+    x[12] = state[12] + static_cast<std::uint32_t>(blk);
+    const std::array<std::uint32_t, 16> input = x;
+    for (int round = 0; round < 10; ++round) {
+      quarter_round(x[0], x[4], x[8], x[12]);
+      quarter_round(x[1], x[5], x[9], x[13]);
+      quarter_round(x[2], x[6], x[10], x[14]);
+      quarter_round(x[3], x[7], x[11], x[15]);
+      quarter_round(x[0], x[5], x[10], x[15]);
+      quarter_round(x[1], x[6], x[11], x[12]);
+      quarter_round(x[2], x[7], x[8], x[13]);
+      quarter_round(x[3], x[4], x[9], x[14]);
+    }
+    std::uint8_t* o = out + blk * 64;
+    for (int i = 0; i < 16; ++i) {
+      const std::uint32_t v = x[i] + input[i];
+      o[i * 4 + 0] = static_cast<std::uint8_t>(v);
+      o[i * 4 + 1] = static_cast<std::uint8_t>(v >> 8);
+      o[i * 4 + 2] = static_cast<std::uint8_t>(v >> 16);
+      o[i * 4 + 3] = static_cast<std::uint8_t>(v >> 24);
+    }
+  }
+}
+
+#if defined(WAVEKEY_CHACHA_SSE2)
+
+namespace {
+
+inline __m128i rotl_epi32(__m128i v, int r) {
+  return _mm_or_si128(_mm_slli_epi32(v, r), _mm_srli_epi32(v, 32 - r));
+}
+
+// One double round on the four row vectors (a = row 0 .. d = row 3). The
+// diagonal half rotates rows b/c/d into column position and back with
+// pshufd — the standard row-sliced ChaCha layout.
+inline void double_round_rows(__m128i& a, __m128i& b, __m128i& c, __m128i& d) {
+  a = _mm_add_epi32(a, b);
+  d = rotl_epi32(_mm_xor_si128(d, a), 16);
+  c = _mm_add_epi32(c, d);
+  b = rotl_epi32(_mm_xor_si128(b, c), 12);
+  a = _mm_add_epi32(a, b);
+  d = rotl_epi32(_mm_xor_si128(d, a), 8);
+  c = _mm_add_epi32(c, d);
+  b = rotl_epi32(_mm_xor_si128(b, c), 7);
+
+  b = _mm_shuffle_epi32(b, 0x39);  // rotate left one lane
+  c = _mm_shuffle_epi32(c, 0x4E);  // rotate two lanes
+  d = _mm_shuffle_epi32(d, 0x93);  // rotate three lanes
+
+  a = _mm_add_epi32(a, b);
+  d = rotl_epi32(_mm_xor_si128(d, a), 16);
+  c = _mm_add_epi32(c, d);
+  b = rotl_epi32(_mm_xor_si128(b, c), 12);
+  a = _mm_add_epi32(a, b);
+  d = rotl_epi32(_mm_xor_si128(d, a), 8);
+  c = _mm_add_epi32(c, d);
+  b = rotl_epi32(_mm_xor_si128(b, c), 7);
+
+  b = _mm_shuffle_epi32(b, 0x93);
+  c = _mm_shuffle_epi32(c, 0x4E);
+  d = _mm_shuffle_epi32(d, 0x39);
+}
+
+}  // namespace
+
+void chacha20_blocks_sse2(const std::uint32_t state[16], std::uint8_t* out,
+                          std::size_t nblocks) {
+  const __m128i s0 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(state + 0));
+  const __m128i s1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(state + 4));
+  const __m128i s2 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(state + 8));
+  const __m128i s3_base = _mm_loadu_si128(reinterpret_cast<const __m128i*>(state + 12));
+  for (std::size_t blk = 0; blk < nblocks; ++blk) {
+    const __m128i s3 =
+        _mm_add_epi32(s3_base, _mm_set_epi32(0, 0, 0, static_cast<int>(blk)));
+    __m128i a = s0, b = s1, c = s2, d = s3;
+    for (int round = 0; round < 10; ++round) double_round_rows(a, b, c, d);
+    std::uint8_t* o = out + blk * 64;
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(o + 0), _mm_add_epi32(a, s0));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(o + 16), _mm_add_epi32(b, s1));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(o + 32), _mm_add_epi32(c, s2));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(o + 48), _mm_add_epi32(d, s3));
+  }
+}
+
+#else
+
+void chacha20_blocks_sse2(const std::uint32_t state[16], std::uint8_t* out,
+                          std::size_t nblocks) {
+  chacha20_blocks_scalar(state, out, nblocks);
+}
+
+#endif  // WAVEKEY_CHACHA_SSE2
+
 ChaCha20::ChaCha20(std::span<const std::uint8_t> key, std::span<const std::uint8_t> nonce,
                    std::uint32_t counter) {
   if (key.size() != 32) throw std::invalid_argument("ChaCha20: key must be 32 bytes");
@@ -37,40 +142,56 @@ ChaCha20::ChaCha20(std::span<const std::uint8_t> key, std::span<const std::uint8
   for (int i = 0; i < 3; ++i) state_[13 + i] = load32_le(nonce.data() + 4 * i);
 }
 
+void ChaCha20::generate_blocks(std::uint8_t* out, std::size_t nblocks) {
+  using runtime::cpu::SimdTier;
+  const SimdTier tier = runtime::cpu::active_tier();
+  if (tier >= SimdTier::kAvx2) {
+    chacha20_blocks_avx2(state_.data(), out, nblocks);
+  } else if (tier >= SimdTier::kSse2) {
+    chacha20_blocks_sse2(state_.data(), out, nblocks);
+  } else {
+    chacha20_blocks_scalar(state_.data(), out, nblocks);
+  }
+  state_[12] += static_cast<std::uint32_t>(nblocks);
+}
+
 void ChaCha20::refill() {
-  std::array<std::uint32_t, 16> x = state_;
-  for (int round = 0; round < 10; ++round) {
-    quarter_round(x[0], x[4], x[8], x[12]);
-    quarter_round(x[1], x[5], x[9], x[13]);
-    quarter_round(x[2], x[6], x[10], x[14]);
-    quarter_round(x[3], x[7], x[11], x[15]);
-    quarter_round(x[0], x[5], x[10], x[15]);
-    quarter_round(x[1], x[6], x[11], x[12]);
-    quarter_round(x[2], x[7], x[8], x[13]);
-    quarter_round(x[3], x[4], x[9], x[14]);
-  }
-  for (int i = 0; i < 16; ++i) {
-    const std::uint32_t v = x[i] + state_[i];
-    block_[i * 4 + 0] = static_cast<std::uint8_t>(v);
-    block_[i * 4 + 1] = static_cast<std::uint8_t>(v >> 8);
-    block_[i * 4 + 2] = static_cast<std::uint8_t>(v >> 16);
-    block_[i * 4 + 3] = static_cast<std::uint8_t>(v >> 24);
-  }
-  ++state_[12];
+  generate_blocks(block_.data(), 1);
   block_pos_ = 0;
 }
 
 void ChaCha20::keystream(std::span<std::uint8_t> out) {
-  for (std::uint8_t& b : out) {
-    if (block_pos_ == 64) refill();
-    b = block_[block_pos_++];
+  std::size_t pos = 0;
+  // Drain any buffered partial block first.
+  while (block_pos_ < 64 && pos < out.size()) out[pos++] = block_[block_pos_++];
+  // Whole blocks go straight to the destination through the bulk kernel.
+  const std::size_t nblocks = (out.size() - pos) / 64;
+  if (nblocks > 0) {
+    generate_blocks(out.data() + pos, nblocks);
+    pos += nblocks * 64;
+  }
+  // Final partial block through the buffer, keeping the unused tail.
+  if (pos < out.size()) {
+    refill();
+    while (pos < out.size()) out[pos++] = block_[block_pos_++];
   }
 }
 
 void ChaCha20::crypt(std::span<std::uint8_t> data) {
-  for (std::uint8_t& b : data) {
-    if (block_pos_ == 64) refill();
-    b ^= block_[block_pos_++];
+  std::size_t pos = 0;
+  while (block_pos_ < 64 && pos < data.size()) data[pos++] ^= block_[block_pos_++];
+  // Bulk-XOR whole blocks via a small keystream staging buffer.
+  std::uint8_t ks[256];
+  while (data.size() - pos >= 64) {
+    const std::size_t nblocks = std::min<std::size_t>((data.size() - pos) / 64, 4);
+    generate_blocks(ks, nblocks);
+    const std::size_t nbytes = nblocks * 64;
+    for (std::size_t i = 0; i < nbytes; ++i) data[pos + i] ^= ks[i];
+    pos += nbytes;
+  }
+  if (pos < data.size()) {
+    refill();
+    while (pos < data.size()) data[pos++] ^= block_[block_pos_++];
   }
 }
 

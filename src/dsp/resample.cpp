@@ -13,6 +13,37 @@ void check_series(std::span<const double> ts, std::span<const double> xs) {
     if (ts[i] <= ts[i - 1]) throw std::invalid_argument("interp: ts must be strictly increasing");
 }
 
+// Rolling upper-bound cursor. The IMU/RFID pipelines always resample onto
+// monotonically increasing query grids, so successive interior queries move
+// the bracket forward by a handful of samples — a linear walk makes the
+// whole resample O(n + m) instead of O(m log n). A query that moves
+// backwards falls back to one binary search and re-arms the cursor, so
+// arbitrary query orders stay correct (and identical to upper_bound).
+class SegmentCursor {
+ public:
+  explicit SegmentCursor(std::span<const double> ts) : ts_(ts) {}
+
+  /// For interior q (ts.front() < q < ts.back()): the upper_bound index,
+  /// i.e. the smallest hi with ts[hi] > q.
+  std::size_t locate(double q) {
+    if (armed_ && q >= last_q_) {
+      while (ts_[hi_] <= q) ++hi_;
+    } else {
+      hi_ = static_cast<std::size_t>(std::upper_bound(ts_.begin(), ts_.end(), q) -
+                                     ts_.begin());
+    }
+    armed_ = true;
+    last_q_ = q;
+    return hi_;
+  }
+
+ private:
+  std::span<const double> ts_;
+  std::size_t hi_ = 1;
+  double last_q_ = 0.0;
+  bool armed_ = false;
+};
+
 }  // namespace
 
 std::vector<double> interp_linear(std::span<const double> ts, std::span<const double> xs,
@@ -20,6 +51,7 @@ std::vector<double> interp_linear(std::span<const double> ts, std::span<const do
   check_series(ts, xs);
   std::vector<double> out;
   out.reserve(query_ts.size());
+  SegmentCursor cursor(ts);
   for (double q : query_ts) {
     if (q <= ts.front()) {
       out.push_back(xs.front());
@@ -29,8 +61,7 @@ std::vector<double> interp_linear(std::span<const double> ts, std::span<const do
       out.push_back(xs.back());
       continue;
     }
-    const auto it = std::upper_bound(ts.begin(), ts.end(), q);
-    const std::size_t hi = static_cast<std::size_t>(it - ts.begin());
+    const std::size_t hi = cursor.locate(q);
     const std::size_t lo = hi - 1;
     const double f = (q - ts[lo]) / (ts[hi] - ts[lo]);
     out.push_back(xs[lo] * (1.0 - f) + xs[hi] * f);
@@ -69,6 +100,7 @@ std::vector<double> interp_cubic(std::span<const double> ts, std::span<const dou
 
   std::vector<double> out;
   out.reserve(query_ts.size());
+  SegmentCursor cursor(ts);
   for (double q : query_ts) {
     if (q <= ts.front()) {
       out.push_back(xs.front());
@@ -78,8 +110,7 @@ std::vector<double> interp_cubic(std::span<const double> ts, std::span<const dou
       out.push_back(xs.back());
       continue;
     }
-    const auto it = std::upper_bound(ts.begin(), ts.end(), q);
-    const std::size_t hi = static_cast<std::size_t>(it - ts.begin());
+    const std::size_t hi = cursor.locate(q);
     const std::size_t lo = hi - 1;
     const double hseg = h[lo];
     const double a = (ts[hi] - q) / hseg;

@@ -3,11 +3,32 @@
 // GF(2^8) arithmetic with the primitive polynomial x^8+x^4+x^3+x^2+1 (0x11D),
 // the field underlying the Reed-Solomon reconciliation code.
 //
+// Besides the classic scalar log/exp operations this header exposes the
+// *bulk* primitives the RS hot loops are built on (DESIGN.md §8.5):
+//
+//   * MulTable      — a 16+16-entry nibble-split product table for one fixed
+//                     multiplier c: c·x = lo[x & 15] ^ hi[x >> 4] because GF
+//                     multiplication is GF(2)-linear in x. Branchless, no
+//                     zero tests, and exactly the layout the PSHUFB-based
+//                     SIMD kernels consume.
+//   * addmul_slice  — dst[i] ^= c · src[i] over a byte span.
+//   * mul_slice     — dst[i]  = c · src[i] over a byte span.
+//
+// The slice operations dispatch through runtime::cpu::active_tier(): an
+// AVX2 nibble-split VPSHUFB kernel (32 bytes/step) when available, else the
+// branchless MulTable scalar loop. The tier-explicit entry points are
+// exported so differential tests and the bench self-check can drive each
+// implementation directly.
+//
+// Aliasing: dst == src is allowed (loads happen before stores element by
+// element or vector by vector); *partially* overlapping spans are not.
+//
 // Thread-safety: all operations are static, read-only lookups into tables
 // built once under C++11 magic-static initialization — safe to call from
 // any number of threads concurrently.
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 
 namespace wavekey::ecc {
@@ -31,6 +52,26 @@ class Gf256 {
   /// a^n with n >= 0.
   static std::uint8_t pow(std::uint8_t a, int n);
 
+  /// Precomputed nibble-split products of one fixed multiplier c.
+  /// mul(x) is branchless: two loads and one XOR, valid for every x
+  /// including 0 and c == 0.
+  struct MulTable {
+    alignas(16) std::array<std::uint8_t, 16> lo;  // c * 0x00..0x0F
+    alignas(16) std::array<std::uint8_t, 16> hi;  // c * 0x00..0xF0 (high nibble)
+    std::uint8_t mul(std::uint8_t x) const { return lo[x & 0x0F] ^ hi[x >> 4]; }
+  };
+
+  /// Builds the nibble-split table for multiplier c.
+  static MulTable mul_table(std::uint8_t c);
+
+  /// dst[i] ^= c * src[i] for i in [0, n). SIMD-dispatched.
+  static void addmul_slice(std::uint8_t* dst, const std::uint8_t* src, std::size_t n,
+                           std::uint8_t c);
+
+  /// dst[i] = c * src[i] for i in [0, n). SIMD-dispatched.
+  static void mul_slice(std::uint8_t* dst, const std::uint8_t* src, std::size_t n,
+                        std::uint8_t c);
+
  private:
   struct Tables {
     std::array<std::uint8_t, 512> exp;
@@ -38,5 +79,20 @@ class Gf256 {
   };
   static const Tables& tables();
 };
+
+// Tier-explicit slice kernels (differential tests, bench self-check; the
+// dispatched entry points above are what production code should call).
+// The *_avx2 functions must only be invoked when
+// runtime::cpu::detected_tier() >= kAvx2; on targets where the AVX2
+// translation unit is compiled without AVX2 support they delegate to the
+// scalar kernel.
+void gf256_addmul_slice_scalar(std::uint8_t* dst, const std::uint8_t* src, std::size_t n,
+                               std::uint8_t c);
+void gf256_mul_slice_scalar(std::uint8_t* dst, const std::uint8_t* src, std::size_t n,
+                            std::uint8_t c);
+void gf256_addmul_slice_avx2(std::uint8_t* dst, const std::uint8_t* src, std::size_t n,
+                             std::uint8_t c);
+void gf256_mul_slice_avx2(std::uint8_t* dst, const std::uint8_t* src, std::size_t n,
+                          std::uint8_t c);
 
 }  // namespace wavekey::ecc

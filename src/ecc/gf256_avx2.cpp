@@ -1,0 +1,93 @@
+// AVX2 GF(2^8) bulk kernels: nibble-split VPSHUFB constant multiplication
+// (DESIGN.md §8.5). Each 32-byte step splits the source bytes into low and
+// high nibbles, looks both up in the broadcast MulTable halves, and XORs the
+// two partial products — the vector transliteration of MulTable::mul. The
+// tail (< 32 bytes) runs the branchless scalar loop; no vector load ever
+// touches bytes outside [0, n), so the kernels are clean under ASan.
+//
+// This translation unit is compiled with -mavx2 on x86 (see
+// src/ecc/CMakeLists.txt). On toolchains/targets without AVX2 the functions
+// delegate to the scalar kernels so the symbols always exist; callers gate
+// on runtime::cpu feature detection before taking the AVX2 path.
+
+#include "ecc/gf256.hpp"
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace wavekey::ecc {
+
+#if defined(__AVX2__)
+
+namespace {
+
+struct NibbleTables {
+  __m256i lo;
+  __m256i hi;
+  __m256i mask;
+};
+
+inline NibbleTables broadcast_tables(std::uint8_t c) {
+  const Gf256::MulTable t = Gf256::mul_table(c);
+  NibbleTables nt;
+  nt.lo = _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(t.lo.data())));
+  nt.hi = _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(t.hi.data())));
+  nt.mask = _mm256_set1_epi8(0x0F);
+  return nt;
+}
+
+inline __m256i mul_vec(const NibbleTables& nt, __m256i v) {
+  const __m256i lo_idx = _mm256_and_si256(v, nt.mask);
+  const __m256i hi_idx = _mm256_and_si256(_mm256_srli_epi64(v, 4), nt.mask);
+  return _mm256_xor_si256(_mm256_shuffle_epi8(nt.lo, lo_idx),
+                          _mm256_shuffle_epi8(nt.hi, hi_idx));
+}
+
+}  // namespace
+
+void gf256_addmul_slice_avx2(std::uint8_t* dst, const std::uint8_t* src, std::size_t n,
+                             std::uint8_t c) {
+  const std::size_t n_main = n - n % 32;
+  if (n_main != 0) {
+    const NibbleTables nt = broadcast_tables(c);
+    for (std::size_t i = 0; i < n_main; i += 32) {
+      const __m256i s = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+      const __m256i d = _mm256_loadu_si256(reinterpret_cast<__m256i*>(dst + i));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                          _mm256_xor_si256(d, mul_vec(nt, s)));
+    }
+  }
+  if (n_main != n) gf256_addmul_slice_scalar(dst + n_main, src + n_main, n - n_main, c);
+}
+
+void gf256_mul_slice_avx2(std::uint8_t* dst, const std::uint8_t* src, std::size_t n,
+                          std::uint8_t c) {
+  const std::size_t n_main = n - n % 32;
+  if (n_main != 0) {
+    const NibbleTables nt = broadcast_tables(c);
+    for (std::size_t i = 0; i < n_main; i += 32) {
+      const __m256i s = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), mul_vec(nt, s));
+    }
+  }
+  if (n_main != n) gf256_mul_slice_scalar(dst + n_main, src + n_main, n - n_main, c);
+}
+
+#else  // !defined(__AVX2__): keep the symbols, defer to the scalar kernels.
+
+void gf256_addmul_slice_avx2(std::uint8_t* dst, const std::uint8_t* src, std::size_t n,
+                             std::uint8_t c) {
+  gf256_addmul_slice_scalar(dst, src, n, c);
+}
+
+void gf256_mul_slice_avx2(std::uint8_t* dst, const std::uint8_t* src, std::size_t n,
+                          std::uint8_t c) {
+  gf256_mul_slice_scalar(dst, src, n, c);
+}
+
+#endif
+
+}  // namespace wavekey::ecc

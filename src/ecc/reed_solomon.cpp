@@ -10,18 +10,24 @@ namespace {
 
 // Polynomials are stored ascending-degree: p[i] is the coefficient of x^i.
 
+// Horner evaluation with the multiplier's nibble table hoisted out of the
+// loop: one table build per (polynomial, point) pair instead of a
+// function-local-static access and two zero branches per coefficient.
 std::uint8_t poly_eval(std::span<const std::uint8_t> p, std::uint8_t x) {
+  const Gf256::MulTable tx = Gf256::mul_table(x);
   std::uint8_t acc = 0;
-  for (std::size_t i = p.size(); i-- > 0;) acc = Gf256::add(Gf256::mul(acc, x), p[i]);
+  for (std::size_t i = p.size(); i-- > 0;) acc = tx.mul(acc) ^ p[i];
   return acc;
 }
 
+// Product via bulk addmul: row i of the schoolbook product is a[i] * b,
+// accumulated at offset i — one slice op per coefficient of a.
 std::vector<std::uint8_t> poly_mul(std::span<const std::uint8_t> a,
                                    std::span<const std::uint8_t> b) {
   std::vector<std::uint8_t> r(a.size() + b.size() - 1, 0);
-  for (std::size_t i = 0; i < a.size(); ++i)
-    for (std::size_t j = 0; j < b.size(); ++j)
-      r[i + j] = Gf256::add(r[i + j], Gf256::mul(a[i], b[j]));
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != 0) Gf256::addmul_slice(r.data() + i, b.data(), b.size(), a[i]);
+  }
   return r;
 }
 
@@ -36,37 +42,46 @@ ReedSolomon::ReedSolomon(std::size_t nsym) : nsym_(nsym) {
     const std::uint8_t factor[2] = {root, 1};  // (x + root)
     generator_ = poly_mul(generator_, factor);
   }
+  // Descending-order tail of the (monic) generator — the constant operand of
+  // the long-division addmul in encode().
+  gen_tail_desc_.assign(generator_.rbegin() + 1, generator_.rend());
+  // Per-syndrome Horner multiplier tables, hoisted once per codec instance.
+  root_tables_.reserve(nsym_);
+  for (std::size_t i = 0; i < nsym_; ++i)
+    root_tables_.push_back(Gf256::mul_table(Gf256::exp(static_cast<int>(i))));
 }
 
 std::vector<std::uint8_t> ReedSolomon::encode(std::span<const std::uint8_t> data) const {
   if (data.size() > max_data_len()) throw std::invalid_argument("ReedSolomon::encode: too long");
 
-  // Systematic encoding: parity = -(data(x) * x^nsym mod g(x)). Long division
-  // with the message laid out high-degree-first.
-  std::vector<std::uint8_t> rem(nsym_, 0);
-  for (std::uint8_t d : data) {
-    const std::uint8_t factor = Gf256::add(d, rem.back());
-    // Shift remainder up by one (multiply by x) and subtract factor * g.
-    for (std::size_t i = rem.size(); i-- > 1;) {
-      rem[i] = Gf256::add(rem[i - 1], Gf256::mul(factor, generator_[i]));
-    }
-    rem[0] = Gf256::mul(factor, generator_[0]);
+  // Systematic encoding: parity = -(data(x) * x^nsym mod g(x)). Synthetic
+  // long division into a shift-free buffer laid out high-degree-first: each
+  // step cancels the leading coefficient by XORing coef * g into the next
+  // nsym bytes — one bulk addmul per data byte instead of a remainder shift
+  // plus a per-coefficient multiply loop.
+  std::vector<std::uint8_t> buf(data.size() + nsym_, 0);
+  std::copy(data.begin(), data.end(), buf.begin());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const std::uint8_t coef = buf[i];
+    if (coef != 0) Gf256::addmul_slice(buf.data() + i + 1, gen_tail_desc_.data(), nsym_, coef);
   }
 
   std::vector<std::uint8_t> out(data.begin(), data.end());
-  // Parity appended high-degree-first to match the divisor orientation.
-  for (std::size_t i = rem.size(); i-- > 0;) out.push_back(rem[i]);
+  // The remainder already sits high-degree-first in the buffer tail, which
+  // matches the transmission order of the parity bytes.
+  out.insert(out.end(), buf.begin() + static_cast<std::ptrdiff_t>(data.size()), buf.end());
   return out;
 }
 
 std::vector<std::uint8_t> ReedSolomon::syndromes(std::span<const std::uint8_t> codeword) const {
   // Treat the codeword as a polynomial with the FIRST byte as the HIGHEST
-  // degree coefficient (transmission order). S_i = c(alpha^i).
+  // degree coefficient (transmission order). S_i = c(alpha^i), Horner with
+  // the per-root table cached at construction — branchless inner loop.
   std::vector<std::uint8_t> synd(nsym_);
   for (std::size_t i = 0; i < nsym_; ++i) {
-    const std::uint8_t x = Gf256::exp(static_cast<int>(i));
+    const Gf256::MulTable& tx = root_tables_[i];
     std::uint8_t acc = 0;
-    for (std::uint8_t c : codeword) acc = Gf256::add(Gf256::mul(acc, x), c);
+    for (std::uint8_t c : codeword) acc = tx.mul(acc) ^ c;
     synd[i] = acc;
   }
   return synd;
@@ -96,8 +111,7 @@ std::optional<std::vector<std::uint8_t>> ReedSolomon::decode(
       const std::uint8_t coef = Gf256::div(delta, b);
       // sigma -= coef * x^m * prev
       sigma.resize(std::max(sigma.size(), prev.size() + m), 0);
-      for (std::size_t j = 0; j < prev.size(); ++j)
-        sigma[j + m] = Gf256::add(sigma[j + m], Gf256::mul(coef, prev[j]));
+      Gf256::addmul_slice(sigma.data() + m, prev.data(), prev.size(), coef);
       l = i + 1 - l;
       prev = tmp;
       b = delta;
@@ -105,8 +119,7 @@ std::optional<std::vector<std::uint8_t>> ReedSolomon::decode(
     } else {
       const std::uint8_t coef = Gf256::div(delta, b);
       sigma.resize(std::max(sigma.size(), prev.size() + m), 0);
-      for (std::size_t j = 0; j < prev.size(); ++j)
-        sigma[j + m] = Gf256::add(sigma[j + m], Gf256::mul(coef, prev[j]));
+      Gf256::addmul_slice(sigma.data() + m, prev.data(), prev.size(), coef);
       ++m;
     }
   }
@@ -116,12 +129,23 @@ std::optional<std::vector<std::uint8_t>> ReedSolomon::decode(
 
   // Chien search: roots of sigma give error positions. With the first
   // codeword byte as degree n-1, an error at byte index k corresponds to the
-  // locator X = alpha^(n-1-k); sigma has root X^{-1}.
+  // locator X = alpha^(n-1-k); sigma has root X^{-1}. Successive evaluation
+  // points are alpha^{k-(n-1)}, i.e. each step multiplies the j-th term of
+  // sigma by alpha^j — so the loop keeps one running term per coefficient
+  // and advances all of them with per-term tables hoisted out of the scan.
+  std::vector<std::uint8_t> terms(sigma.size());
+  std::vector<Gf256::MulTable> step(sigma.size());
+  for (std::size_t j = 0; j < sigma.size(); ++j) {
+    const int e = static_cast<int>(j) * (1 - static_cast<int>(n));  // j * -(n-1)
+    terms[j] = Gf256::mul(sigma[j], Gf256::exp(e));
+    step[j] = Gf256::mul_table(Gf256::exp(static_cast<int>(j)));
+  }
   std::vector<std::size_t> positions;
   for (std::size_t k = 0; k < n; ++k) {
-    const int loc_exp = static_cast<int>(n - 1 - k);
-    const std::uint8_t x_inv = Gf256::exp(-loc_exp);
-    if (poly_eval(sigma, x_inv) == 0) positions.push_back(k);
+    std::uint8_t sum = 0;
+    for (std::uint8_t t : terms) sum ^= t;
+    if (sum == 0) positions.push_back(k);
+    for (std::size_t j = 1; j < terms.size(); ++j) terms[j] = step[j].mul(terms[j]);
   }
   if (positions.size() != num_errors) return std::nullopt;
 

@@ -20,6 +20,8 @@
 #include <span>
 #include <vector>
 
+#include "ecc/gf256.hpp"
+
 namespace wavekey::ecc {
 
 /// Reed-Solomon code with `nsym` parity symbols (codewords up to 255 bytes).
@@ -47,7 +49,9 @@ class ReedSolomon {
   std::vector<std::uint8_t> syndromes(std::span<const std::uint8_t> codeword) const;
 
   std::size_t nsym_;
-  std::vector<std::uint8_t> generator_;  // generator polynomial, ascending degree
+  std::vector<std::uint8_t> generator_;      // generator polynomial, ascending degree
+  std::vector<std::uint8_t> gen_tail_desc_;  // generator_ below the monic term, descending
+  std::vector<Gf256::MulTable> root_tables_;  // Horner tables for alpha^0..alpha^{nsym-1}
 };
 
 }  // namespace wavekey::ecc

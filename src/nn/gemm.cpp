@@ -2,14 +2,16 @@
 
 #include <cstring>
 
+#include "runtime/cpu.hpp"
+
 namespace wavekey::nn {
 namespace {
 
-// Register-tile sizes. MR*NR accumulators must fit the vector register file
-// of a baseline x86-64 / AArch64 target (16 x 128-bit): 4x8 floats = 8 SSE
-// registers of accumulators plus broadcast/load temporaries. The inner
-// NR-loop vectorizes without reassociation because each C element keeps its
-// own accumulator.
+// Register-tile sizes for the portable kernel. MR*NR accumulators must fit
+// the vector register file of a baseline x86-64 / AArch64 target (16 x
+// 128-bit): 4x8 floats = 8 SSE registers of accumulators plus
+// broadcast/load temporaries. The inner NR-loop vectorizes without
+// reassociation because each C element keeps its own accumulator.
 constexpr std::size_t kMr = 4;
 constexpr std::size_t kNr = 8;
 
@@ -29,12 +31,16 @@ inline void edge_nn(std::size_t m0, std::size_t m1, std::size_t n0, std::size_t 
   }
 }
 
+}  // namespace
+
+namespace detail {
+
 // Shared blocked kernel for the two outer-product variants. a_row_stride /
 // a_col_stride express A[i,p] = a[i*a_row_stride + p*a_col_stride], which is
 // (lda, 1) for gemm_nn and (1, lda) for gemm_tn.
-void gemm_outer(std::size_t m, std::size_t n, std::size_t k, const float* a,
-                std::size_t a_row_stride, std::size_t a_col_stride, const float* b,
-                std::size_t ldb, float* c, std::size_t ldc, bool accumulate) {
+void gemm_outer_scalar(std::size_t m, std::size_t n, std::size_t k, const float* a,
+                       std::size_t a_row_stride, std::size_t a_col_stride, const float* b,
+                       std::size_t ldb, float* c, std::size_t ldc, bool accumulate) {
   const std::size_t m_main = m - m % kMr;
   const std::size_t n_main = n - n % kNr;
 
@@ -62,16 +68,18 @@ void gemm_outer(std::size_t m, std::size_t n, std::size_t k, const float* a,
   edge_nn(m_main, m, 0, n, k, a, a_row_stride, a_col_stride, b, ldb, c, ldc, accumulate);
 }
 
-}  // namespace
+}  // namespace detail
 
-void gemm_nn(std::size_t m, std::size_t n, std::size_t k, const float* a, std::size_t lda,
-             const float* b, std::size_t ldb, float* c, std::size_t ldc, bool accumulate) {
-  gemm_outer(m, n, k, a, lda, 1, b, ldb, c, ldc, accumulate);
+void gemm_nn_scalar(std::size_t m, std::size_t n, std::size_t k, const float* a,
+                    std::size_t lda, const float* b, std::size_t ldb, float* c,
+                    std::size_t ldc, bool accumulate) {
+  detail::gemm_outer_scalar(m, n, k, a, lda, 1, b, ldb, c, ldc, accumulate);
 }
 
-void gemm_tn(std::size_t m, std::size_t n, std::size_t k, const float* a, std::size_t lda,
-             const float* b, std::size_t ldb, float* c, std::size_t ldc, bool accumulate) {
-  gemm_outer(m, n, k, a, 1, lda, b, ldb, c, ldc, accumulate);
+void gemm_tn_scalar(std::size_t m, std::size_t n, std::size_t k, const float* a,
+                    std::size_t lda, const float* b, std::size_t ldb, float* c,
+                    std::size_t ldc, bool accumulate) {
+  detail::gemm_outer_scalar(m, n, k, a, 1, lda, b, ldb, c, ldc, accumulate);
 }
 
 namespace {
@@ -101,8 +109,9 @@ inline float dot_lanes4(const float* arow, const float* brow, std::size_t k) {
 
 }  // namespace
 
-void gemm_nt(std::size_t m, std::size_t n, std::size_t k, const float* a, std::size_t lda,
-             const float* b, std::size_t ldb, float* c, std::size_t ldc, bool accumulate) {
+void gemm_nt_scalar(std::size_t m, std::size_t n, std::size_t k, const float* a,
+                    std::size_t lda, const float* b, std::size_t ldb, float* c,
+                    std::size_t ldc, bool accumulate) {
   // Dot-product orientation: both A rows and B rows are contiguous over k,
   // so each C element is one lane-reduced dot product.
   for (std::size_t i = 0; i < m; ++i) {
@@ -111,6 +120,42 @@ void gemm_nt(std::size_t m, std::size_t n, std::size_t k, const float* a, std::s
       const float base = accumulate ? c[i * ldc + j] : 0.0f;
       c[i * ldc + j] = base + dot_lanes4(arow, b + j * ldb, k);
     }
+  }
+}
+
+namespace {
+
+inline bool use_avx2() {
+  using runtime::cpu::SimdTier;
+  return runtime::cpu::active_tier() >= SimdTier::kAvx2;
+}
+
+}  // namespace
+
+void gemm_nn(std::size_t m, std::size_t n, std::size_t k, const float* a, std::size_t lda,
+             const float* b, std::size_t ldb, float* c, std::size_t ldc, bool accumulate) {
+  if (use_avx2()) {
+    gemm_nn_avx2(m, n, k, a, lda, b, ldb, c, ldc, accumulate);
+  } else {
+    gemm_nn_scalar(m, n, k, a, lda, b, ldb, c, ldc, accumulate);
+  }
+}
+
+void gemm_tn(std::size_t m, std::size_t n, std::size_t k, const float* a, std::size_t lda,
+             const float* b, std::size_t ldb, float* c, std::size_t ldc, bool accumulate) {
+  if (use_avx2()) {
+    gemm_tn_avx2(m, n, k, a, lda, b, ldb, c, ldc, accumulate);
+  } else {
+    gemm_tn_scalar(m, n, k, a, lda, b, ldb, c, ldc, accumulate);
+  }
+}
+
+void gemm_nt(std::size_t m, std::size_t n, std::size_t k, const float* a, std::size_t lda,
+             const float* b, std::size_t ldb, float* c, std::size_t ldc, bool accumulate) {
+  if (use_avx2()) {
+    gemm_nt_avx2(m, n, k, a, lda, b, ldb, c, ldc, accumulate);
+  } else {
+    gemm_nt_scalar(m, n, k, a, lda, b, ldb, c, ldc, accumulate);
   }
 }
 

@@ -9,11 +9,18 @@
 //   gemm_nt: C[M,N] (+)= A[M,K]        * B[N,K]^T dot-product (K contiguous)
 //   gemm_tn: C[M,N] (+)= A[K,M]^T      * B[K,N]   outer-product, A strided
 //
-// All matrices are row-major with explicit leading dimensions. Every C
-// element is accumulated strictly in ascending-k order with a single
-// accumulator, so results are a pure function of the operands — blocking
-// changes memory traffic, never the floating-point reduction order. That is
-// what lets the optimized layers preserve the §7.2 determinism contract.
+// All matrices are row-major with explicit leading dimensions. Within one
+// SIMD tier, every C element's reduction order is a fixed function of the
+// shapes alone — blocking changes memory traffic, never the floating-point
+// reduction order. That is what lets the optimized layers preserve the §7.2
+// determinism contract. Tiers may differ from each other (FMA fuses the
+// multiply-add rounding; the dot kernels use wider fixed lane reductions),
+// which is why the equivalence tests compare with a relative tolerance.
+//
+// The public entry points dispatch through runtime::cpu::active_tier()
+// (AVX2/FMA microkernels → portable kernels, DESIGN.md §8.5); the
+// tier-explicit functions below are exported for differential tests and the
+// bench self-check.
 //
 // Thread-safety: pure functions; callers may run them concurrently on
 // disjoint C ranges.
@@ -37,5 +44,39 @@ void gemm_nt(std::size_t m, std::size_t n, std::size_t k, const float* a, std::s
 /// *row* index (A is read column-wise), used for W^T * dY style products.
 void gemm_tn(std::size_t m, std::size_t n, std::size_t k, const float* a, std::size_t lda,
              const float* b, std::size_t ldb, float* c, std::size_t ldc, bool accumulate);
+
+// Tier-explicit kernels (differential tests, bench self-check, edge reuse).
+// The *_avx2 variants must only be called when runtime::cpu::detected_tier()
+// >= kAvx2; on targets built without AVX2 they delegate to the scalar
+// kernels.
+void gemm_nn_scalar(std::size_t m, std::size_t n, std::size_t k, const float* a,
+                    std::size_t lda, const float* b, std::size_t ldb, float* c,
+                    std::size_t ldc, bool accumulate);
+void gemm_nt_scalar(std::size_t m, std::size_t n, std::size_t k, const float* a,
+                    std::size_t lda, const float* b, std::size_t ldb, float* c,
+                    std::size_t ldc, bool accumulate);
+void gemm_tn_scalar(std::size_t m, std::size_t n, std::size_t k, const float* a,
+                    std::size_t lda, const float* b, std::size_t ldb, float* c,
+                    std::size_t ldc, bool accumulate);
+void gemm_nn_avx2(std::size_t m, std::size_t n, std::size_t k, const float* a,
+                  std::size_t lda, const float* b, std::size_t ldb, float* c,
+                  std::size_t ldc, bool accumulate);
+void gemm_nt_avx2(std::size_t m, std::size_t n, std::size_t k, const float* a,
+                  std::size_t lda, const float* b, std::size_t ldb, float* c,
+                  std::size_t ldc, bool accumulate);
+void gemm_tn_avx2(std::size_t m, std::size_t n, std::size_t k, const float* a,
+                  std::size_t lda, const float* b, std::size_t ldb, float* c,
+                  std::size_t ldc, bool accumulate);
+
+namespace detail {
+
+// Shared scalar outer-product kernel with A's layout expressed as a
+// (row_stride, col_stride) pair: (lda, 1) spells gemm_nn, (1, lda) spells
+// gemm_tn. Exported so the AVX2 kernels can reuse it for their edge tiles.
+void gemm_outer_scalar(std::size_t m, std::size_t n, std::size_t k, const float* a,
+                       std::size_t a_row_stride, std::size_t a_col_stride, const float* b,
+                       std::size_t ldb, float* c, std::size_t ldc, bool accumulate);
+
+}  // namespace detail
 
 }  // namespace wavekey::nn

@@ -1,0 +1,165 @@
+// AVX2/FMA GEMM microkernels (DESIGN.md §8.5).
+//
+//   * Outer-product variants (nn/tn): a 4x16 register tile — 4 rows x two
+//     8-wide YMM accumulators — fed by one broadcast of A and two unaligned
+//     loads of B per k step, all lanes advanced with FMA. Each C element
+//     still owns exactly one accumulator walked in ascending k, so within
+//     this tier the reduction order remains a pure function of the shapes
+//     (the FMA fusing changes rounding vs. the scalar tier, which the
+//     equivalence tests absorb with their relative tolerance).
+//   * Dot variant (nt): four independent 8-wide FMA chains over k (stride
+//     32), folded in a fixed order, then one 8-wide chain for the k%32
+//     block, then the scalar tail — a fixed function of k alone, exactly
+//     like the scalar dot_lanes4 contract (just wider).
+//
+// Edge tiles (m % 4 rows, n % 16 columns) reuse the exported scalar kernels.
+// Compiled with -mavx2 -mfma on x86 (src/nn/CMakeLists.txt); elsewhere the
+// symbols delegate to the scalar kernels.
+
+#include "nn/gemm.hpp"
+
+#if defined(__AVX2__) && defined(__FMA__)
+#include <immintrin.h>
+#endif
+
+namespace wavekey::nn {
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+namespace {
+
+constexpr std::size_t kMr = 4;   // rows per register tile
+constexpr std::size_t kNr = 16;  // columns per register tile (two YMM)
+
+// Blocked outer-product kernel over the main m/n region; edges are cut off
+// by the callers. A's layout is (row_stride, col_stride) as in the scalar
+// twin.
+void gemm_outer_avx2(std::size_t m, std::size_t n, std::size_t k, const float* a,
+                     std::size_t a_row_stride, std::size_t a_col_stride, const float* b,
+                     std::size_t ldb, float* c, std::size_t ldc, bool accumulate) {
+  const std::size_t m_main = m - m % kMr;
+  const std::size_t n_main = n - n % kNr;
+
+  for (std::size_t i0 = 0; i0 < m_main; i0 += kMr) {
+    for (std::size_t j0 = 0; j0 < n_main; j0 += kNr) {
+      __m256 acc0[kMr], acc1[kMr];
+      for (std::size_t i = 0; i < kMr; ++i) {
+        float* crow = c + (i0 + i) * ldc + j0;
+        acc0[i] = accumulate ? _mm256_loadu_ps(crow) : _mm256_setzero_ps();
+        acc1[i] = accumulate ? _mm256_loadu_ps(crow + 8) : _mm256_setzero_ps();
+      }
+      for (std::size_t p = 0; p < k; ++p) {
+        const float* brow = b + p * ldb + j0;
+        const __m256 b0 = _mm256_loadu_ps(brow);
+        const __m256 b1 = _mm256_loadu_ps(brow + 8);
+        for (std::size_t i = 0; i < kMr; ++i) {
+          const __m256 av =
+              _mm256_broadcast_ss(a + (i0 + i) * a_row_stride + p * a_col_stride);
+          acc0[i] = _mm256_fmadd_ps(av, b0, acc0[i]);
+          acc1[i] = _mm256_fmadd_ps(av, b1, acc1[i]);
+        }
+      }
+      for (std::size_t i = 0; i < kMr; ++i) {
+        float* crow = c + (i0 + i) * ldc + j0;
+        _mm256_storeu_ps(crow, acc0[i]);
+        _mm256_storeu_ps(crow + 8, acc1[i]);
+      }
+    }
+    // Right edge of this row band: scalar tile on the leftover columns.
+    if (n_main < n) {
+      detail::gemm_outer_scalar(kMr, n - n_main, k, a + i0 * a_row_stride, a_row_stride,
+                                a_col_stride, b + n_main, ldb, c + i0 * ldc + n_main, ldc,
+                                accumulate);
+    }
+  }
+  // Bottom edge (all columns).
+  if (m_main < m) {
+    detail::gemm_outer_scalar(m - m_main, n, k, a + m_main * a_row_stride, a_row_stride,
+                              a_col_stride, b, ldb, c + m_main * ldc, ldc, accumulate);
+  }
+}
+
+// Fixed-order horizontal fold of one YMM accumulator: lanes (0..7) reduce
+// as (((l0+l4)+(l2+l6)) + ((l1+l5)+(l3+l7))) — fixed for a given k, never
+// data-dependent.
+inline float hsum256(__m256 v) {
+  const __m128 lo = _mm256_castps256_ps128(v);
+  const __m128 hi = _mm256_extractf128_ps(v, 1);
+  const __m128 s = _mm_add_ps(lo, hi);            // l_i + l_{i+4}
+  const __m128 shuf = _mm_movehdup_ps(s);         // odd lanes
+  const __m128 sums = _mm_add_ps(s, shuf);        // pairwise
+  const __m128 rest = _mm_movehl_ps(shuf, sums);  // upper pair
+  return _mm_cvtss_f32(_mm_add_ss(sums, rest));
+}
+
+// 8-wide multi-chain dot product; reduction order is a fixed function of k.
+inline float dot_avx2(const float* arow, const float* brow, std::size_t k) {
+  const std::size_t k32 = k - k % 32;
+  __m256 c0 = _mm256_setzero_ps(), c1 = _mm256_setzero_ps();
+  __m256 c2 = _mm256_setzero_ps(), c3 = _mm256_setzero_ps();
+  for (std::size_t p = 0; p < k32; p += 32) {
+    c0 = _mm256_fmadd_ps(_mm256_loadu_ps(arow + p), _mm256_loadu_ps(brow + p), c0);
+    c1 = _mm256_fmadd_ps(_mm256_loadu_ps(arow + p + 8), _mm256_loadu_ps(brow + p + 8), c1);
+    c2 = _mm256_fmadd_ps(_mm256_loadu_ps(arow + p + 16), _mm256_loadu_ps(brow + p + 16), c2);
+    c3 = _mm256_fmadd_ps(_mm256_loadu_ps(arow + p + 24), _mm256_loadu_ps(brow + p + 24), c3);
+  }
+  __m256 v = _mm256_add_ps(_mm256_add_ps(c0, c1), _mm256_add_ps(c2, c3));
+  const std::size_t k8 = k - k % 8;
+  __m256 tail8 = _mm256_setzero_ps();
+  for (std::size_t p = k32; p < k8; p += 8)
+    tail8 = _mm256_fmadd_ps(_mm256_loadu_ps(arow + p), _mm256_loadu_ps(brow + p), tail8);
+  v = _mm256_add_ps(v, tail8);
+  float acc = hsum256(v);
+  for (std::size_t p = k8; p < k; ++p) acc += arow[p] * brow[p];
+  return acc;
+}
+
+}  // namespace
+
+void gemm_nn_avx2(std::size_t m, std::size_t n, std::size_t k, const float* a,
+                  std::size_t lda, const float* b, std::size_t ldb, float* c,
+                  std::size_t ldc, bool accumulate) {
+  gemm_outer_avx2(m, n, k, a, lda, 1, b, ldb, c, ldc, accumulate);
+}
+
+void gemm_tn_avx2(std::size_t m, std::size_t n, std::size_t k, const float* a,
+                  std::size_t lda, const float* b, std::size_t ldb, float* c,
+                  std::size_t ldc, bool accumulate) {
+  gemm_outer_avx2(m, n, k, a, 1, lda, b, ldb, c, ldc, accumulate);
+}
+
+void gemm_nt_avx2(std::size_t m, std::size_t n, std::size_t k, const float* a,
+                  std::size_t lda, const float* b, std::size_t ldb, float* c,
+                  std::size_t ldc, bool accumulate) {
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = a + i * lda;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float base = accumulate ? c[i * ldc + j] : 0.0f;
+      c[i * ldc + j] = base + dot_avx2(arow, b + j * ldb, k);
+    }
+  }
+}
+
+#else  // !(__AVX2__ && __FMA__): keep the symbols, defer to scalar.
+
+void gemm_nn_avx2(std::size_t m, std::size_t n, std::size_t k, const float* a,
+                  std::size_t lda, const float* b, std::size_t ldb, float* c,
+                  std::size_t ldc, bool accumulate) {
+  gemm_nn_scalar(m, n, k, a, lda, b, ldb, c, ldc, accumulate);
+}
+
+void gemm_tn_avx2(std::size_t m, std::size_t n, std::size_t k, const float* a,
+                  std::size_t lda, const float* b, std::size_t ldb, float* c,
+                  std::size_t ldc, bool accumulate) {
+  gemm_tn_scalar(m, n, k, a, lda, b, ldb, c, ldc, accumulate);
+}
+
+void gemm_nt_avx2(std::size_t m, std::size_t n, std::size_t k, const float* a,
+                  std::size_t lda, const float* b, std::size_t ldb, float* c,
+                  std::size_t ldc, bool accumulate) {
+  gemm_nt_scalar(m, n, k, a, lda, b, ldb, c, ldc, accumulate);
+}
+
+#endif
+
+}  // namespace wavekey::nn

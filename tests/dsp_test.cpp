@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
 
@@ -155,6 +156,42 @@ TEST(ResampleTest, RejectsMalformedSeries) {
   EXPECT_THROW(interp_linear({{0, 0}}, {{1, 2}}, q), std::invalid_argument);
   EXPECT_THROW(interp_linear({{0, 1}}, {{1}}, q), std::invalid_argument);
   EXPECT_THROW(interp_linear({}, {}, q), std::invalid_argument);
+}
+
+// The rolling-cursor fast path must be invisible: any query order — strictly
+// monotone, repeated values, backwards jumps, clamps interleaved with
+// interior points — gives exactly the per-query binary-search answer.
+TEST(ResampleTest, CursorOrderIndependence) {
+  std::vector<double> ts(64), xs(64);
+  Rng rng(20240806);
+  double t = 0.0;
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    t += 0.01 + 0.2 * rng.uniform();
+    ts[i] = t;
+    xs[i] = rng.normal();
+  }
+  // Shuffled interior + clamped queries, plus a sorted copy of the same set.
+  std::vector<double> shuffled;
+  for (int i = 0; i < 200; ++i)
+    shuffled.push_back(ts.front() - 0.5 + (ts.back() - ts.front() + 1.0) * rng.uniform());
+  shuffled.push_back(ts.front());
+  shuffled.push_back(ts.back() + 1.0);
+  shuffled.push_back(ts[10]);  // exact knot
+  shuffled.push_back(ts[10]);  // repeated query
+  std::vector<double> sorted = shuffled;
+  std::sort(sorted.begin(), sorted.end());
+
+  for (const auto* queries : {&shuffled, &sorted}) {
+    const auto lin = interp_linear(ts, xs, *queries);
+    const auto cub = interp_cubic(ts, xs, *queries);
+    ASSERT_EQ(lin.size(), queries->size());
+    for (std::size_t i = 0; i < queries->size(); ++i) {
+      // Single-query call never uses a warmed cursor: the oracle.
+      const std::vector<double> one{(*queries)[i]};
+      EXPECT_DOUBLE_EQ(lin[i], interp_linear(ts, xs, one)[0]) << "linear, query " << i;
+      EXPECT_DOUBLE_EQ(cub[i], interp_cubic(ts, xs, one)[0]) << "cubic, query " << i;
+    }
+  }
 }
 
 TEST(ResampleTest, CubicBeatsLinearOnSmoothCurves) {

@@ -33,6 +33,10 @@ GATED = [
     "BM_ImuEncoderInference",
     "BM_Conv1dForward",
     "BM_DenseForward",
+    "BM_Gf256AddmulSlice",
+    "BM_RsEncode",
+    "BM_ChaCha20Block",
+    "BM_GemmF32",
 ]
 
 
@@ -76,8 +80,15 @@ def main():
 
     failed = []
     for name in GATED:
-        if name not in base or name not in cur:
-            print(f"  {name:<28} SKIP (missing from {'baseline' if name not in base else 'current'})")
+        if name not in base:
+            # A benchmark the baseline predates: report it so the baseline
+            # gets refreshed, but do not fail — new benchmarks must be
+            # landable against older committed baselines.
+            cur_note = f"cur {cur[name]:.0f} ns" if name in cur else "not measured"
+            print(f"  {name:<28} NEW (not in baseline; {cur_note})")
+            continue
+        if name not in cur:
+            print(f"  {name:<28} SKIP (missing from current run)")
             continue
         normalized = (cur[name] / base[name]) / anchor_ratio
         verdict = "ok"

@@ -7,7 +7,10 @@
 # fourth Release (-O3) leg runs bench_micro and gates the hot-path kernels
 # against the committed BENCH_micro.json baseline via tools/bench_compare.py
 # (anchor-normalized, so it tolerates uniformly slower machines but trips on
-# relative kernel regressions > 15%).
+# relative kernel regressions > 15%), then runs `bench_micro --simd-check`
+# (vectorized kernels >= 2x over forced scalar on AVX2 hosts). The plain leg
+# additionally re-runs the differential kernel suites with
+# WAVEKEY_SIMD=scalar to pin dispatch to the scalar tier.
 #
 # Usage: tools/ci.sh [--plain-only|--sanitize-only|--tsan-only|--perf-only]
 # Environment: WAVEKEY_CI_JOBS (parallelism, default nproc),
@@ -29,6 +32,17 @@ run_suite() {
   cmake --build "$dir" -j "$JOBS"
   echo "=== [$name] ctest ==="
   ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
+}
+
+forced_scalar_gate() {
+  # Re-runs the differential kernel suites with SIMD dispatch pinned to the
+  # scalar tier (WAVEKEY_SIMD=scalar): proves the scalar twins are complete
+  # oracles on their own and that the override is honored end to end. The
+  # CpuDispatch.ForcedScalarPinsTier test turns from a skip into a hard
+  # assertion under this environment.
+  echo "=== [plain] forced-scalar ctest (WAVEKEY_SIMD=scalar) ==="
+  WAVEKEY_SIMD=scalar ctest --test-dir build-ci --output-on-failure -j "$JOBS" \
+    -R 'KernelEquivalence|TensorArena|CpuDispatch|Gf256|ChaCha|ReedSolomon|FuzzyCommitment|GemmSimd|simd_test'
 }
 
 throughput_gate() {
@@ -68,15 +82,20 @@ perf_gate() {
     --benchmark_format=json \
     --benchmark_repetitions=3 \
     --benchmark_min_time=0.05 \
-    --benchmark_filter='BM_Sha256_1KiB|BM_Fe25519_Pow|BM_Fe25519_GeneratorPow|BM_Fe25519_Square|BM_Fe25519_Inverse|BM_OtInstance|BM_OtSenderEncrypt|BM_ImuEncoderInference|BM_Conv1dForward|BM_DenseForward' \
+    --benchmark_filter='BM_Sha256_1KiB|BM_Fe25519_Pow|BM_Fe25519_GeneratorPow|BM_Fe25519_Square|BM_Fe25519_Inverse|BM_OtInstance|BM_OtSenderEncrypt|BM_ImuEncoderInference|BM_Conv1dForward|BM_DenseForward|BM_Gf256AddmulSlice|BM_RsEncode|BM_ChaCha20Block|BM_GemmF32' \
     > build-ci-release/bench_micro.json
   tools/bench_compare.py BENCH_micro.json build-ci-release/bench_micro.json
+  # On AVX2 hosts, assert the vectorized kernels actually pay for their
+  # complexity: >= 2x over the forced-scalar tier (no-op elsewhere).
+  echo "=== [perf] bench_micro --simd-check ==="
+  ./build-ci-release/bench/bench_micro --simd-check
 }
 
 case "$MODE" in
   --sanitize-only|--tsan-only|--perf-only) ;;
   *)
     run_suite plain build-ci
+    forced_scalar_gate
     throughput_gate
     ;;
 esac

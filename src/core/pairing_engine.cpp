@@ -91,6 +91,8 @@ struct PairingEngine::Impl {
       report.elapsed_s = result.elapsed_s;
       report.critical_latency_s = result.critical_arrival_s - session.gesture_window_s;
       report.tau_violation = result.success && report.critical_latency_s > session.tau_s;
+      if (report.success && config.on_established)
+        config.on_established(report.id, report.key);
     } catch (const std::exception& e) {
       report.success = false;
       report.failure = protocol::FailureReason::kMalformedMessage;

@@ -29,6 +29,7 @@
 // engine must outlive all submit() calls.
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -51,6 +52,13 @@ struct PairingEngineConfig {
   /// Per-session protocol timing (tau, gesture window, link latency). The
   /// engine overwrites `session.params.seed_bits` from the quantizer.
   protocol::SessionConfig session;
+  /// Streaming handoff of established keys (pairing → server::KeyVault):
+  /// invoked on the worker thread the moment a session succeeds, before the
+  /// report is filed — so the backend can start serving access requests for
+  /// the session without waiting for finish(). The callback runs
+  /// concurrently from every worker and must be thread-safe; keep it cheap
+  /// (a vault insert), as its wall time counts against the worker.
+  std::function<void(std::uint64_t id, const BitVec& key)> on_established;
 };
 
 /// One pairing job: pre-extracted latents for both sides plus the session's

@@ -1,0 +1,45 @@
+#include "crypto/hkdf.hpp"
+
+#include <stdexcept>
+
+#include "crypto/hmac.hpp"
+
+namespace wavekey::crypto {
+
+Digest256 hkdf_extract(std::span<const std::uint8_t> salt, std::span<const std::uint8_t> ikm) {
+  if (salt.empty()) {
+    const std::uint8_t zero_salt[32] = {0};
+    return hmac_sha256(zero_salt, ikm);
+  }
+  return hmac_sha256(salt, ikm);
+}
+
+std::vector<std::uint8_t> hkdf_expand(const Digest256& prk, std::span<const std::uint8_t> info,
+                                      std::size_t length) {
+  constexpr std::size_t kHashLen = 32;
+  if (length > 255 * kHashLen) throw std::invalid_argument("hkdf_expand: length > 255*HashLen");
+  std::vector<std::uint8_t> okm;
+  okm.reserve(length);
+  std::vector<std::uint8_t> block;  // T(i-1) || info || i
+  Digest256 t{};
+  std::uint8_t counter = 1;
+  while (okm.size() < length) {
+    block.clear();
+    if (counter > 1) block.insert(block.end(), t.begin(), t.end());
+    block.insert(block.end(), info.begin(), info.end());
+    block.push_back(counter);
+    t = hmac_sha256(prk, block);
+    const std::size_t take = std::min(kHashLen, length - okm.size());
+    okm.insert(okm.end(), t.begin(), t.begin() + static_cast<std::ptrdiff_t>(take));
+    ++counter;
+  }
+  return okm;
+}
+
+std::vector<std::uint8_t> hkdf_sha256(std::span<const std::uint8_t> salt,
+                                      std::span<const std::uint8_t> ikm,
+                                      std::span<const std::uint8_t> info, std::size_t length) {
+  return hkdf_expand(hkdf_extract(salt, ikm), info, length);
+}
+
+}  // namespace wavekey::crypto

@@ -6,6 +6,10 @@ void WireWriter::u32(std::uint32_t v) {
   for (int i = 0; i < 4; ++i) out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
 }
 
+void WireWriter::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
 void WireWriter::bytes(std::span<const std::uint8_t> data) {
   out_.insert(out_.end(), data.begin(), data.end());
 }
@@ -25,6 +29,13 @@ std::uint32_t WireReader::u32() {
   if (pos_ + 4 > data_.size()) throw WireError("u32: underrun");
   std::uint32_t v = 0;
   for (int i = 0; i < 4; ++i) v |= std::uint32_t{data_[pos_++]} << (8 * i);
+  return v;
+}
+
+std::uint64_t WireReader::u64() {
+  if (pos_ + 8 > data_.size()) throw WireError("u64: underrun");
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= std::uint64_t{data_[pos_++]} << (8 * i);
   return v;
 }
 

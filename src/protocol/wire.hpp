@@ -29,6 +29,7 @@ class WireWriter {
  public:
   void u8(std::uint8_t v) { out_.push_back(v); }
   void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
   void bytes(std::span<const std::uint8_t> data);          ///< raw, no length
   void blob(std::span<const std::uint8_t> data);           ///< u32 length + raw
   Bytes take() { return std::move(out_); }
@@ -44,6 +45,7 @@ class WireReader {
 
   std::uint8_t u8();
   std::uint32_t u32();
+  std::uint64_t u64();
   Bytes bytes(std::size_t n);  ///< raw, exact n
   Bytes blob();                ///< u32 length + raw
   bool done() const { return pos_ == data_.size(); }
@@ -61,6 +63,10 @@ enum class MessageType : std::uint8_t {
   kMsgE = 3,       ///< batched OT ciphertext pairs (M_E,M / M_E,R)
   kChallenge = 4,  ///< ECC helper + nonce
   kResponse = 5,   ///< HMAC(nonce, K)
+  // Post-establishment access protocol (src/server, DESIGN.md §9): requests
+  // against the backend vault keyed by the session established above.
+  kAccessRequest = 6,  ///< session id, epoch, counter, nonce, payload, HMAC
+  kAccessGrant = 7,    ///< session id, counter, status, HMAC
 };
 
 }  // namespace wavekey::protocol

@@ -18,6 +18,15 @@
 
 namespace wavekey::runtime {
 
+/// Outcome of BoundedQueue::try_push — distinguishes "full right now" (the
+/// caller may shed the item and keep serving) from "closed" (the caller
+/// should stop producing altogether).
+enum class PushResult {
+  kOk,
+  kFull,
+  kClosed,
+};
+
 template <typename T>
 class BoundedQueue {
  public:
@@ -34,6 +43,22 @@ class BoundedQueue {
     lock.unlock();
     not_empty_.notify_one();
     return true;
+  }
+
+  /// Non-blocking push: never waits for space. A full queue yields kFull
+  /// immediately — the load-shedding path of the access server (fast reject
+  /// instead of queueing into a deadline violation). `item` is consumed only
+  /// on kOk; on kFull/kClosed it is left intact so the caller can still use
+  /// it (e.g. to invoke its completion callback with a typed rejection).
+  PushResult try_push(T&& item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_) return PushResult::kClosed;
+      if (items_.size() >= capacity_) return PushResult::kFull;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return PushResult::kOk;
   }
 
   /// Blocks while the queue is empty and open. Returns nullopt only when the

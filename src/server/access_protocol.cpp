@@ -1,0 +1,139 @@
+#include "server/access_protocol.hpp"
+
+#include <algorithm>
+
+#include "crypto/hmac.hpp"
+
+namespace wavekey::server {
+
+namespace {
+
+using protocol::MessageType;
+using protocol::WireError;
+using protocol::WireReader;
+using protocol::WireWriter;
+
+std::array<std::uint8_t, kMacBytes> compute_mac(std::span<const std::uint8_t> key,
+                                                std::span<const std::uint8_t> input) {
+  const crypto::Digest256 digest = crypto::hmac_sha256(key, input);
+  std::array<std::uint8_t, kMacBytes> mac{};
+  std::copy(digest.begin(), digest.end(), mac.begin());
+  return mac;
+}
+
+}  // namespace
+
+const char* access_status_name(AccessStatus status) {
+  switch (status) {
+    case AccessStatus::kGranted: return "granted";
+    case AccessStatus::kUnknownSession: return "unknown_session";
+    case AccessStatus::kExpired: return "expired";
+    case AccessStatus::kRevoked: return "revoked";
+    case AccessStatus::kStaleEpoch: return "stale_epoch";
+    case AccessStatus::kBadMac: return "bad_mac";
+    case AccessStatus::kReplay: return "replay";
+    case AccessStatus::kRateLimited: return "rate_limited";
+    case AccessStatus::kShed: return "shed";
+    case AccessStatus::kMalformed: return "malformed";
+  }
+  return "unknown";
+}
+
+Bytes AccessRequest::mac_input() const {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(MessageType::kAccessRequest));
+  w.u64(session_id);
+  w.u32(epoch);
+  w.u64(counter);
+  w.bytes(nonce);
+  w.blob(payload);
+  return w.take();
+}
+
+Bytes AccessRequest::serialize() const {
+  Bytes out = mac_input();
+  out.insert(out.end(), mac.begin(), mac.end());
+  return out;
+}
+
+AccessRequest AccessRequest::parse(std::span<const std::uint8_t> wire) {
+  WireReader r(wire);
+  if (r.u8() != static_cast<std::uint8_t>(MessageType::kAccessRequest))
+    throw WireError("AccessRequest: wrong type tag");
+  AccessRequest req;
+  req.session_id = r.u64();
+  req.epoch = r.u32();
+  req.counter = r.u64();
+  const Bytes nonce = r.bytes(kNonceBytes);
+  std::copy(nonce.begin(), nonce.end(), req.nonce.begin());
+  req.payload = r.blob();
+  const Bytes mac = r.bytes(kMacBytes);
+  std::copy(mac.begin(), mac.end(), req.mac.begin());
+  r.expect_done();
+  return req;
+}
+
+AccessRequest make_access_request(std::uint64_t session_id, std::uint32_t epoch,
+                                  std::uint64_t counter,
+                                  const std::array<std::uint8_t, kNonceBytes>& nonce,
+                                  Bytes payload, std::span<const std::uint8_t> key) {
+  AccessRequest req;
+  req.session_id = session_id;
+  req.epoch = epoch;
+  req.counter = counter;
+  req.nonce = nonce;
+  req.payload = std::move(payload);
+  req.mac = compute_mac(key, req.mac_input());
+  return req;
+}
+
+Bytes AccessGrant::mac_input() const {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(MessageType::kAccessGrant));
+  w.u64(session_id);
+  w.u64(counter);
+  w.u8(static_cast<std::uint8_t>(status));
+  return w.take();
+}
+
+Bytes AccessGrant::serialize() const {
+  Bytes out = mac_input();
+  out.insert(out.end(), mac.begin(), mac.end());
+  return out;
+}
+
+AccessGrant AccessGrant::parse(std::span<const std::uint8_t> wire) {
+  WireReader r(wire);
+  if (r.u8() != static_cast<std::uint8_t>(MessageType::kAccessGrant))
+    throw WireError("AccessGrant: wrong type tag");
+  AccessGrant grant;
+  grant.session_id = r.u64();
+  grant.counter = r.u64();
+  const std::uint8_t status = r.u8();
+  if (status > static_cast<std::uint8_t>(AccessStatus::kMalformed))
+    throw WireError("AccessGrant: unknown status byte");
+  grant.status = static_cast<AccessStatus>(status);
+  const Bytes mac = r.bytes(kMacBytes);
+  std::copy(mac.begin(), mac.end(), grant.mac.begin());
+  r.expect_done();
+  return grant;
+}
+
+AccessGrant make_access_grant(std::uint64_t session_id, std::uint64_t counter,
+                              AccessStatus status, std::span<const std::uint8_t> key) {
+  AccessGrant grant;
+  grant.session_id = session_id;
+  grant.counter = counter;
+  grant.status = status;
+  if (!key.empty()) grant.mac = compute_mac(key, grant.mac_input());
+  return grant;
+}
+
+bool verify_access_grant(const AccessGrant& grant, std::span<const std::uint8_t> key) {
+  const crypto::Digest256 expected = crypto::hmac_sha256(key, grant.mac_input());
+  crypto::Digest256 carried{};
+  std::copy(grant.mac.begin(), grant.mac.end(), carried.begin());
+  return crypto::digest_equal(expected, carried);
+}
+
+}  // namespace wavekey::server

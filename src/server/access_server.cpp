@@ -1,0 +1,170 @@
+#include "server/access_server.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "runtime/bounded_queue.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace wavekey::server {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Job {
+  std::uint64_t tag = 0;
+  Bytes request_wire;
+  AccessServer::Callback done;
+  Clock::time_point enqueued;
+};
+
+}  // namespace
+
+struct AccessServer::Impl {
+  AccessServerConfig config;
+  Clock::time_point epoch = Clock::now();
+  KeyVault vault;
+  TenantLimiter limiter;
+  runtime::BoundedQueue<Job> queue;
+  runtime::ThreadPool pool;
+  std::vector<std::future<void>> drainers;
+  std::atomic<bool> finished{false};
+
+  std::atomic<std::uint64_t> submitted{0};
+  std::atomic<std::uint64_t> counters[10] = {};  // indexed by AccessStatus
+
+  explicit Impl(const AccessServerConfig& c)
+      : config(c),
+        vault(c.vault),
+        limiter(c.admission),
+        queue(c.queue_capacity),
+        pool(std::max<std::size_t>(c.threads, 1)) {
+    for (std::size_t t = 0; t < pool.size(); ++t)
+      drainers.push_back(pool.submit([this] {
+        while (auto job = queue.pop()) serve(std::move(*job));
+      }));
+  }
+
+  double now_s() const { return std::chrono::duration<double>(Clock::now() - epoch).count(); }
+
+  void count(AccessStatus status) {
+    counters[static_cast<std::size_t>(status)].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Builds the outcome for a fast-reject decided on the submit path.
+  void reject_inline(std::uint64_t tag, AccessStatus status, const Callback& done) {
+    count(status);
+    AccessOutcome outcome;
+    outcome.tag = tag;
+    outcome.status = status;
+    // No session key on this path: the grant is framed but unauthenticated.
+    outcome.grant_wire = make_access_grant(0, 0, status, {}).serialize();
+    if (done) done(outcome);
+  }
+
+  void serve(Job&& job) {
+    const Clock::time_point start = Clock::now();
+    AccessOutcome outcome;
+    outcome.tag = job.tag;
+    outcome.queue_wait_s = std::chrono::duration<double>(start - job.enqueued).count();
+
+    std::uint64_t session_id = 0;
+    std::uint64_t counter = 0;
+    SessionKey key{};
+    bool have_key = false;
+    try {
+      const AccessRequest req = AccessRequest::parse(job.request_wire);
+      session_id = req.session_id;
+      counter = req.counter;
+      const Bytes mac_input = req.mac_input();
+      outcome.status = vault.authorize(req, mac_input, now_s(), &key);
+      have_key = outcome.status == AccessStatus::kGranted;
+    } catch (const protocol::WireError&) {
+      outcome.status = AccessStatus::kMalformed;
+    }
+    outcome.verify_s = std::chrono::duration<double>(Clock::now() - start).count();
+
+    // Emulated downstream actuation (door strike / reader I/O): a blocking
+    // wait the workers overlap, charged after verification so verify_s stays
+    // a pure crypto/vault measurement.
+    if (have_key && config.io_wait_s > 0.0)
+      std::this_thread::sleep_for(std::chrono::duration<double>(config.io_wait_s));
+
+    outcome.grant_wire =
+        make_access_grant(session_id, counter, outcome.status,
+                          have_key ? std::span<const std::uint8_t>(key)
+                                   : std::span<const std::uint8_t>())
+            .serialize();
+    count(outcome.status);
+    if (job.done) job.done(outcome);
+  }
+
+  void finish() {
+    bool expected = false;
+    if (finished.compare_exchange_strong(expected, true)) {
+      queue.close();
+      for (auto& f : drainers) f.get();
+      drainers.clear();
+    }
+  }
+};
+
+AccessServer::AccessServer(const AccessServerConfig& config) : impl_(new Impl(config)) {}
+
+AccessServer::~AccessServer() { impl_->finish(); }
+
+KeyVault& AccessServer::vault() { return impl_->vault; }
+
+double AccessServer::now_s() const { return impl_->now_s(); }
+
+bool AccessServer::submit(std::uint64_t tag, std::uint64_t tenant_id, Bytes request_wire,
+                          Callback done) {
+  impl_->submitted.fetch_add(1, std::memory_order_relaxed);
+  // Admission control first: a rate-limited tenant must not consume queue
+  // space, and both rejects must stay O(1) on the caller thread.
+  if (!impl_->limiter.admit(tenant_id, impl_->now_s())) {
+    impl_->reject_inline(tag, AccessStatus::kRateLimited, done);
+    return true;
+  }
+  Job job{tag, std::move(request_wire), std::move(done), Clock::now()};
+  switch (impl_->queue.try_push(std::move(job))) {
+    case runtime::PushResult::kOk:
+      return true;
+    case runtime::PushResult::kFull:
+      // try_push leaves the job intact on kFull, so its callback survives.
+      impl_->reject_inline(tag, AccessStatus::kShed, job.done);
+      return true;
+    case runtime::PushResult::kClosed:
+      return false;
+  }
+  return false;
+}
+
+void AccessServer::finish() { impl_->finish(); }
+
+AccessServerStats AccessServer::stats() const {
+  AccessServerStats s;
+  s.submitted = impl_->submitted.load(std::memory_order_relaxed);
+  const auto load = [&](AccessStatus st) {
+    return impl_->counters[static_cast<std::size_t>(st)].load(std::memory_order_relaxed);
+  };
+  s.granted = load(AccessStatus::kGranted);
+  s.unknown_session = load(AccessStatus::kUnknownSession);
+  s.expired = load(AccessStatus::kExpired);
+  s.revoked = load(AccessStatus::kRevoked);
+  s.stale_epoch = load(AccessStatus::kStaleEpoch);
+  s.bad_mac = load(AccessStatus::kBadMac);
+  s.replay_rejected = load(AccessStatus::kReplay);
+  s.rate_limited = load(AccessStatus::kRateLimited);
+  s.shed = load(AccessStatus::kShed);
+  s.malformed = load(AccessStatus::kMalformed);
+  return s;
+}
+
+std::size_t AccessServer::threads() const { return impl_->pool.size(); }
+
+}  // namespace wavekey::server

@@ -1,0 +1,103 @@
+#pragma once
+
+// Backend access-control server (DESIGN.md §9): the serving layer behind
+// core::PairingEngine. Pairing hands established keys to the KeyVault
+// (PairingEngineConfig::on_established); clients then authenticate every
+// access request with an HMAC under their session key, and this server
+// admits, verifies, and answers those requests from a worker pool.
+//
+// Request path:
+//   submit() [caller thread]  — tenant token bucket (kRateLimited) and
+//                               queue try_push (kShed) fast-reject inline;
+//   worker threads            — parse (kMalformed on WireError), then
+//                               KeyVault::authorize under one shard lock
+//                               (kUnknownSession / kExpired / kRevoked /
+//                               kStaleEpoch / kBadMac / kReplay / kGranted),
+//                               optional emulated actuator I/O on grants,
+//                               then the completion callback with a MACed
+//                               AccessGrant.
+//
+// Thread-safety: submit() from any number of threads; finish() once from
+// one thread after producers stop (also run by the destructor). Completion
+// callbacks run on worker threads (or inline on the submit path for
+// fast-rejects) and must be thread-safe.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "server/access_protocol.hpp"
+#include "server/admission.hpp"
+#include "server/key_vault.hpp"
+
+namespace wavekey::server {
+
+struct AccessServerConfig {
+  std::size_t threads = 1;          ///< verification workers
+  std::size_t queue_capacity = 256; ///< admission queue; overflow -> kShed
+  VaultConfig vault;
+  AdmissionConfig admission;
+  /// Emulated downstream actuation I/O per *granted* request (door strike /
+  /// reader round-trip); a real sleep that workers overlap, mirroring
+  /// radio_wait_s in core::PairingEngine. Zero disables it.
+  double io_wait_s = 0.0;
+};
+
+/// Completion record handed to the callback.
+struct AccessOutcome {
+  std::uint64_t tag = 0;      ///< caller's correlation id from submit()
+  AccessStatus status = AccessStatus::kMalformed;
+  Bytes grant_wire;           ///< serialized AccessGrant (MACed if keyed)
+  double verify_s = 0.0;      ///< parse + vault authorize wall time
+  double queue_wait_s = 0.0;  ///< submit -> worker pickup (0 for fast-rejects)
+};
+
+/// Monotonic serving counters (one per status, plus totals).
+struct AccessServerStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t granted = 0;
+  std::uint64_t unknown_session = 0;
+  std::uint64_t expired = 0;
+  std::uint64_t revoked = 0;
+  std::uint64_t stale_epoch = 0;
+  std::uint64_t bad_mac = 0;
+  std::uint64_t replay_rejected = 0;
+  std::uint64_t rate_limited = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t malformed = 0;
+};
+
+class AccessServer {
+ public:
+  using Callback = std::function<void(const AccessOutcome&)>;
+
+  explicit AccessServer(const AccessServerConfig& config);
+  ~AccessServer();
+
+  AccessServer(const AccessServer&) = delete;
+  AccessServer& operator=(const AccessServer&) = delete;
+
+  /// The vault, for pairing handoff / rotation / revocation.
+  KeyVault& vault();
+
+  /// Seconds since server construction on the steady clock — the time axis
+  /// fed to the vault TTLs and token buckets.
+  double now_s() const;
+
+  /// Admits `request_wire` from `tenant_id`. Fast-rejects (kRateLimited /
+  /// kShed) invoke `done` inline and return true. Returns false only after
+  /// finish() (request not processed, callback not invoked).
+  bool submit(std::uint64_t tag, std::uint64_t tenant_id, Bytes request_wire, Callback done);
+
+  /// Closes the queue, drains pending requests, joins workers. Idempotent.
+  void finish();
+
+  AccessServerStats stats() const;
+  std::size_t threads() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace wavekey::server

@@ -1,0 +1,193 @@
+#include "server/key_vault.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "crypto/hkdf.hpp"
+#include "crypto/hmac.hpp"
+#include "protocol/wire.hpp"
+
+namespace wavekey::server {
+
+namespace {
+
+/// splitmix64 finalizer — decorrelates sequential session ids across shards.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+SessionKey derive_rotated_key(const SessionKey& old_key, std::uint64_t session_id,
+                              std::uint32_t new_epoch) {
+  protocol::WireWriter salt;
+  const char* label = "wavekey-vault-rotate";
+  salt.bytes(std::span<const std::uint8_t>(reinterpret_cast<const std::uint8_t*>(label),
+                                           std::strlen(label)));
+  salt.u32(new_epoch);
+  protocol::WireWriter info;
+  info.u64(session_id);
+  const protocol::Bytes salt_bytes = salt.take();
+  const protocol::Bytes info_bytes = info.take();
+  const std::vector<std::uint8_t> okm =
+      crypto::hkdf_sha256(salt_bytes, old_key, info_bytes, sizeof(SessionKey));
+  SessionKey out{};
+  std::copy(okm.begin(), okm.end(), out.begin());
+  return out;
+}
+
+KeyVault::KeyVault(const VaultConfig& config) : config_(config) {
+  if (config_.shards < 1) config_.shards = 1;
+  if (config_.capacity < config_.shards) config_.capacity = config_.shards;
+  per_shard_capacity_ = (config_.capacity + config_.shards - 1) / config_.shards;
+  shards_.reserve(config_.shards);
+  for (std::size_t i = 0; i < config_.shards; ++i) shards_.push_back(std::make_unique<Shard>());
+}
+
+KeyVault::Shard& KeyVault::shard_for(std::uint64_t session_id) {
+  return *shards_[mix64(session_id) % shards_.size()];
+}
+
+const KeyVault::Shard& KeyVault::shard_for(std::uint64_t session_id) const {
+  return *shards_[mix64(session_id) % shards_.size()];
+}
+
+bool KeyVault::reap_if_expired(Shard& shard, std::uint64_t session_id, double now_s) {
+  auto it = shard.entries.find(session_id);
+  if (it == shard.entries.end()) return false;
+  if (now_s < it->second.expires_at_s) return false;
+  shard.lru.erase(it->second.lru_pos);
+  shard.entries.erase(it);
+  ttl_evictions_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void KeyVault::touch(Shard& shard, Entry& entry) {
+  shard.lru.splice(shard.lru.begin(), shard.lru, entry.lru_pos);
+}
+
+bool KeyVault::install(std::uint64_t session_id, std::span<const std::uint8_t> key,
+                       double now_s) {
+  if (key.size() != sizeof(SessionKey)) return false;
+  Shard& shard = shard_for(session_id);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.entries.find(session_id);
+  if (it == shard.entries.end()) {
+    if (shard.entries.size() >= per_shard_capacity_ && !shard.lru.empty()) {
+      const std::uint64_t victim = shard.lru.back();
+      shard.lru.pop_back();
+      shard.entries.erase(victim);
+      lru_evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+    it = shard.entries.emplace(session_id, Entry(config_.replay_window_bits)).first;
+    shard.lru.push_front(session_id);
+    it->second.lru_pos = shard.lru.begin();
+  } else {
+    touch(shard, it->second);
+  }
+  Entry& entry = it->second;
+  std::copy(key.begin(), key.end(), entry.key.begin());
+  entry.epoch = 0;
+  entry.expires_at_s = now_s + config_.ttl_s;
+  entry.revoked = false;
+  entry.window.reset();
+  installs_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool KeyVault::install(std::uint64_t session_id, const BitVec& key, double now_s) {
+  if (key.size() < 8 * sizeof(SessionKey)) return false;
+  const std::vector<std::uint8_t> bytes = key.slice(0, 8 * sizeof(SessionKey)).to_bytes();
+  return install(session_id, bytes, now_s);
+}
+
+std::optional<std::uint32_t> KeyVault::rotate(std::uint64_t session_id, double now_s) {
+  Shard& shard = shard_for(session_id);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  if (reap_if_expired(shard, session_id, now_s)) return std::nullopt;
+  auto it = shard.entries.find(session_id);
+  if (it == shard.entries.end() || it->second.revoked) return std::nullopt;
+  Entry& entry = it->second;
+  entry.epoch += 1;
+  entry.key = derive_rotated_key(entry.key, session_id, entry.epoch);
+  entry.expires_at_s = now_s + config_.ttl_s;
+  entry.window.reset();
+  touch(shard, entry);
+  rotations_.fetch_add(1, std::memory_order_relaxed);
+  return entry.epoch;
+}
+
+bool KeyVault::revoke(std::uint64_t session_id) {
+  Shard& shard = shard_for(session_id);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.entries.find(session_id);
+  if (it == shard.entries.end()) return false;
+  it->second.revoked = true;
+  revocations_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+AccessStatus KeyVault::authorize(const AccessRequest& req,
+                                 std::span<const std::uint8_t> mac_input, double now_s,
+                                 SessionKey* key_out) {
+  Shard& shard = shard_for(req.session_id);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  if (reap_if_expired(shard, req.session_id, now_s)) return AccessStatus::kExpired;
+  auto it = shard.entries.find(req.session_id);
+  if (it == shard.entries.end()) return AccessStatus::kUnknownSession;
+  Entry& entry = it->second;
+  if (entry.revoked) return AccessStatus::kRevoked;
+  if (req.epoch != entry.epoch) return AccessStatus::kStaleEpoch;
+  const crypto::Digest256 expected = crypto::hmac_sha256(entry.key, mac_input);
+  crypto::Digest256 carried{};
+  std::copy(req.mac.begin(), req.mac.end(), carried.begin());
+  if (!crypto::digest_equal(expected, carried)) return AccessStatus::kBadMac;
+  // Only authenticated counters may advance the window (header contract).
+  if (!entry.window.check_and_update(req.counter)) return AccessStatus::kReplay;
+  touch(shard, entry);
+  if (key_out != nullptr) *key_out = entry.key;
+  return AccessStatus::kGranted;
+}
+
+std::optional<SessionKey> KeyVault::current_key(std::uint64_t session_id, double now_s) const {
+  const Shard& shard = shard_for(session_id);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.entries.find(session_id);
+  if (it == shard.entries.end() || it->second.revoked) return std::nullopt;
+  if (now_s >= it->second.expires_at_s) return std::nullopt;
+  return it->second.key;
+}
+
+std::optional<std::uint32_t> KeyVault::current_epoch(std::uint64_t session_id,
+                                                     double now_s) const {
+  const Shard& shard = shard_for(session_id);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.entries.find(session_id);
+  if (it == shard.entries.end() || it->second.revoked) return std::nullopt;
+  if (now_s >= it->second.expires_at_s) return std::nullopt;
+  return it->second.epoch;
+}
+
+std::size_t KeyVault::size() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->entries.size();
+  }
+  return total;
+}
+
+VaultStats KeyVault::stats() const {
+  VaultStats s;
+  s.installs = installs_.load(std::memory_order_relaxed);
+  s.rotations = rotations_.load(std::memory_order_relaxed);
+  s.revocations = revocations_.load(std::memory_order_relaxed);
+  s.lru_evictions = lru_evictions_.load(std::memory_order_relaxed);
+  s.ttl_evictions = ttl_evictions_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace wavekey::server

@@ -1,0 +1,140 @@
+#pragma once
+
+// Sharded session-key vault (DESIGN.md §9.1): the backend's store of keys
+// established by pairing. Sessions hash onto N independently-locked shards;
+// each shard keeps an id -> entry map with LRU ordering, so the vault is
+// bounded (capacity/N entries per shard, least-recently-used evicted first)
+// and all mutation — TTL expiry, revocation, HKDF rotation, replay-window
+// updates, MAC verification — happens atomically under one shard lock.
+//
+// Authorization order inside the lock (each step a distinct AccessStatus):
+//   lookup -> TTL -> revoked -> epoch -> HMAC -> replay window -> granted.
+// The MAC is checked BEFORE the replay window is advanced so forged
+// requests can never burn counters (replay_window.hpp), and computing the
+// HMAC under the shard lock is what makes "verify + mark seen" atomic —
+// shard count, not lock scope, provides the parallelism.
+//
+// Time is caller-supplied (seconds on any monotonic axis): tests drive the
+// TTL boundary deterministically, the AccessServer feeds its steady-clock.
+//
+// Thread-safety: every public method may be called concurrently from any
+// thread; each takes exactly one shard mutex (stats use atomics).
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "numeric/bitvec.hpp"
+#include "server/access_protocol.hpp"
+#include "server/replay_window.hpp"
+
+namespace wavekey::server {
+
+/// Session keys are fixed 256-bit values (the paper's l_k).
+using SessionKey = std::array<std::uint8_t, 32>;
+
+struct VaultConfig {
+  std::size_t shards = 8;            ///< independently-locked shards (>= 1)
+  std::size_t capacity = 4096;       ///< total entries, split across shards
+  double ttl_s = 300.0;              ///< entry lifetime from install/rotate
+  std::size_t replay_window_bits = 128;
+};
+
+/// Monotonic counters, readable without any shard lock.
+struct VaultStats {
+  std::uint64_t installs = 0;
+  std::uint64_t rotations = 0;
+  std::uint64_t revocations = 0;
+  std::uint64_t lru_evictions = 0;
+  std::uint64_t ttl_evictions = 0;  ///< expired entries reclaimed on access
+};
+
+/// Deterministic client/server-shared rotation schedule: the key of epoch
+/// `new_epoch` is HKDF-SHA256(salt = "wavekey-vault-rotate" || new_epoch,
+/// ikm = old_key, info = session_id). Both sides can advance epochs in
+/// lockstep without another key exchange.
+SessionKey derive_rotated_key(const SessionKey& old_key, std::uint64_t session_id,
+                              std::uint32_t new_epoch);
+
+class KeyVault {
+ public:
+  explicit KeyVault(const VaultConfig& config);
+
+  /// Installs (or replaces) the key for a session at epoch 0 with a fresh
+  /// TTL and replay window. Keys shorter/longer than 32 bytes are rejected
+  /// (returns false). May LRU-evict another entry of the same shard.
+  bool install(std::uint64_t session_id, std::span<const std::uint8_t> key, double now_s);
+  /// BitVec convenience for the pairing handoff (must be >= 256 bits; the
+  /// first 256 are used).
+  bool install(std::uint64_t session_id, const BitVec& key, double now_s);
+
+  /// Rotates the session to the next epoch (derive_rotated_key), refreshing
+  /// the TTL and resetting the replay window. Returns the new epoch, or
+  /// nullopt if the session is absent, expired, or revoked.
+  std::optional<std::uint32_t> rotate(std::uint64_t session_id, double now_s);
+
+  /// Marks the session revoked; subsequent requests get kRevoked (until the
+  /// tombstone ages out by TTL or LRU pressure). Returns false if absent.
+  bool revoke(std::uint64_t session_id);
+
+  /// Full request authorization under the shard lock (see header comment).
+  /// On kGranted fills `key_out` (if non-null) with the epoch key so the
+  /// caller can MAC the grant. `mac_input` must be req.mac_input().
+  AccessStatus authorize(const AccessRequest& req, std::span<const std::uint8_t> mac_input,
+                         double now_s, SessionKey* key_out);
+
+  /// Current key of a live (non-expired, non-revoked) session — the client
+  /// side of tests/benches uses this to build requests after rotation.
+  std::optional<SessionKey> current_key(std::uint64_t session_id, double now_s) const;
+  /// Current epoch of a live session.
+  std::optional<std::uint32_t> current_epoch(std::uint64_t session_id, double now_s) const;
+
+  std::size_t size() const;  ///< live + tombstoned entries across all shards
+  std::size_t shards() const { return shards_.size(); }
+  std::size_t capacity_per_shard() const { return per_shard_capacity_; }
+  VaultStats stats() const;
+
+ private:
+  struct Entry {
+    SessionKey key{};
+    std::uint32_t epoch = 0;
+    double expires_at_s = 0.0;  ///< valid while now < expires_at_s
+    bool revoked = false;
+    ReplayWindow window;
+    std::list<std::uint64_t>::iterator lru_pos;  ///< position in Shard::lru
+
+    explicit Entry(std::size_t window_bits) : window(window_bits) {}
+  };
+
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<std::uint64_t, Entry> entries;
+    std::list<std::uint64_t> lru;  ///< front = most recent
+  };
+
+  Shard& shard_for(std::uint64_t session_id);
+  const Shard& shard_for(std::uint64_t session_id) const;
+  /// Erases the entry if its TTL has passed (counting a ttl_eviction);
+  /// returns true if it expired. Caller holds the shard lock.
+  bool reap_if_expired(Shard& shard, std::uint64_t session_id, double now_s);
+  void touch(Shard& shard, Entry& entry);
+
+  VaultConfig config_;
+  std::size_t per_shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  std::atomic<std::uint64_t> installs_{0};
+  std::atomic<std::uint64_t> rotations_{0};
+  std::atomic<std::uint64_t> revocations_{0};
+  std::atomic<std::uint64_t> lru_evictions_{0};
+  std::atomic<std::uint64_t> ttl_evictions_{0};
+};
+
+}  // namespace wavekey::server

@@ -1,0 +1,95 @@
+#pragma once
+
+// Per-session anti-replay window (DESIGN.md §9.2): a sliding bitmap over
+// the request counter, IPsec/DTLS style. The window tracks the highest
+// counter accepted so far plus a `bits`-wide bitmap of recently-seen
+// counters below it, so modestly out-of-order arrivals are admitted exactly
+// once while duplicates and too-old counters are rejected:
+//
+//   counter >  max      -> fresh; slide the window forward
+//   max-bits < counter <= max -> fresh iff its bit is unset
+//   counter <= max-bits -> rejected (fell off the window; indistinguishable
+//                          from a replay, so treated as one)
+//
+// check_and_update must only be called AFTER the request's MAC verified —
+// otherwise an attacker could burn future counters with forged requests
+// (KeyVault::authorize enforces this ordering under the shard lock).
+//
+// Thread-safety: none; callers synchronize (the vault holds its shard lock).
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace wavekey::server {
+
+class ReplayWindow {
+ public:
+  /// @param bits  window width; rounded up to a multiple of 64, minimum 64.
+  explicit ReplayWindow(std::size_t bits = 128)
+      : bits_(((bits < 64 ? 64 : bits) + 63) / 64 * 64), words_(bits_ / 64, 0) {}
+
+  std::size_t bits() const { return bits_; }
+
+  /// True iff `counter` is fresh; marks it seen. False on duplicate or
+  /// counter older than the window.
+  bool check_and_update(std::uint64_t counter) {
+    if (!any_) {
+      any_ = true;
+      max_seen_ = counter;
+      set_bit(0);
+      return true;
+    }
+    if (counter > max_seen_) {
+      slide(counter - max_seen_);
+      max_seen_ = counter;
+      set_bit(0);
+      return true;
+    }
+    const std::uint64_t age = max_seen_ - counter;  // 0 == max itself
+    if (age >= bits_) return false;                 // fell off the window
+    if (get_bit(age)) return false;                 // duplicate
+    set_bit(age);
+    return true;
+  }
+
+  /// Forgets everything (key rotation starts a fresh counter epoch).
+  void reset() {
+    any_ = false;
+    max_seen_ = 0;
+    for (auto& w : words_) w = 0;
+  }
+
+ private:
+  // Bit `age` means counter (max_seen_ - age); bit 0 lives in words_[0] LSB.
+  bool get_bit(std::uint64_t age) const {
+    return (words_[age / 64] >> (age % 64)) & 1;
+  }
+  void set_bit(std::uint64_t age) { words_[age / 64] |= std::uint64_t{1} << (age % 64); }
+
+  /// Ages every seen counter by `distance` (the new max is `distance` ahead).
+  void slide(std::uint64_t distance) {
+    if (distance >= bits_) {
+      for (auto& w : words_) w = 0;
+      return;
+    }
+    const std::size_t word_shift = static_cast<std::size_t>(distance / 64);
+    const std::size_t bit_shift = static_cast<std::size_t>(distance % 64);
+    const std::size_t n = words_.size();
+    for (std::size_t i = n; i-- > 0;) {
+      std::uint64_t v = 0;
+      if (i >= word_shift) {
+        v = words_[i - word_shift] << bit_shift;
+        if (bit_shift != 0 && i > word_shift) v |= words_[i - word_shift - 1] >> (64 - bit_shift);
+      }
+      words_[i] = v;
+    }
+  }
+
+  std::size_t bits_;
+  std::vector<std::uint64_t> words_;
+  std::uint64_t max_seen_ = 0;
+  bool any_ = false;
+};
+
+}  // namespace wavekey::server

@@ -69,6 +69,41 @@ print(f"bench_throughput ok: speedup_4t_over_1t={data['speedup_4t_over_1t']}, "
 PYEOF
 }
 
+server_gate() {
+  # bench_server exits non-zero on any broken ledger, accepted replay, tau
+  # violation, missing shed, or sub-2.5x 4-thread speedup; the python pass
+  # re-checks the security-critical invariants from the JSON itself so a
+  # silently-wrong exit path cannot mask them, and additionally requires
+  # every rejection class to have actually fired (the bench injects each
+  # deterministically, so a zero means the check is dead code).
+  echo "=== [plain] bench_server gate ==="
+  WAVEKEY_BENCH_SCALE=0.25 ./build-ci/bench/bench_server \
+    > build-ci/bench_server.json
+  python3 - build-ci/bench_server.json <<'PYEOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    data = json.load(f)
+points = data["points"]
+assert points, "bench_server emitted no points"
+for p in points:
+    assert p["ledger_ok"], f"outcome ledger mismatch at {p['threads']} threads"
+    assert p["accepted_replays"] == 0, f"replay accepted at {p['threads']} threads"
+    assert p["shed"] == 0 and p["malformed"] == 0, "unexpected shed/malformed in soak"
+    for key in ("replay_rejected", "expired", "revoked", "stale_epoch",
+                "bad_mac", "rate_limited"):
+        assert p[key] > 0, f"rejection class {key} never fired at {p['threads']} threads"
+assert data["accepted_replays"] == 0, "accepted replays detected"
+assert data["tau_deadline_violations"] == 0, "tau deadline violations detected"
+assert data["shed_burst"]["shed"] >= 1, "overload burst did not shed"
+by_threads = {p["threads"]: p["grants_per_sec"] for p in points}
+if 1 in by_threads and 4 in by_threads and data["io_wait_ms"] > 0:
+    speedup = by_threads[4] / by_threads[1]
+    assert speedup >= 2.5, f"grants/sec speedup 4t/1t = {speedup:.2f} < 2.5"
+print(f"bench_server ok: speedup_4t_over_1t={data['speedup_4t_over_1t']}, "
+      f"accepted_replays=0, tau violations=0, {len(points)} points")
+PYEOF
+}
+
 perf_gate() {
   # Release (-O3) leg: measure the gated hot-path benchmarks and compare
   # against the committed baseline. Repetitions + min-over-reps (inside
@@ -97,6 +132,7 @@ case "$MODE" in
     run_suite plain build-ci
     forced_scalar_gate
     throughput_gate
+    server_gate
     ;;
 esac
 
@@ -114,18 +150,18 @@ case "$MODE" in
   --plain-only|--sanitize-only|--perf-only) ;;
   *)
     # TSan is scoped to the concurrency suites (thread pool + pairing
-    # engine) plus the kernel-equivalence suite, which drives the GEMM
-    # kernels through the compute pool: that is where the shared mutable
-    # state lives, and the 5-15x TSan slowdown makes the full training
-    # suite impractical in CI.
+    # engine + access server) plus the kernel-equivalence suite, which
+    # drives the GEMM kernels through the compute pool: that is where the
+    # shared mutable state lives, and the 5-15x TSan slowdown makes the
+    # full training suite impractical in CI.
     echo "=== [tsan] configure ==="
     cmake -B build-ci-tsan -S . -DWAVEKEY_TSAN=ON
     echo "=== [tsan] build ==="
     cmake --build build-ci-tsan -j "$JOBS" \
-      --target thread_pool_test pairing_engine_test kernel_equiv_test
+      --target thread_pool_test pairing_engine_test kernel_equiv_test server_test
     echo "=== [tsan] ctest (concurrency suites) ==="
     ctest --test-dir build-ci-tsan --output-on-failure -j "$JOBS" \
-      -R 'ThreadPool|BoundedQueue|PairingEngine|TrainingDeterminism|KernelEquivalence|TensorArena'
+      -R 'ThreadPool|BoundedQueue|PairingEngine|TrainingDeterminism|KernelEquivalence|TensorArena|KeyVault|AccessServer|ReplayWindow|TokenBucket|TenantLimiter|AccessProtocol|MalformedInputFuzz'
     ;;
 esac
 

@@ -23,6 +23,8 @@
 #include "nn/gemm.hpp"
 #include "protocol/session.hpp"
 #include "runtime/cpu.hpp"
+#include "server/cluster.hpp"
+#include "server/membership.hpp"
 #include "sim/scenario.hpp"
 
 using namespace wavekey;
@@ -241,6 +243,39 @@ void BM_GemmF32(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 2 * kDim * kDim * kDim);
 }
 BENCHMARK(BM_GemmF32);
+
+void BM_ClusterFrame(benchmark::State& state) {
+  // Gateway wire round-trip: envelope serialize -> CRC frame -> unframe ->
+  // parse, on a typical 64-byte inner request. This is the per-copy overhead
+  // the WAN transport adds on top of the access protocol itself.
+  server::ClusterRequest request;
+  request.request_id = 0x123456789ABCull;
+  request.tenant_id = 42;
+  request.inner.assign(64, 0xA7);
+  for (auto _ : state) {
+    const protocol::Bytes framed = server::frame_message(request.serialize());
+    auto payload = server::unframe_message(framed);
+    benchmark::DoNotOptimize(server::ClusterRequest::parse(*payload));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ClusterFrame);
+
+void BM_PartitionMapRoute(benchmark::State& state) {
+  // Hot routing lookup of the cluster serving path: session id -> partition
+  // -> owners, against a prebuilt 8-node / 256-partition ring.
+  server::PartitionMap map(256, 64);
+  std::vector<server::NodeId> nodes;
+  for (server::NodeId id = 0; id < 8; ++id) nodes.push_back(id);
+  map.rebuild(nodes);
+  std::uint64_t sid = 0;
+  for (auto _ : state) {
+    const std::uint32_t p = server::partition_of(sid++, map.partitions());
+    benchmark::DoNotOptimize(map.owners(p));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PartitionMapRoute);
 
 // --- `--simd-check`: forced-scalar vs AVX2 speedup assertion ---------------
 // Run from tools/ci.sh on AVX2 hosts: re-times the four SIMD kernels with

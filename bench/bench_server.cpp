@@ -109,7 +109,7 @@ SessionKey random_session_key(crypto::Drbg& rng) {
 struct Collector {
   std::mutex mutex;
   std::vector<double> granted_verify_s;
-  std::uint64_t counts[10] = {};
+  std::uint64_t counts[kAccessStatusCount] = {};
 
   AccessServer::Callback recorder() {
     return [this](const AccessOutcome& outcome) {

@@ -67,6 +67,11 @@ enum class MessageType : std::uint8_t {
   // against the backend vault keyed by the session established above.
   kAccessRequest = 6,  ///< session id, epoch, counter, nonce, payload, HMAC
   kAccessGrant = 7,    ///< session id, counter, status, HMAC
+  // Gateway <-> vault-cluster envelopes (src/server/cluster.hpp): access
+  // requests multiplexed over the CRC-framed WAN transport, retried under a
+  // stable request id so retransmissions stay idempotent.
+  kClusterRequest = 8,   ///< request id, tenant, attempt, inner AccessRequest
+  kClusterResponse = 9,  ///< request id, status, inner AccessGrant
 };
 
 }  // namespace wavekey::protocol

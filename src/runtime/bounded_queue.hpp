@@ -10,6 +10,7 @@
 // Thread-safety: every public method is safe to call concurrently from any
 // thread (one mutex, two condition variables). T only needs to be movable.
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -66,6 +67,25 @@ class BoundedQueue {
   std::optional<T> pop() {
     std::unique_lock<std::mutex> lock(mutex_);
     not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Timed consumer wait: blocks up to `timeout_s` while the queue is empty
+  /// and open, then gives up. Returns an item whenever one is available —
+  /// including from a queue that is closed but not yet drained, so shutdown
+  /// never loses work. Returns nullopt on timeout *or* on closed-and-drained;
+  /// callers distinguish the two with closed() (a gateway retry loop or a
+  /// draining node polls its deadline between slices instead of parking
+  /// forever in pop()).
+  std::optional<T> try_pop_for(double timeout_s) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait_for(lock, std::chrono::duration<double>(timeout_s < 0.0 ? 0.0 : timeout_s),
+                        [&] { return closed_ || !items_.empty(); });
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();

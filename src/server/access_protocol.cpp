@@ -35,6 +35,8 @@ const char* access_status_name(AccessStatus status) {
     case AccessStatus::kRateLimited: return "rate_limited";
     case AccessStatus::kShed: return "shed";
     case AccessStatus::kMalformed: return "malformed";
+    case AccessStatus::kUnavailable: return "unavailable";
+    case AccessStatus::kRetryExhausted: return "retry_exhausted";
   }
   return "unknown";
 }
@@ -110,7 +112,7 @@ AccessGrant AccessGrant::parse(std::span<const std::uint8_t> wire) {
   grant.session_id = r.u64();
   grant.counter = r.u64();
   const std::uint8_t status = r.u8();
-  if (status > static_cast<std::uint8_t>(AccessStatus::kMalformed))
+  if (status >= kAccessStatusCount)
     throw WireError("AccessGrant: unknown status byte");
   grant.status = static_cast<AccessStatus>(status);
   const Bytes mac = r.bytes(kMacBytes);

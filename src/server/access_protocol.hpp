@@ -47,7 +47,14 @@ enum class AccessStatus : std::uint8_t {
   kRateLimited = 7,     ///< tenant token bucket empty (admission reject)
   kShed = 8,            ///< admission queue full (overload shed)
   kMalformed = 9,       ///< request failed to parse
+  // Distributed-tier statuses (src/server/cluster.*, gateway.*): outcomes a
+  // request can only have once the backend is a multi-node service.
+  kUnavailable = 10,    ///< owning vault node down, failover not yet complete
+  kRetryExhausted = 11, ///< gateway gave up after its capped retry budget
 };
+
+/// Number of distinct AccessStatus values (for status-indexed counters).
+inline constexpr std::size_t kAccessStatusCount = 12;
 
 /// Human-readable status name (telemetry / bench output).
 const char* access_status_name(AccessStatus status);

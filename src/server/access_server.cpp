@@ -3,6 +3,7 @@
 #include <atomic>
 #include <chrono>
 #include <future>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -34,8 +35,14 @@ struct AccessServer::Impl {
   std::vector<std::future<void>> drainers;
   std::atomic<bool> finished{false};
 
-  std::atomic<std::uint64_t> submitted{0};
-  std::atomic<std::uint64_t> counters[10] = {};  // indexed by AccessStatus
+  // All stats live under one mutex: submit increments (submitted, in_flight)
+  // and every outcome moves one unit from in_flight to its status counter in
+  // the same critical section, so submitted == sum(status) + in_flight is an
+  // exact invariant of every stats() snapshot — not just an eventual one.
+  mutable std::mutex stats_mutex;
+  std::uint64_t submitted = 0;
+  std::uint64_t in_flight = 0;
+  std::uint64_t counters[kAccessStatusCount] = {};  // indexed by AccessStatus
 
   explicit Impl(const AccessServerConfig& c)
       : config(c),
@@ -51,8 +58,23 @@ struct AccessServer::Impl {
 
   double now_s() const { return std::chrono::duration<double>(Clock::now() - epoch).count(); }
 
+  void note_submitted() {
+    std::lock_guard<std::mutex> lock(stats_mutex);
+    ++submitted;
+    ++in_flight;
+  }
+
+  /// Undo for the submit-after-close race: the request was never admitted.
+  void retract_submitted() {
+    std::lock_guard<std::mutex> lock(stats_mutex);
+    --submitted;
+    --in_flight;
+  }
+
   void count(AccessStatus status) {
-    counters[static_cast<std::size_t>(status)].fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(stats_mutex);
+    ++counters[static_cast<std::size_t>(status)];
+    --in_flight;
   }
 
   /// Builds the outcome for a fast-reject decided on the submit path.
@@ -123,7 +145,7 @@ double AccessServer::now_s() const { return impl_->now_s(); }
 
 bool AccessServer::submit(std::uint64_t tag, std::uint64_t tenant_id, Bytes request_wire,
                           Callback done) {
-  impl_->submitted.fetch_add(1, std::memory_order_relaxed);
+  impl_->note_submitted();
   // Admission control first: a rate-limited tenant must not consume queue
   // space, and both rejects must stay O(1) on the caller thread.
   if (!impl_->limiter.admit(tenant_id, impl_->now_s())) {
@@ -139,18 +161,24 @@ bool AccessServer::submit(std::uint64_t tag, std::uint64_t tenant_id, Bytes requ
       impl_->reject_inline(tag, AccessStatus::kShed, job.done);
       return true;
     case runtime::PushResult::kClosed:
-      return false;
+      break;
   }
+  // Never admitted: no outcome will ever be counted for this request.
+  impl_->retract_submitted();
   return false;
 }
 
 void AccessServer::finish() { impl_->finish(); }
 
 AccessServerStats AccessServer::stats() const {
+  // One lock around the whole snapshot: the invariant documented on
+  // AccessServerStats depends on no counter moving mid-copy.
+  std::lock_guard<std::mutex> lock(impl_->stats_mutex);
   AccessServerStats s;
-  s.submitted = impl_->submitted.load(std::memory_order_relaxed);
+  s.submitted = impl_->submitted;
+  s.in_flight = impl_->in_flight;
   const auto load = [&](AccessStatus st) {
-    return impl_->counters[static_cast<std::size_t>(st)].load(std::memory_order_relaxed);
+    return impl_->counters[static_cast<std::size_t>(st)];
   };
   s.granted = load(AccessStatus::kGranted);
   s.unknown_session = load(AccessStatus::kUnknownSession);

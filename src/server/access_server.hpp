@@ -52,9 +52,14 @@ struct AccessOutcome {
   double queue_wait_s = 0.0;  ///< submit -> worker pickup (0 for fast-rejects)
 };
 
-/// Monotonic serving counters (one per status, plus totals).
+/// Serving counters (one per status, plus totals). stats() snapshots every
+/// field under ONE lock, so a snapshot is internally consistent even while
+/// submitters and workers race: submitted == granted + ... + malformed +
+/// in_flight holds exactly, in every snapshot (asserted under contention in
+/// tests/server_test.cpp). A torn multi-atomic read could not promise that.
 struct AccessServerStats {
   std::uint64_t submitted = 0;
+  std::uint64_t in_flight = 0;  ///< admitted, outcome not yet counted
   std::uint64_t granted = 0;
   std::uint64_t unknown_session = 0;
   std::uint64_t expired = 0;

@@ -1,0 +1,384 @@
+#include "server/cluster.hpp"
+
+#include <chrono>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "protocol/arq.hpp"
+#include "protocol/wire.hpp"
+
+namespace wavekey::server {
+
+namespace {
+
+using protocol::MessageType;
+using protocol::WireError;
+using protocol::WireReader;
+using protocol::WireWriter;
+
+}  // namespace
+
+// --- wire envelopes ---------------------------------------------------------
+
+Bytes ClusterRequest::serialize() const {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(MessageType::kClusterRequest));
+  w.u64(request_id);
+  w.u64(tenant_id);
+  w.u32(attempt);
+  w.blob(inner);
+  return w.take();
+}
+
+ClusterRequest ClusterRequest::parse(std::span<const std::uint8_t> wire) {
+  WireReader r(wire);
+  if (r.u8() != static_cast<std::uint8_t>(MessageType::kClusterRequest))
+    throw WireError("ClusterRequest: wrong type tag");
+  ClusterRequest req;
+  req.request_id = r.u64();
+  req.tenant_id = r.u64();
+  req.attempt = r.u32();
+  req.inner = r.blob();
+  r.expect_done();
+  return req;
+}
+
+Bytes ClusterResponse::serialize() const {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(MessageType::kClusterResponse));
+  w.u64(request_id);
+  w.u8(static_cast<std::uint8_t>(status));
+  w.blob(grant_wire);
+  return w.take();
+}
+
+ClusterResponse ClusterResponse::parse(std::span<const std::uint8_t> wire) {
+  WireReader r(wire);
+  if (r.u8() != static_cast<std::uint8_t>(MessageType::kClusterResponse))
+    throw WireError("ClusterResponse: wrong type tag");
+  ClusterResponse resp;
+  resp.request_id = r.u64();
+  const std::uint8_t status = r.u8();
+  if (status >= kAccessStatusCount) throw WireError("ClusterResponse: unknown status byte");
+  resp.status = static_cast<AccessStatus>(status);
+  resp.grant_wire = r.blob();
+  r.expect_done();
+  return resp;
+}
+
+Bytes frame_message(std::span<const std::uint8_t> payload) {
+  WireWriter w;
+  w.bytes(payload);
+  w.u32(protocol::crc32(payload));
+  return w.take();
+}
+
+std::optional<Bytes> unframe_message(std::span<const std::uint8_t> wire) {
+  if (wire.size() < 4) return std::nullopt;
+  const std::span<const std::uint8_t> payload = wire.first(wire.size() - 4);
+  std::uint32_t carried = 0;
+  for (std::size_t i = 0; i < 4; ++i)
+    carried |= static_cast<std::uint32_t>(wire[payload.size() + i]) << (8 * i);
+  if (protocol::crc32(payload) != carried) return std::nullopt;
+  return Bytes(payload.begin(), payload.end());
+}
+
+// --- cluster ----------------------------------------------------------------
+
+namespace {
+
+/// Cached response of an executed request: the idempotency record a retry of
+/// the same request id is answered from instead of being re-executed.
+struct DedupEntry {
+  std::uint32_t partition = 0;
+  AccessStatus status = AccessStatus::kMalformed;
+  Bytes grant_wire;
+};
+
+using Clock = std::chrono::steady_clock;
+
+}  // namespace
+
+struct VaultCluster::Node {
+  NodeState state = NodeState::kUp;
+  std::unique_ptr<KeyVault> vault;
+  // Idempotency cache, FIFO-bounded. Guarded by its own mutex so serving
+  // threads on different nodes never contend.
+  mutable std::mutex dedup_mutex;
+  std::unordered_map<std::uint64_t, DedupEntry> dedup;
+  std::deque<std::uint64_t> dedup_fifo;
+};
+
+struct VaultCluster::Impl {
+  ClusterConfig config;
+  Clock::time_point epoch = Clock::now();
+  // Topology lock: shared for serving, unique for crash/drain/fail_over.
+  mutable std::shared_mutex topology;
+  PartitionMap map;
+  std::vector<std::unique_ptr<Node>> nodes;
+  mutable std::mutex stats_mutex;
+  ClusterStats counters;
+
+  explicit Impl(const ClusterConfig& c)
+      : config(c), map(c.partitions < 1 ? 1 : c.partitions, c.ring_vnodes) {
+    if (config.nodes < 1) config.nodes = 1;
+    std::vector<NodeId> ids;
+    for (NodeId id = 0; id < config.nodes; ++id) {
+      auto node = std::make_unique<Node>();
+      node->vault = std::make_unique<KeyVault>(config.vault);
+      nodes.push_back(std::move(node));
+      ids.push_back(id);
+    }
+    map.rebuild(ids);
+  }
+
+  double now_s() const { return std::chrono::duration<double>(Clock::now() - epoch).count(); }
+
+  bool up(NodeId id) const {
+    return id != kNoNode && id < nodes.size() && nodes[id]->state == NodeState::kUp;
+  }
+
+  void bump(std::uint64_t ClusterStats::* field, std::uint64_t by = 1) {
+    std::lock_guard<std::mutex> lock(stats_mutex);
+    counters.*field += by;
+  }
+
+  /// Caches `entry` under `request_id` on `node`, FIFO-evicting past the
+  /// capacity bound. No-op if the id is already cached (a re-replication).
+  void cache_response(Node& node, std::uint64_t request_id, DedupEntry entry) {
+    std::lock_guard<std::mutex> lock(node.dedup_mutex);
+    if (!node.dedup.emplace(request_id, std::move(entry)).second) return;
+    node.dedup_fifo.push_back(request_id);
+    while (node.dedup_fifo.size() > config.dedup_capacity) {
+      node.dedup.erase(node.dedup_fifo.front());
+      node.dedup_fifo.pop_front();
+    }
+  }
+
+  std::optional<DedupEntry> cached_response(Node& node, std::uint64_t request_id) const {
+    std::lock_guard<std::mutex> lock(node.dedup_mutex);
+    auto it = node.dedup.find(request_id);
+    if (it == node.dedup.end()) return std::nullopt;
+    return it->second;
+  }
+
+  /// Ships partition `p` from `source` to `target`: session state (replay
+  /// windows included) plus the partition's idempotency records. Caller
+  /// holds the topology lock unique.
+  void copy_partition(NodeId source, NodeId target, std::uint32_t p) {
+    const std::uint32_t partitions = map.partitions();
+    const auto pred = [&](std::uint64_t sid) { return partition_of(sid, partitions) == p; };
+    const std::vector<ExportedSession> exported = nodes[source]->vault->export_sessions(pred);
+    const std::size_t moved = nodes[target]->vault->import_sessions(exported);
+    std::vector<std::pair<std::uint64_t, DedupEntry>> records;
+    {
+      std::lock_guard<std::mutex> lock(nodes[source]->dedup_mutex);
+      for (const auto& [id, entry] : nodes[source]->dedup)
+        if (entry.partition == p) records.emplace_back(id, entry);
+    }
+    for (auto& [id, entry] : records) cache_response(*nodes[target], id, std::move(entry));
+    bump(&ClusterStats::sessions_migrated, moved);
+  }
+
+  /// Recomputes placement over `live` nodes and migrates every partition
+  /// whose ownership changed. `readable(id)` says whether a node's memory
+  /// can still be read (a draining node can, a crashed one cannot). Caller
+  /// holds the topology lock unique.
+  void rebuild_and_migrate(const std::vector<NodeId>& live,
+                           const std::function<bool(NodeId)>& readable) {
+    std::vector<PartitionOwners> old(map.partitions());
+    for (std::uint32_t p = 0; p < map.partitions(); ++p) old[p] = map.owners(p);
+    map.rebuild(live);
+    for (std::uint32_t p = 0; p < map.partitions(); ++p) {
+      const PartitionOwners& prev = old[p];
+      const PartitionOwners& next = map.owners(p);
+      if (prev.primary == next.primary && prev.replica == next.replica) continue;
+      bump(&ClusterStats::partitions_moved);
+      // Freshest readable copy: the old primary saw every write; the old
+      // replica mirrors installs, accepted counters, and grant records.
+      const NodeId source = readable(prev.primary)   ? prev.primary
+                            : readable(prev.replica) ? prev.replica
+                                                     : kNoNode;
+      if (source == kNoNode) continue;  // both copies lost; sessions re-pair
+      for (const NodeId target : {next.primary, next.replica}) {
+        if (target == kNoNode || target == source) continue;
+        // A surviving old owner already holds the partition's state.
+        if ((target == prev.primary || target == prev.replica) && readable(target)) continue;
+        copy_partition(source, target, p);
+      }
+    }
+  }
+};
+
+VaultCluster::VaultCluster(const ClusterConfig& config) : impl_(new Impl(config)) {}
+
+VaultCluster::~VaultCluster() = default;
+
+double VaultCluster::now_s() const { return impl_->now_s(); }
+
+bool VaultCluster::install(std::uint64_t session_id, std::span<const std::uint8_t> key) {
+  std::shared_lock<std::shared_mutex> lock(impl_->topology);
+  const PartitionOwners owners =
+      impl_->map.owners(partition_of(session_id, impl_->map.partitions()));
+  if (!impl_->up(owners.primary)) return false;
+  const double now = impl_->now_s();
+  if (!impl_->nodes[owners.primary]->vault->install(session_id, key, now)) return false;
+  if (impl_->up(owners.replica))
+    impl_->nodes[owners.replica]->vault->install(session_id, key, now);
+  return true;
+}
+
+bool VaultCluster::revoke(std::uint64_t session_id) {
+  std::shared_lock<std::shared_mutex> lock(impl_->topology);
+  const PartitionOwners owners =
+      impl_->map.owners(partition_of(session_id, impl_->map.partitions()));
+  bool revoked = false;
+  if (impl_->up(owners.primary)) revoked = impl_->nodes[owners.primary]->vault->revoke(session_id);
+  if (impl_->up(owners.replica)) impl_->nodes[owners.replica]->vault->revoke(session_id);
+  return revoked;
+}
+
+ClusterResponse VaultCluster::execute(const ClusterRequest& request) {
+  ClusterResponse resp;
+  resp.request_id = request.request_id;
+
+  AccessRequest inner;
+  try {
+    inner = AccessRequest::parse(request.inner);
+  } catch (const WireError&) {
+    resp.status = AccessStatus::kMalformed;
+    resp.grant_wire = make_access_grant(0, 0, resp.status, {}).serialize();
+    return resp;
+  }
+
+  std::shared_lock<std::shared_mutex> lock(impl_->topology);
+  const std::uint32_t partition = partition_of(inner.session_id, impl_->map.partitions());
+  const PartitionOwners owners = impl_->map.owners(partition);
+  if (!impl_->up(owners.primary)) {
+    impl_->bump(&ClusterStats::unavailable);
+    resp.status = AccessStatus::kUnavailable;
+    resp.grant_wire =
+        make_access_grant(inner.session_id, inner.counter, resp.status, {}).serialize();
+    return resp;
+  }
+
+  Node& primary = *impl_->nodes[owners.primary];
+  // Idempotent retry: a request id the node has already answered returns the
+  // recorded response — a granted request whose response was lost on the WAN
+  // is never re-granted (and never misreported as a replay to its own owner).
+  if (auto cached = impl_->cached_response(primary, request.request_id)) {
+    impl_->bump(&ClusterStats::dedup_hits);
+    resp.status = cached->status;
+    resp.grant_wire = std::move(cached->grant_wire);
+    return resp;
+  }
+
+  impl_->bump(&ClusterStats::executed);
+  const Bytes mac_input = inner.mac_input();
+  SessionKey key{};
+  const AccessStatus status =
+      primary.vault->authorize(inner, mac_input, impl_->now_s(), &key);
+  resp.status = status;
+  resp.grant_wire =
+      make_access_grant(inner.session_id, inner.counter, status,
+                        status == AccessStatus::kGranted ? std::span<const std::uint8_t>(key)
+                                                         : std::span<const std::uint8_t>())
+          .serialize();
+
+  DedupEntry entry{partition, status, resp.grant_wire};
+  if (status == AccessStatus::kGranted) {
+    impl_->bump(&ClusterStats::vault_grants);
+    // Synchronous mirror to the replica: the accepted counter lands in its
+    // replay window and the grant record in its idempotency cache *before*
+    // the response leaves, so a crash of the primary at any later point can
+    // never reopen this counter.
+    if (impl_->up(owners.replica)) {
+      Node& replica = *impl_->nodes[owners.replica];
+      replica.vault->note_seen(inner.session_id, inner.counter);
+      impl_->cache_response(replica, request.request_id, entry);
+    }
+  }
+  impl_->cache_response(primary, request.request_id, std::move(entry));
+  return resp;
+}
+
+void VaultCluster::crash(NodeId node) {
+  std::unique_lock<std::shared_mutex> lock(impl_->topology);
+  if (node >= impl_->nodes.size() || impl_->nodes[node]->state == NodeState::kDown) return;
+  Node& n = *impl_->nodes[node];
+  n.state = NodeState::kDown;
+  // Memory lost: fresh empty vault, empty idempotency cache. The partition
+  // map is deliberately left stale — until fail_over() runs, this node's
+  // partitions answer kUnavailable, which is exactly the window a real
+  // failure detector leaves.
+  n.vault = std::make_unique<KeyVault>(impl_->config.vault);
+  {
+    std::lock_guard<std::mutex> dedup_lock(n.dedup_mutex);
+    n.dedup.clear();
+    n.dedup_fifo.clear();
+  }
+  impl_->bump(&ClusterStats::crashes);
+}
+
+void VaultCluster::fail_over() {
+  std::unique_lock<std::shared_mutex> lock(impl_->topology);
+  std::vector<NodeId> live;
+  for (NodeId id = 0; id < impl_->nodes.size(); ++id)
+    if (impl_->nodes[id]->state == NodeState::kUp) live.push_back(id);
+  impl_->rebuild_and_migrate(live, [&](NodeId id) { return impl_->up(id); });
+  impl_->bump(&ClusterStats::failovers);
+}
+
+void VaultCluster::drain(NodeId node) {
+  std::unique_lock<std::shared_mutex> lock(impl_->topology);
+  if (node >= impl_->nodes.size() || impl_->nodes[node]->state == NodeState::kDown) return;
+  std::vector<NodeId> live;
+  for (NodeId id = 0; id < impl_->nodes.size(); ++id)
+    if (id != node && impl_->nodes[id]->state == NodeState::kUp) live.push_back(id);
+  // The draining node is excluded from the new placement but stays readable
+  // as a migration source: its partitions hand off with full state, so the
+  // drain is invisible to clients.
+  impl_->rebuild_and_migrate(live, [&](NodeId id) {
+    return id != kNoNode && id < impl_->nodes.size() &&
+           impl_->nodes[id]->state == NodeState::kUp;
+  });
+  Node& n = *impl_->nodes[node];
+  n.state = NodeState::kDown;
+  n.vault = std::make_unique<KeyVault>(impl_->config.vault);
+  {
+    std::lock_guard<std::mutex> dedup_lock(n.dedup_mutex);
+    n.dedup.clear();
+    n.dedup_fifo.clear();
+  }
+  impl_->bump(&ClusterStats::drains);
+}
+
+NodeState VaultCluster::node_state(NodeId node) const {
+  std::shared_lock<std::shared_mutex> lock(impl_->topology);
+  return node < impl_->nodes.size() ? impl_->nodes[node]->state : NodeState::kDown;
+}
+
+std::uint32_t VaultCluster::nodes() const {
+  return static_cast<std::uint32_t>(impl_->nodes.size());
+}
+
+std::uint32_t VaultCluster::partitions() const { return impl_->map.partitions(); }
+
+PartitionOwners VaultCluster::owners_of(std::uint64_t session_id) const {
+  std::shared_lock<std::shared_mutex> lock(impl_->topology);
+  return impl_->map.owners(partition_of(session_id, impl_->map.partitions()));
+}
+
+std::uint64_t VaultCluster::map_version() const {
+  std::shared_lock<std::shared_mutex> lock(impl_->topology);
+  return impl_->map.version();
+}
+
+ClusterStats VaultCluster::stats() const {
+  std::lock_guard<std::mutex> lock(impl_->stats_mutex);
+  return impl_->counters;
+}
+
+}  // namespace wavekey::server

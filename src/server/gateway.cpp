@@ -1,0 +1,232 @@
+#include "server/gateway.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "runtime/bounded_queue.hpp"
+
+namespace wavekey::server {
+
+namespace {
+
+using protocol::Delivery;
+using protocol::FaultyChannel;
+using protocol::FaultyChannelConfig;
+using protocol::InFlightMessage;
+using protocol::MessageType;
+using protocol::WireError;
+
+/// How long a worker parks in try_pop_for before re-checking for shutdown.
+constexpr double kPopSliceS = 0.010;
+
+struct Job {
+  std::uint64_t request_id = 0;
+  std::uint64_t tenant_id = 0;
+  Bytes inner;
+  ReaderGateway::Callback callback;
+};
+
+}  // namespace
+
+struct ReaderGateway::Impl {
+  VaultCluster& cluster;
+  GatewayConfig config;
+  runtime::BoundedQueue<Job> queue;
+  std::vector<std::thread> workers;
+  std::atomic<std::uint64_t> next_seq{0};
+  std::atomic<bool> finished{false};
+  mutable std::mutex stats_mutex;
+  GatewayStats counters;
+
+  Impl(VaultCluster& c, const GatewayConfig& cfg)
+      : cluster(c), config(cfg), queue(cfg.queue_capacity) {
+    if (config.max_attempts < 1) config.max_attempts = 1;
+    if (config.workers < 1) config.workers = 1;
+    workers.reserve(config.workers);
+    for (std::size_t w = 0; w < config.workers; ++w)
+      workers.emplace_back([this, w] { worker_loop(w); });
+  }
+
+  void worker_loop(std::size_t index) {
+    // Each worker owns one channel: FaultyChannel's PRNG is externally
+    // synchronized, and distinct seeds keep workers' fault traces independent.
+    FaultyChannelConfig channel_config = config.channel;
+    channel_config.seed =
+        channel_config.seed + (std::uint64_t{config.gateway_id} << 20) + index * 0x9E37ull + 1;
+    FaultyChannel channel(channel_config);
+    while (true) {
+      std::optional<Job> job = queue.try_pop_for(kPopSliceS);
+      if (!job) {
+        if (queue.closed()) return;  // closed AND drained
+        continue;
+      }
+      run_job(*job, channel);
+    }
+  }
+
+  /// One request end-to-end: attempts x (frame -> WAN -> cluster -> WAN),
+  /// with the attempt deadline applied to delivery times and capped
+  /// exponential backoff (real sleep) between attempts.
+  void run_job(Job& job, FaultyChannel& channel) {
+    GatewayResult result;
+    result.request_id = job.request_id;
+
+    double clock = 0.0;  // virtual session clock driving the channel model
+    bool saw_response = false;
+    AccessStatus last_status = AccessStatus::kRetryExhausted;
+    Bytes last_grant;
+    std::uint64_t frames = 0, corrupt = 0, late = 0;
+
+    for (std::uint32_t attempt = 0; attempt < config.max_attempts; ++attempt) {
+      result.attempts = attempt + 1;
+      ClusterRequest envelope;
+      envelope.request_id = job.request_id;  // stable across attempts
+      envelope.tenant_id = job.tenant_id;
+      envelope.attempt = attempt;
+      envelope.inner = job.inner;
+
+      InFlightMessage msg;
+      msg.from = "mobile";
+      msg.to = "server";
+      msg.type = MessageType::kClusterRequest;
+      msg.payload = frame_message(envelope.serialize());
+      msg.send_time = clock;
+      const double deadline = clock + config.attempt_timeout_s;
+      ++frames;
+
+      std::optional<ClusterResponse> response;
+      for (Delivery& copy : channel.transmit(msg, config.base_latency_s)) {
+        if (copy.arrival_s > deadline) {
+          ++late;
+          continue;
+        }
+        std::optional<Bytes> payload = unframe_message(copy.payload);
+        if (!payload) {
+          ++corrupt;
+          continue;
+        }
+        ClusterRequest arrived;
+        try {
+          arrived = ClusterRequest::parse(*payload);
+        } catch (const WireError&) {
+          ++corrupt;
+          continue;
+        }
+        // Duplicated copies re-execute harmlessly: the cluster's idempotency
+        // cache returns the recorded response to every copy after the first.
+        ClusterResponse server_answer = cluster.execute(arrived);
+
+        InFlightMessage reply;
+        reply.from = "server";
+        reply.to = "mobile";
+        reply.type = MessageType::kClusterResponse;
+        reply.payload = frame_message(server_answer.serialize());
+        reply.send_time = copy.arrival_s;
+        ++frames;
+        for (Delivery& back : channel.transmit(reply, config.base_latency_s)) {
+          if (back.arrival_s > deadline) {
+            ++late;
+            continue;
+          }
+          std::optional<Bytes> reply_payload = unframe_message(back.payload);
+          if (!reply_payload) {
+            ++corrupt;
+            continue;
+          }
+          try {
+            ClusterResponse parsed = ClusterResponse::parse(*reply_payload);
+            if (parsed.request_id == job.request_id) {
+              response = std::move(parsed);
+              break;
+            }
+          } catch (const WireError&) {
+            ++corrupt;
+          }
+        }
+        if (response) break;
+      }
+
+      if (response) {
+        saw_response = true;
+        last_status = response->status;
+        last_grant = std::move(response->grant_wire);
+        // Anything but kUnavailable is a final answer; kUnavailable is the
+        // one status worth retrying through (failover may land meanwhile).
+        if (last_status != AccessStatus::kUnavailable) break;
+      }
+      if (attempt + 1 < config.max_attempts) {
+        const double backoff = std::min(config.backoff_base_s * static_cast<double>(1u << attempt),
+                                        config.backoff_max_s);
+        if (backoff > 0.0)
+          std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+        clock = deadline + backoff;
+      }
+    }
+
+    // Typed resolution, always: a request that heard nothing at all across
+    // its whole budget is kRetryExhausted; one whose latest news was "owner
+    // down" stays kUnavailable.
+    result.status = saw_response ? last_status : AccessStatus::kRetryExhausted;
+    result.grant_wire = std::move(last_grant);
+
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex);
+      counters.resolved += 1;
+      counters.attempts += result.attempts;
+      counters.frames_sent += frames;
+      counters.corrupt_dropped += corrupt;
+      counters.timed_out_copies += late;
+      counters.outcomes[static_cast<std::size_t>(result.status)] += 1;
+    }
+    if (job.callback) job.callback(result);
+  }
+};
+
+ReaderGateway::ReaderGateway(VaultCluster& cluster, const GatewayConfig& config)
+    : impl_(new Impl(cluster, config)) {}
+
+ReaderGateway::~ReaderGateway() { finish(); }
+
+std::optional<std::uint64_t> ReaderGateway::submit(std::uint64_t tenant_id,
+                                                   std::span<const std::uint8_t> request_wire,
+                                                   Callback callback) {
+  if (impl_->finished.load(std::memory_order_acquire)) return std::nullopt;
+  Job job;
+  job.request_id = (std::uint64_t{impl_->config.gateway_id} << 48) |
+                   (impl_->next_seq.fetch_add(1, std::memory_order_relaxed) & 0xFFFFFFFFFFFFull);
+  job.tenant_id = tenant_id;
+  job.inner.assign(request_wire.begin(), request_wire.end());
+  job.callback = std::move(callback);
+  const std::uint64_t id = job.request_id;
+  // Count before push so submitted >= resolved at every instant.
+  {
+    std::lock_guard<std::mutex> lock(impl_->stats_mutex);
+    impl_->counters.submitted += 1;
+  }
+  if (!impl_->queue.push(std::move(job))) {
+    // Lost the race with finish(): the queue is closed, nothing was enqueued.
+    std::lock_guard<std::mutex> lock(impl_->stats_mutex);
+    impl_->counters.submitted -= 1;
+    return std::nullopt;
+  }
+  return id;
+}
+
+void ReaderGateway::finish() {
+  impl_->finished.store(true, std::memory_order_release);
+  impl_->queue.close();
+  for (std::thread& t : impl_->workers)
+    if (t.joinable()) t.join();
+}
+
+GatewayStats ReaderGateway::stats() const {
+  std::lock_guard<std::mutex> lock(impl_->stats_mutex);
+  return impl_->counters;
+}
+
+}  // namespace wavekey::server

@@ -152,6 +152,75 @@ AccessStatus KeyVault::authorize(const AccessRequest& req,
   return AccessStatus::kGranted;
 }
 
+bool KeyVault::note_seen(std::uint64_t session_id, std::uint64_t counter) {
+  Shard& shard = shard_for(session_id);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.entries.find(session_id);
+  if (it == shard.entries.end() || it->second.revoked) return false;
+  // The return value is irrelevant: the primary accepted the counter, so a
+  // duplicate mark (a re-replicated retry) is simply already-seen.
+  (void)it->second.window.check_and_update(counter);
+  return true;
+}
+
+std::vector<ExportedSession> KeyVault::export_sessions(
+    const std::function<bool(std::uint64_t)>& pred) const {
+  std::vector<ExportedSession> out;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    for (const auto& [id, entry] : shard->entries) {
+      if (!pred(id)) continue;
+      ExportedSession exported;
+      exported.session_id = id;
+      exported.key = entry.key;
+      exported.epoch = entry.epoch;
+      exported.expires_at_s = entry.expires_at_s;
+      exported.revoked = entry.revoked;
+      exported.window = entry.window.snapshot();
+      out.push_back(std::move(exported));
+    }
+  }
+  return out;
+}
+
+std::size_t KeyVault::import_sessions(std::span<const ExportedSession> sessions) {
+  std::size_t imported = 0;
+  for (const ExportedSession& s : sessions) {
+    Shard& shard = shard_for(s.session_id);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.entries.find(s.session_id);
+    if (it == shard.entries.end()) {
+      if (shard.entries.size() >= per_shard_capacity_ && !shard.lru.empty()) {
+        const std::uint64_t victim = shard.lru.back();
+        shard.lru.pop_back();
+        shard.entries.erase(victim);
+        lru_evictions_.fetch_add(1, std::memory_order_relaxed);
+      }
+      it = shard.entries.emplace(s.session_id, Entry(config_.replay_window_bits)).first;
+      shard.lru.push_front(s.session_id);
+      it->second.lru_pos = shard.lru.begin();
+    } else {
+      touch(shard, it->second);
+    }
+    Entry& entry = it->second;
+    entry.key = s.key;
+    entry.epoch = s.epoch;
+    entry.expires_at_s = s.expires_at_s;
+    entry.revoked = s.revoked;
+    entry.window.restore(s.window);
+    ++imported;
+  }
+  return imported;
+}
+
+void KeyVault::clear() {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->entries.clear();
+    shard->lru.clear();
+  }
+}
+
 std::optional<SessionKey> KeyVault::current_key(std::uint64_t session_id, double now_s) const {
   const Shard& shard = shard_for(session_id);
   std::lock_guard<std::mutex> lock(shard.mutex);

@@ -23,6 +23,7 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -63,6 +64,19 @@ struct VaultStats {
 SessionKey derive_rotated_key(const SessionKey& old_key, std::uint64_t session_id,
                               std::uint32_t new_epoch);
 
+/// One session's complete state as shipped between vault nodes during
+/// replica handoff (src/server/cluster.*). The replay window rides along:
+/// a promoted replica must reject exactly the counters the failed primary
+/// already accepted, or a crash would reopen the replay surface.
+struct ExportedSession {
+  std::uint64_t session_id = 0;
+  SessionKey key{};
+  std::uint32_t epoch = 0;
+  double expires_at_s = 0.0;
+  bool revoked = false;
+  ReplayWindow::Snapshot window;
+};
+
 class KeyVault {
  public:
   explicit KeyVault(const VaultConfig& config);
@@ -89,6 +103,28 @@ class KeyVault {
   /// caller can MAC the grant. `mac_input` must be req.mac_input().
   AccessStatus authorize(const AccessRequest& req, std::span<const std::uint8_t> mac_input,
                          double now_s, SessionKey* key_out);
+
+  /// Trusted intra-cluster replication: marks `counter` seen in the session's
+  /// replay window WITHOUT a MAC check — the primary already verified the
+  /// request; this mirrors the accepted counter onto the replica so a later
+  /// promotion cannot re-accept it. Never exposed on the client-facing path.
+  /// Returns false if the session is absent or revoked.
+  bool note_seen(std::uint64_t session_id, std::uint64_t counter);
+
+  /// Snapshot of every session matching `pred` (id → include?): the export
+  /// half of partition handoff. Tombstones and expired entries are included
+  /// verbatim — migration must not resurrect or silently drop either.
+  std::vector<ExportedSession> export_sessions(
+      const std::function<bool(std::uint64_t)>& pred) const;
+
+  /// Upserts exported sessions, preserving epoch / TTL / revocation /
+  /// replay-window state exactly (unlike install, which starts fresh). May
+  /// LRU-evict under capacity pressure. Returns the number imported.
+  std::size_t import_sessions(std::span<const ExportedSession> sessions);
+
+  /// Drops every entry in every shard — the "node memory lost" crash model
+  /// of the cluster layer (not counted as evictions).
+  void clear();
 
   /// Current key of a live (non-expired, non-revoked) session — the client
   /// side of tests/benches uses this to build requests after rotation.

@@ -1,0 +1,73 @@
+#include "server/membership.hpp"
+
+#include <algorithm>
+
+namespace wavekey::server {
+
+namespace {
+
+/// splitmix64 finalizer (same mixer as the vault's shard router).
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// Ring coordinate of virtual point `v` of `node`. The two labels are mixed
+/// jointly so a node's points are independent of each other and of other
+/// nodes' points.
+std::uint64_t ring_point(NodeId node, std::uint32_t v) {
+  return mix64((std::uint64_t{node} << 32) | v);
+}
+
+/// Ring coordinate a partition hashes to (distinct label space from nodes).
+std::uint64_t partition_point(std::uint32_t partition) {
+  return mix64(0xC1A57E8ull * 0x100000000ull + partition);
+}
+
+}  // namespace
+
+std::uint32_t partition_of(std::uint64_t session_id, std::uint32_t partitions) {
+  if (partitions == 0) return 0;
+  return static_cast<std::uint32_t>(mix64(session_id) % partitions);
+}
+
+PartitionMap::PartitionMap(std::uint32_t partitions, std::uint32_t vnodes)
+    : vnodes_(vnodes < 1 ? 1 : vnodes), owners_(partitions < 1 ? 1 : partitions) {}
+
+void PartitionMap::rebuild(const std::vector<NodeId>& up_nodes) {
+  ++version_;
+  if (up_nodes.empty()) {
+    for (auto& o : owners_) o = PartitionOwners{};
+    return;
+  }
+  // Build the ring: every live node contributes vnodes_ points.
+  std::vector<std::pair<std::uint64_t, NodeId>> ring;
+  ring.reserve(up_nodes.size() * vnodes_);
+  for (NodeId node : up_nodes)
+    for (std::uint32_t v = 0; v < vnodes_; ++v) ring.emplace_back(ring_point(node, v), node);
+  std::sort(ring.begin(), ring.end());
+
+  for (std::uint32_t p = 0; p < owners_.size(); ++p) {
+    const std::uint64_t point = partition_point(p);
+    // Successor of the partition's point (wrapping past the top of the ring).
+    auto it = std::lower_bound(ring.begin(), ring.end(),
+                               std::make_pair(point, NodeId{0}));
+    if (it == ring.end()) it = ring.begin();
+    PartitionOwners owners;
+    owners.primary = it->second;
+    // Replica: next point clockwise owned by a *different* node.
+    for (std::size_t step = 1; step < ring.size(); ++step) {
+      const auto& candidate = ring[(static_cast<std::size_t>(it - ring.begin()) + step) %
+                                   ring.size()];
+      if (candidate.second != owners.primary) {
+        owners.replica = candidate.second;
+        break;
+      }
+    }
+    owners_[p] = owners;
+  }
+}
+
+}  // namespace wavekey::server

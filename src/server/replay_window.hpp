@@ -60,6 +60,31 @@ class ReplayWindow {
     for (auto& w : words_) w = 0;
   }
 
+  /// Highest counter accepted so far (0 if nothing seen yet).
+  std::uint64_t max_seen() const { return any_ ? max_seen_ : 0; }
+
+  /// Portable window state — what replica handoff ships between vault nodes
+  /// (src/server/cluster.*). Restoring a snapshot on the replica makes the
+  /// promoted node reject exactly the counters the failed primary already
+  /// accepted: the zero-accepted-replays invariant survives the migration.
+  struct Snapshot {
+    bool any = false;
+    std::uint64_t max_seen = 0;
+    std::vector<std::uint64_t> words;
+  };
+
+  Snapshot snapshot() const { return Snapshot{any_, max_seen_, words_}; }
+
+  /// Adopts `s`. A snapshot from a wider window is truncated to this width
+  /// (oldest counters fall off — they would be rejected as too-old anyway);
+  /// a narrower one zero-fills the missing words.
+  void restore(const Snapshot& s) {
+    any_ = s.any;
+    max_seen_ = s.max_seen;
+    for (std::size_t i = 0; i < words_.size(); ++i)
+      words_[i] = i < s.words.size() ? s.words[i] : 0;
+  }
+
  private:
   // Bit `age` means counter (max_seen_ - age); bit 0 lives in words_[0] LSB.
   bool get_bit(std::uint64_t age) const {

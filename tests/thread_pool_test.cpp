@@ -175,3 +175,72 @@ TEST(BoundedQueue, ManyProducersManyConsumersLoseNothing) {
   const long n = kProducers * kPerProducer;
   EXPECT_EQ(sum.load(), n * (n + 1) / 2);
 }
+
+// --- try_pop_for: the timed consumer wait of the gateway worker loop -------
+
+TEST(BoundedQueue, TryPopForReturnsItemImmediatelyWhenAvailable) {
+  BoundedQueue<int> queue(4);
+  ASSERT_TRUE(queue.push(7));
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_EQ(queue.try_pop_for(5.0).value_or(-1), 7);
+  // An available item must not wait out the timeout.
+  EXPECT_LT(std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count(), 1.0);
+}
+
+TEST(BoundedQueue, TryPopForTimesOutOnEmptyOpenQueue) {
+  BoundedQueue<int> queue(4);
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(queue.try_pop_for(0.05).has_value());
+  const double waited =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  EXPECT_GE(waited, 0.045);     // actually waited for the deadline...
+  EXPECT_FALSE(queue.closed()); // ...and nullopt here means timeout, not EOS
+}
+
+TEST(BoundedQueue, TryPopForNegativeTimeoutPollsWithoutBlocking) {
+  BoundedQueue<int> queue(4);
+  EXPECT_FALSE(queue.try_pop_for(-1.0).has_value());
+  ASSERT_TRUE(queue.push(3));
+  EXPECT_EQ(queue.try_pop_for(-1.0).value_or(-1), 3);
+}
+
+TEST(BoundedQueue, TryPopForDrainsClosedQueueBeforeReportingEos) {
+  BoundedQueue<int> queue(4);
+  ASSERT_TRUE(queue.push(1));
+  ASSERT_TRUE(queue.push(2));
+  queue.close();
+  // Shutdown must never lose queued work: items first, EOS after.
+  EXPECT_EQ(queue.try_pop_for(0.0).value_or(-1), 1);
+  EXPECT_EQ(queue.try_pop_for(0.0).value_or(-1), 2);
+  EXPECT_FALSE(queue.try_pop_for(0.0).has_value());
+  EXPECT_TRUE(queue.closed());
+}
+
+TEST(BoundedQueue, TryPopForWakesPromptlyOnRacedClose) {
+  BoundedQueue<int> queue(4);
+  std::atomic<bool> woke{false};
+  std::thread consumer([&] {
+    // Far longer than the test is willing to wait: only close() ends it.
+    EXPECT_FALSE(queue.try_pop_for(30.0).has_value());
+    woke.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(woke.load());  // parked, not spinning through
+  const auto t0 = std::chrono::steady_clock::now();
+  queue.close();
+  consumer.join();
+  EXPECT_TRUE(woke.load());
+  // Woke on the close notification, nowhere near the 30 s deadline.
+  EXPECT_LT(std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count(), 5.0);
+}
+
+TEST(BoundedQueue, TryPopForWakesOnRacedPush) {
+  BoundedQueue<int> queue(4);
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    queue.push(42);
+  });
+  // Timeout far beyond the push delay: the value must arrive via wakeup.
+  EXPECT_EQ(queue.try_pop_for(30.0).value_or(-1), 42);
+  producer.join();
+}

@@ -37,6 +37,8 @@ GATED = [
     "BM_RsEncode",
     "BM_ChaCha20Block",
     "BM_GemmF32",
+    "BM_ClusterFrame",
+    "BM_PartitionMapRoute",
 ]
 
 

@@ -104,6 +104,47 @@ print(f"bench_server ok: speedup_4t_over_1t={data['speedup_4t_over_1t']}, "
 PYEOF
 }
 
+cluster_gate() {
+  # bench_cluster drives gateway fleets against the partitioned vault
+  # cluster through a lossy WAN model while injecting a crash (with
+  # failover) and a graceful drain mid-traffic, and exits non-zero if any
+  # ledger gate fails. The python pass re-derives the security invariants
+  # from the emitted JSON — zero accepted replays, zero double-grants,
+  # zero unresolved in-flight requests, every rejection class actually
+  # fired, each chaos event ran — so a broken exit path cannot mask them.
+  echo "=== [plain] bench_cluster gate ==="
+  ./build-ci/bench/bench_cluster > build-ci/bench_cluster.json
+  python3 - build-ci/bench_cluster.json <<'PYEOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    data = json.load(f)
+assert data["accepted_replays"] == 0, "cluster accepted a replay"
+assert data["double_grants"] == 0, "cluster double-granted a request"
+assert data["unresolved_in_flight"] == 0, "in-flight request never resolved"
+assert data["wellformed_success"] >= 0.95, (
+    f"well-formed success {data['wellformed_success']} < 0.95")
+for flag in ("probe_ledger_ok", "window_ledger_ok", "reopened_ledger_ok",
+             "blackhole_ledger_ok", "chaos_typed_ok", "grants_accounted",
+             "chaos_ran", "success_ok", "resolved_ok"):
+    assert data[flag], f"bench_cluster gate {flag} failed"
+phases = data["phases"]
+assert phases["probes"]["replay"] > 0, "replay probes never fired"
+assert phases["probes"]["bad_mac"] > 0, "bad-MAC probes never fired"
+assert phases["probes"]["malformed"] > 0, "malformed probes never fired"
+assert phases["crash_window"]["unavailable"] > 0, "crash window saw no kUnavailable"
+assert phases["post_failover_replay"]["replay"] > 0, "post-failover replays not rejected"
+assert phases["blackhole"]["retry_exhausted"] > 0, "blackhole saw no kRetryExhausted"
+cluster = data["cluster"]
+assert cluster["crashes"] == 1 and cluster["drains"] == 1 and cluster["failovers"] == 1, \
+    "chaos events did not all run"
+assert cluster["sessions_migrated"] > 0, "handoff migrated no sessions"
+print(f"bench_cluster ok: executed={cluster['executed']}, "
+      f"grants={cluster['vault_grants']}, dedup_hits={cluster['dedup_hits']}, "
+      f"migrated={cluster['sessions_migrated']}, accepted_replays=0, "
+      f"double_grants=0, success={data['wellformed_success']}")
+PYEOF
+}
+
 perf_gate() {
   # Release (-O3) leg: measure the gated hot-path benchmarks and compare
   # against the committed baseline. Repetitions + min-over-reps (inside
@@ -117,7 +158,7 @@ perf_gate() {
     --benchmark_format=json \
     --benchmark_repetitions=3 \
     --benchmark_min_time=0.05 \
-    --benchmark_filter='BM_Sha256_1KiB|BM_Fe25519_Pow|BM_Fe25519_GeneratorPow|BM_Fe25519_Square|BM_Fe25519_Inverse|BM_OtInstance|BM_OtSenderEncrypt|BM_ImuEncoderInference|BM_Conv1dForward|BM_DenseForward|BM_Gf256AddmulSlice|BM_RsEncode|BM_ChaCha20Block|BM_GemmF32' \
+    --benchmark_filter='BM_Sha256_1KiB|BM_Fe25519_Pow|BM_Fe25519_GeneratorPow|BM_Fe25519_Square|BM_Fe25519_Inverse|BM_OtInstance|BM_OtSenderEncrypt|BM_ImuEncoderInference|BM_Conv1dForward|BM_DenseForward|BM_Gf256AddmulSlice|BM_RsEncode|BM_ChaCha20Block|BM_GemmF32|BM_ClusterFrame|BM_PartitionMapRoute' \
     > build-ci-release/bench_micro.json
   tools/bench_compare.py BENCH_micro.json build-ci-release/bench_micro.json
   # On AVX2 hosts, assert the vectorized kernels actually pay for their
@@ -133,6 +174,7 @@ case "$MODE" in
     forced_scalar_gate
     throughput_gate
     server_gate
+    cluster_gate
     ;;
 esac
 
@@ -150,7 +192,8 @@ case "$MODE" in
   --plain-only|--sanitize-only|--perf-only) ;;
   *)
     # TSan is scoped to the concurrency suites (thread pool + pairing
-    # engine + access server) plus the kernel-equivalence suite, which
+    # engine + access server + vault cluster/gateway) plus the
+    # kernel-equivalence suite, which
     # drives the GEMM kernels through the compute pool: that is where the
     # shared mutable state lives, and the 5-15x TSan slowdown makes the
     # full training suite impractical in CI.
@@ -158,10 +201,10 @@ case "$MODE" in
     cmake -B build-ci-tsan -S . -DWAVEKEY_TSAN=ON
     echo "=== [tsan] build ==="
     cmake --build build-ci-tsan -j "$JOBS" \
-      --target thread_pool_test pairing_engine_test kernel_equiv_test server_test
+      --target thread_pool_test pairing_engine_test kernel_equiv_test server_test cluster_test
     echo "=== [tsan] ctest (concurrency suites) ==="
     ctest --test-dir build-ci-tsan --output-on-failure -j "$JOBS" \
-      -R 'ThreadPool|BoundedQueue|PairingEngine|TrainingDeterminism|KernelEquivalence|TensorArena|KeyVault|AccessServer|ReplayWindow|TokenBucket|TenantLimiter|AccessProtocol|MalformedInputFuzz'
+      -R 'ThreadPool|BoundedQueue|PairingEngine|TrainingDeterminism|KernelEquivalence|TensorArena|KeyVault|AccessServer|ReplayWindow|TokenBucket|TenantLimiter|AccessProtocol|MalformedInputFuzz|PartitionMap|ClusterWire|ClusterFuzz|VaultCluster|ReaderGateway'
     ;;
 esac
 

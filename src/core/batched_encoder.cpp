@@ -1,0 +1,85 @@
+#include "core/batched_encoder.hpp"
+
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+namespace wavekey::core {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+}
+
+BatchedEncoderService::BatchedEncoderService(EncoderPair& encoders,
+                                             const BatchedEncoderConfig& config)
+    : config_(config),
+      imu_infer_(encoders.imu_encoder(), config.imu_channels, config.imu_length),
+      rf_infer_(encoders.rfid_encoder(), config.rf_channels, config.rf_length),
+      batcher_({config.max_batch, config.max_hold_s},
+               [this](std::vector<Item>& items) { return flush(items); }) {}
+
+BatchedEncoderService::~BatchedEncoderService() { close(); }
+
+std::vector<BatchedEncoderService::Out> BatchedEncoderService::flush(std::vector<Item>& items) {
+  // The MicroBatcher may have batch k+1 ready while batch k still flushes;
+  // the Sequentials are externally synchronized, so serialize here.
+  std::lock_guard<std::mutex> lock(flush_mutex_);
+  const std::size_t b = items.size();
+  std::vector<const nn::Tensor*> imu_ptrs(b), rf_ptrs(b);
+  for (std::size_t s = 0; s < b; ++s) {
+    imu_ptrs[s] = items[s].imu;
+    rf_ptrs[s] = items[s].rf;
+  }
+
+  const Clock::time_point t0 = Clock::now();
+  const nn::Tensor imu_lat =
+      imu_infer_.forward(std::span<const nn::Tensor* const>(imu_ptrs.data(), b));
+  const Clock::time_point t1 = Clock::now();
+  const nn::Tensor rf_lat =
+      rf_infer_.forward(std::span<const nn::Tensor* const>(rf_ptrs.data(), b));
+  const Clock::time_point t2 = Clock::now();
+
+  // Every co-batched session is charged an equal 1/B share of the measured
+  // batched forward wall time (the whole point of coalescing: the shares
+  // shrink as B grows, and they land on the virtual session clock).
+  const double imu_share = std::chrono::duration<double>(t1 - t0).count() / b;
+  const double rf_share = std::chrono::duration<double>(t2 - t1).count() / b;
+
+  const std::size_t d_imu = imu_infer_.out_features();
+  const std::size_t d_rf = rf_infer_.out_features();
+  std::vector<Out> outs(b);
+  for (std::size_t s = 0; s < b; ++s) {
+    Out& o = outs[s];
+    o.mobile.resize(d_imu);
+    o.server.resize(d_rf);
+    for (std::size_t f = 0; f < d_imu; ++f) o.mobile[f] = imu_lat.raw()[s * d_imu + f];
+    for (std::size_t f = 0; f < d_rf; ++f) o.server[f] = rf_lat.raw()[s * d_rf + f];
+    o.imu_s = imu_share;
+    o.rf_s = rf_share;
+  }
+  return outs;
+}
+
+EncodedLatents BatchedEncoderService::encode(const nn::Tensor& imu, const nn::Tensor& rf) {
+  if (imu.size() != config_.imu_channels * config_.imu_length)
+    throw std::invalid_argument("BatchedEncoderService::encode: IMU shape mismatch");
+  if (rf.size() != config_.rf_channels * config_.rf_length)
+    throw std::invalid_argument("BatchedEncoderService::encode: RF shape mismatch");
+
+  auto ticket = batcher_.submit(Item{&imu, &rf});
+  if (!ticket) throw std::runtime_error("BatchedEncoderService::encode: service closed");
+
+  EncodedLatents out;
+  out.mobile = std::move(ticket->value.mobile);
+  out.server = std::move(ticket->value.server);
+  out.hold_s = ticket->hold_s;
+  out.imu_forward_s = ticket->value.imu_s;
+  out.rf_forward_s = ticket->value.rf_s;
+  out.batch_size = ticket->batch_size;
+  out.deadline_dispatch = ticket->deadline_dispatch;
+  return out;
+}
+
+void BatchedEncoderService::close() { batcher_.close(); }
+
+}  // namespace wavekey::core

@@ -1,0 +1,257 @@
+#include "nn/batched_infer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "nn/batchnorm.hpp"
+#include "nn/conv1d.hpp"
+#include "nn/conv_lowering.hpp"
+#include "nn/dense.hpp"
+#include "nn/gemm.hpp"
+#include "runtime/cpu.hpp"
+
+namespace wavekey::nn {
+
+namespace detail {
+
+void batched_dense_scalar(std::size_t m, std::size_t k, std::size_t n_pad, const float* w,
+                          const float* x, const float* bias, float* y) {
+  for (std::size_t mi = 0; mi < m; ++mi) {
+    float* yr = y + mi * n_pad;
+    const float* wr = w + mi * k;
+    for (std::size_t n = 0; n < n_pad; ++n) yr[n] = bias[mi];
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float wv = wr[kk];
+      const float* xr = x + kk * n_pad;
+      for (std::size_t n = 0; n < n_pad; ++n) yr[n] += wv * xr[n];
+    }
+  }
+}
+
+}  // namespace detail
+
+namespace {
+
+constexpr std::size_t kLanes = 8;  // ymm width the feature-major stage pads to
+
+std::size_t pad_lanes(std::size_t b) { return (b + kLanes - 1) / kLanes * kLanes; }
+
+void batched_dense(std::size_t m, std::size_t k, std::size_t n_pad, const float* w,
+                   const float* x, const float* bias, float* y) {
+  if (runtime::cpu::active_tier() == runtime::cpu::SimdTier::kAvx2)
+    detail::batched_dense_avx2(m, k, n_pad, w, x, bias, y);
+  else
+    detail::batched_dense_scalar(m, k, n_pad, w, x, bias, y);
+}
+
+// lowering::im2col with the strided interior copy routed through the AVX2
+// even-lane shuffle for stride-2 convs (every conv in the encoder stacks is
+// strided, so the generic path's element-at-a-time gather is ~half the
+// batched conv cost). Same tap_range edge/interior split, same output.
+void batched_im2col(const float* x, std::size_t in_ch, std::size_t channel_stride,
+                    std::size_t lin, std::size_t kernel, std::size_t stride,
+                    std::size_t padding, std::size_t lout, float* cols,
+                    std::size_t col_stride, bool avx2) {
+  for (std::size_t ic = 0; ic < in_ch; ++ic) {
+    const float* xc = x + ic * channel_stride;
+    for (std::size_t k = 0; k < kernel; ++k) {
+      float* row = cols + (ic * kernel + k) * col_stride;
+      const std::ptrdiff_t d =
+          static_cast<std::ptrdiff_t>(k) - static_cast<std::ptrdiff_t>(padding);
+      const lowering::TapRange r = lowering::tap_range(d, lin, stride, lout);
+      if (r.t0 > 0) std::memset(row, 0, r.t0 * sizeof(float));
+      if (r.t1 < lout) std::memset(row + r.t1, 0, (lout - r.t1) * sizeof(float));
+      const float* src = xc + static_cast<std::ptrdiff_t>(r.t0 * stride) + d;
+      const std::size_t n = r.t1 - r.t0;
+      if (stride == 1) {
+        if (n > 0) std::memcpy(row + r.t0, src, n * sizeof(float));
+      } else if (stride == 2 && avx2) {
+        detail::copy_stride2_avx2(row + r.t0, src, n);
+      } else if (stride == 4 && avx2) {
+        detail::copy_stride4_avx2(row + r.t0, src, n);
+      } else {
+        for (std::size_t t = 0; t < n; ++t) row[r.t0 + t] = src[t * stride];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+BatchedInference::BatchedInference(Sequential& net, std::size_t in_channels,
+                                   std::size_t in_length)
+    : net_(net), in_ch_(in_channels), in_len_(in_length) {
+  if (in_channels == 0 || in_length == 0)
+    throw std::invalid_argument("BatchedInference: empty input shape");
+
+  bool flattened = false;
+  std::size_t ch = in_channels, len = in_length, feat = 0;
+  for (std::size_t i = 0; i < net.num_layers(); ++i) {
+    Layer& l = net.layer(i);
+    Op op{};
+    if (auto* conv = dynamic_cast<Conv1D*>(&l)) {
+      if (flattened)
+        throw std::invalid_argument("BatchedInference: Conv1D after Flatten unsupported");
+      if (conv->in_channels() != ch)
+        throw std::invalid_argument("BatchedInference: Conv1D channel mismatch at layer " +
+                                    std::to_string(i));
+      op.kind = Op::Kind::kConv;
+      op.conv = conv;
+      op.in_ch = ch;
+      op.out_ch = conv->out_channels();
+      op.lin = len;
+      op.lout = conv->output_length(len);
+      ch = op.out_ch;
+      len = op.lout;
+    } else if (dynamic_cast<ReLU*>(&l) != nullptr) {
+      op.kind = Op::Kind::kRelu;
+    } else if (dynamic_cast<Flatten*>(&l) != nullptr) {
+      if (flattened)
+        throw std::invalid_argument("BatchedInference: multiple Flatten layers unsupported");
+      flattened = true;
+      feat = ch * len;
+      op.kind = Op::Kind::kFlatten;
+    } else if (auto* dense = dynamic_cast<Dense*>(&l)) {
+      if (!flattened)
+        throw std::invalid_argument("BatchedInference: Dense before Flatten unsupported");
+      if (dense->in_features() != feat)
+        throw std::invalid_argument("BatchedInference: Dense feature mismatch at layer " +
+                                    std::to_string(i));
+      op.kind = Op::Kind::kDense;
+      op.dense = dense;
+      op.in_f = feat;
+      op.out_f = dense->out_features();
+      feat = op.out_f;
+    } else if (auto* bn = dynamic_cast<BatchNorm1D*>(&l)) {
+      if (!flattened || bn->features() != feat)
+        throw std::invalid_argument("BatchedInference: BatchNorm1D shape mismatch at layer " +
+                                    std::to_string(i));
+      if (bn->affine())
+        throw std::invalid_argument("BatchedInference: affine BatchNorm1D unsupported");
+      op.kind = Op::Kind::kBatchNorm;
+      op.bn = bn;
+    } else {
+      throw std::invalid_argument("BatchedInference: unsupported layer type '" + l.type_name() +
+                                  "' at layer " + std::to_string(i));
+    }
+    ops_.push_back(op);
+  }
+  if (!flattened)
+    throw std::invalid_argument("BatchedInference: stack has no Flatten layer");
+  out_features_ = feat;
+}
+
+Tensor BatchedInference::forward(std::span<const Tensor* const> inputs) {
+  const std::size_t b = inputs.size();
+  if (b == 0) throw std::invalid_argument("BatchedInference::forward: empty batch");
+  for (const Tensor* t : inputs)
+    if (t == nullptr || t->size() != in_ch_ * in_len_)
+      throw std::invalid_argument("BatchedInference::forward: input shape mismatch");
+
+  if (b == 1) {
+    // Batch of 1 is the determinism anchor: route through the exact serial
+    // path (same kernels, same reduction orders) so the result is
+    // bit-identical to EncoderPair::features_of.
+    const Tensor out = net_.forward(inputs[0]->reshaped({1, in_ch_, in_len_}), false);
+    return out.reshaped({1, out_features_});
+  }
+
+  const std::size_t n_pad = pad_lanes(b);
+  const bool avx2 = runtime::cpu::active_tier() == runtime::cpu::SimdTier::kAvx2;
+  std::size_t ch = in_ch_, len = in_len_;
+
+  // Pack channel-major: x[c][s*len + t] = sample s, channel c, position t.
+  Tensor x = Tensor::uninitialized({ch, b * len});
+  for (std::size_t c = 0; c < ch; ++c) {
+    float* row = x.raw() + c * b * len;
+    for (std::size_t s = 0; s < b; ++s)
+      std::memcpy(row + s * len, inputs[s]->raw() + c * len, len * sizeof(float));
+  }
+
+  for (const Op& op : ops_) {
+    switch (op.kind) {
+      case Op::Kind::kConv: {
+        // All B samples' im2col blocks share one [in_ch*k, B*lout] operand,
+        // so the whole batch is a single GEMM with full-width column groups.
+        const std::size_t k = op.conv->kernel();
+        Tensor cols = Tensor::uninitialized({op.in_ch * k, b * op.lout});
+        for (std::size_t s = 0; s < b; ++s)
+          batched_im2col(x.raw() + s * op.lin, op.in_ch, /*channel_stride=*/b * op.lin,
+                         op.lin, k, op.conv->stride(), op.conv->padding(), op.lout,
+                         cols.raw() + s * op.lout, /*col_stride=*/b * op.lout, avx2);
+        Tensor y = Tensor::uninitialized({op.out_ch, b * op.lout});
+        const float* bias = op.conv->bias().raw();
+        for (std::size_t oc = 0; oc < op.out_ch; ++oc)
+          std::fill_n(y.raw() + oc * b * op.lout, b * op.lout, bias[oc]);
+        gemm_nn(op.out_ch, b * op.lout, op.in_ch * k, op.conv->weights().raw(), op.in_ch * k,
+                cols.raw(), b * op.lout, y.raw(), b * op.lout, /*accumulate=*/true);
+        x = std::move(y);
+        ch = op.out_ch;
+        len = op.lout;
+        break;
+      }
+      case Op::Kind::kRelu: {
+        // Inference needs no mask: clamp in place, zero extra memory
+        // traffic. Unconditional store keeps the loop auto-vectorizable.
+        float* d = x.raw();
+        const std::size_t n = x.size();
+        for (std::size_t i = 0; i < n; ++i) d[i] = d[i] < 0.0f ? 0.0f : d[i];
+        break;
+      }
+      case Op::Kind::kFlatten: {
+        // channel-major [ch, B*len] -> feature-major [ch*len, n_pad]; pad
+        // columns are zero so the dense kernels can run full 8-wide lanes.
+        Tensor xf = Tensor::uninitialized({ch * len, n_pad});
+        for (std::size_t c = 0; c < ch; ++c) {
+          const float* src = x.raw() + c * b * len;
+          float* dst = xf.raw() + c * len * n_pad;
+          if (avx2) {
+            detail::flatten_transpose_avx2(src, b, len, n_pad, dst);
+          } else {
+            for (std::size_t t = 0; t < len; ++t) {
+              for (std::size_t s = 0; s < b; ++s) dst[t * n_pad + s] = src[s * len + t];
+              for (std::size_t s = b; s < n_pad; ++s) dst[t * n_pad + s] = 0.0f;
+            }
+          }
+        }
+        x = std::move(xf);
+        break;
+      }
+      case Op::Kind::kDense: {
+        Tensor y = Tensor::uninitialized({op.out_f, n_pad});
+        batched_dense(op.out_f, op.in_f, n_pad, op.dense->weights().raw(), x.raw(),
+                      op.dense->bias().raw(), y.raw());
+        x = std::move(y);
+        break;
+      }
+      case Op::Kind::kBatchNorm: {
+        // Eval-mode running statistics, same (x - m) / sqrt(v + eps) form as
+        // BatchNorm1D::forward, applied row-wise in the feature-major layout.
+        const std::span<const float> mean = op.bn->running_mean();
+        const std::span<const float> var = op.bn->running_var();
+        const float eps = op.bn->eps();
+        for (std::size_t f = 0; f < op.bn->features(); ++f) {
+          const float m = mean[f];
+          const float stdv = std::sqrt(var[f] + eps);
+          float* row = x.raw() + f * n_pad;
+          for (std::size_t s = 0; s < n_pad; ++s) row[s] = (row[s] - m) / stdv;
+        }
+        break;
+      }
+    }
+  }
+
+  // x is feature-major [out_features, n_pad]; emit row-per-sample.
+  Tensor out = Tensor::uninitialized({b, out_features_});
+  for (std::size_t s = 0; s < b; ++s) {
+    float* row = out.raw() + s * out_features_;
+    for (std::size_t f = 0; f < out_features_; ++f) row[f] = x.raw()[f * n_pad + s];
+  }
+  return out;
+}
+
+}  // namespace wavekey::nn

@@ -82,6 +82,18 @@ class BoundedQueue {
   /// callers distinguish the two with closed() (a gateway retry loop or a
   /// draining node polls its deadline between slices instead of parking
   /// forever in pop()).
+  ///
+  /// Lost-wakeup audit (the invariant MicroBatcher's timed wait relies on
+  /// too). A timed waiter racing close() cannot miss the wakeup: close()
+  /// sets closed_ *under the mutex* before notifying, and wait_for uses the
+  /// predicate overload, which re-checks `closed_ || !items_.empty()` under
+  /// that same mutex both before first blocking and after every wake
+  /// (including spurious ones and timeout). So either the waiter blocks
+  /// before close() takes the mutex — and the notify_all finds it — or it
+  /// re-evaluates the predicate after close() released the mutex and sees
+  /// closed_ == true. The only nullopt paths are a genuine timeout with the
+  /// queue still empty, or closed-and-drained; an enqueued item can never be
+  /// stranded. Pinned by BoundedQueue.CloseRacesTimedPopWithoutLosingItems.
   std::optional<T> try_pop_for(double timeout_s) {
     std::unique_lock<std::mutex> lock(mutex_);
     not_empty_.wait_for(lock, std::chrono::duration<double>(timeout_s < 0.0 ? 0.0 : timeout_s),

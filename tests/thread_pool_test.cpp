@@ -244,3 +244,53 @@ TEST(BoundedQueue, TryPopForWakesOnRacedPush) {
   EXPECT_EQ(queue.try_pop_for(30.0).value_or(-1), 42);
   producer.join();
 }
+
+TEST(BoundedQueue, CloseRacesTimedPopWithoutLosingItems) {
+  // Regression stress for the lost-wakeup audit in bounded_queue.hpp: timed
+  // waiters racing producers and a mid-stream close() must account for every
+  // successfully-pushed item exactly once — a waiter that parks just as
+  // close() fires either drains an item or observes closed-and-drained,
+  // never strands an enqueued item. Many iterations to sweep the race
+  // window; the consumer timeout is short so the park/timeout/re-park path
+  // is exercised, not just the notified path.
+  for (int iter = 0; iter < 40; ++iter) {
+    BoundedQueue<int> queue(3);
+    std::atomic<long> pushed_sum{0};
+    std::atomic<long> popped_sum{0};
+
+    std::vector<std::thread> consumers;
+    for (int c = 0; c < 3; ++c)
+      consumers.emplace_back([&] {
+        while (true) {
+          if (auto v = queue.try_pop_for(200e-6)) {
+            popped_sum.fetch_add(*v);
+          } else if (queue.closed()) {
+            // nullopt + closed: re-check once more for items that landed
+            // between the failed wait and the closed() read, then stop.
+            while (auto tail = queue.try_pop_for(0.0)) popped_sum.fetch_add(*tail);
+            return;
+          }
+        }
+      });
+
+    std::vector<std::thread> producers;
+    for (int p = 0; p < 2; ++p)
+      producers.emplace_back([&, p] {
+        for (int i = 1; i <= 25; ++i) {
+          const int value = p * 1000 + i;
+          if (queue.push(int(value))) pushed_sum.fetch_add(value);
+          // push() returning false (queue closed first) is fine — the item
+          // was never enqueued and must not be counted.
+        }
+      });
+
+    // Close somewhere in the middle of the producer stream.
+    std::this_thread::sleep_for(std::chrono::microseconds(50 + 37 * iter));
+    queue.close();
+    for (auto& t : producers) t.join();
+    for (auto& t : consumers) t.join();
+
+    EXPECT_EQ(popped_sum.load(), pushed_sum.load()) << "iteration " << iter;
+    EXPECT_EQ(queue.size(), 0u) << "iteration " << iter;
+  }
+}

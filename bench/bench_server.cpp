@@ -10,15 +10,21 @@
 // demonstrates load shedding, and a vault sweep reports authorize/s vs
 // shard count at fixed concurrency.
 //
-// Each granted request blocks for io_wait_ms of emulated actuation I/O
-// (door strike / reader round-trip); workers overlap those waits, which is
-// what makes grants/sec scale with the thread count even on one core —
-// mirroring bench_throughput's radio_wait model. Verify latency percentiles
-// (parse + HMAC + vault, no I/O) are reported separately.
+// Each granted request spends io_wait_ms of emulated actuation I/O (door
+// strike / reader round-trip) parked in the event-loop timer wheel — the
+// request coroutine suspends, the worker moves on. In-flight waits
+// therefore overlap regardless of the thread count (even one worker parks
+// thousands of grants), which the exit code asserts as an I/O overlap
+// factor (granted x io_wait / wall) instead of the old thread-scaling
+// ratio the blocking design needed. Verify latency percentiles (parse +
+// HMAC + vault, no I/O, p50..p99.9) are reported separately, and a
+// dedicated async burst proves >= 10k concurrently parked grants on 4
+// threads.
 //
 // Exit code asserts: per-point ledger exact (hence zero accepted replays
 // and zero double-grants), zero tau violations, shed burst actually sheds,
-// and grants/sec at 4 threads >= 2.5x 1 thread (when io_wait > 0).
+// I/O overlap factor >= 2.5 at every point (when io_wait > 0), and the
+// async burst's 10k-in-flight floor.
 //
 // Knobs: WAVEKEY_BENCH_SCALE scales sessions per point (default 1.0);
 // WAVEKEY_BENCH_THREADS is a comma-separated list (default "1,2,4,8");
@@ -139,7 +145,9 @@ struct Point {
   std::size_t shards = 0;
   double wall_s = 0.0;
   double grants_per_sec = 0.0;
+  double io_overlap = 0.0;  ///< granted * io_wait / wall: >1 proves parked waits overlap
   double p50_verify_us = 0.0, p95_verify_us = 0.0, p99_verify_us = 0.0;
+  double p999_verify_us = 0.0;
   AccessServerStats stats;
   std::uint64_t accepted_replays = 0;  ///< grants above the expected ledger
   bool ledger_ok = false;
@@ -270,9 +278,12 @@ Point run_point(std::size_t threads, int sessions, const std::vector<SessionKey>
   point.wall_s = wall;
   point.stats = server.stats();
   point.grants_per_sec = static_cast<double>(point.stats.granted) / wall;
+  point.io_overlap =
+      wall > 0.0 ? static_cast<double>(point.stats.granted) * io_wait_s() / wall : 0.0;
   point.p50_verify_us = percentile_us(collector.granted_verify_s, 0.50);
   point.p95_verify_us = percentile_us(collector.granted_verify_s, 0.95);
   point.p99_verify_us = percentile_us(collector.granted_verify_s, 0.99);
+  point.p999_verify_us = percentile_us(collector.granted_verify_s, 0.999);
   point.accepted_replays =
       point.stats.granted > expected.granted ? point.stats.granted - expected.granted : 0;
   point.ledger_ok = point.stats.granted == expected.granted &&
@@ -314,6 +325,76 @@ ShedBurst run_shed_burst() {
   const AccessServerStats stats = server.stats();
   burst.shed = stats.shed;
   burst.granted = stats.granted;
+  return burst;
+}
+
+/// Coroutine-concurrency burst (the tentpole gate): 12k grants with 250 ms
+/// of actuation I/O each, on 4 event-loop workers. A parked grant holds no
+/// worker — its frame sits in the timer wheel — so the whole flood suspends
+/// concurrently and the server's own high-water marks (peak_in_flight /
+/// peak_suspended, maintained under the stats lock) prove >= 10k in-flight
+/// grants on 4 threads. The burst is deliberately NOT scaled by
+/// WAVEKEY_BENCH_SCALE: the 10k floor is the acceptance criterion.
+struct AsyncBurst {
+  std::size_t threads = 4;
+  std::uint64_t submitted = 0;
+  std::uint64_t granted = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t peak_in_flight = 0;
+  std::uint64_t peak_suspended = 0;
+  double wall_s = 0.0;
+  double io_wait_ms = 0.0;
+  double p50_verify_us = 0.0;
+  double p999_verify_us = 0.0;
+};
+
+AsyncBurst run_async_burst() {
+  constexpr std::uint64_t kGrants = 12000;
+  constexpr std::uint64_t kSessions = 64;
+  AsyncBurst burst;
+  burst.submitted = kGrants;
+  burst.io_wait_ms = 250.0;
+
+  AccessServerConfig config;
+  config.threads = burst.threads;
+  config.queue_capacity = kGrants + 64;  // admission window holds the flood
+  config.io_wait_s = burst.io_wait_ms / 1000.0;
+  config.vault.capacity = kSessions * 2;
+  config.vault.ttl_s = 3600.0;
+  config.vault.replay_window_bits = 512;
+  config.admission.rate_per_s = 1e-9;
+  config.admission.burst = static_cast<double>(kGrants);
+  config.admission.max_tenants = kSessions + 8;
+
+  AccessServer server(config);
+  crypto::Drbg rng(0xA51Cull);
+  std::vector<SessionKey> keys(kSessions);
+  for (std::uint64_t sid = 0; sid < kSessions; ++sid) {
+    keys[sid] = random_session_key(rng);
+    server.vault().install(sid, keys[sid], server.now_s());
+  }
+
+  Collector collector;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < kGrants; ++i) {
+    const std::uint64_t sid = i % kSessions;
+    const std::uint64_t counter = 1 + i / kSessions;
+    server.submit(i, sid,
+                  make_access_request(sid, 0, counter, nonce_from(counter), {},
+                                      keys[sid])
+                      .serialize(),
+                  collector.recorder());
+  }
+  server.finish();
+  burst.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  const AccessServerStats stats = server.stats();
+  burst.granted = stats.granted;
+  burst.shed = stats.shed;
+  burst.peak_in_flight = stats.peak_in_flight;
+  burst.peak_suspended = stats.peak_suspended;
+  burst.p50_verify_us = percentile_us(collector.granted_verify_s, 0.50);
+  burst.p999_verify_us = percentile_us(collector.granted_verify_s, 0.999);
   return burst;
 }
 
@@ -425,12 +506,13 @@ int main() {
     if (!p.ledger_ok) all_ledgers_ok = false;
     std::printf(
         "%s    {\"threads\": %zu, \"shards\": %zu, \"wall_s\": %.3f, "
-        "\"grants_per_sec\": %.2f, \"granted\": %llu, \"replay_rejected\": %llu, "
+        "\"grants_per_sec\": %.2f, \"io_overlap\": %.1f, \"granted\": %llu, "
+        "\"replay_rejected\": %llu, "
         "\"expired\": %llu, \"revoked\": %llu, \"stale_epoch\": %llu, \"bad_mac\": %llu, "
         "\"rate_limited\": %llu, \"shed\": %llu, \"malformed\": %llu, "
         "\"accepted_replays\": %llu, \"p50_verify_us\": %.1f, \"p95_verify_us\": %.1f, "
-        "\"p99_verify_us\": %.1f, \"ledger_ok\": %s}",
-        first ? "" : ",\n", p.threads, p.shards, p.wall_s, p.grants_per_sec,
+        "\"p99_verify_us\": %.1f, \"p999_verify_us\": %.1f, \"ledger_ok\": %s}",
+        first ? "" : ",\n", p.threads, p.shards, p.wall_s, p.grants_per_sec, p.io_overlap,
         static_cast<unsigned long long>(p.stats.granted),
         static_cast<unsigned long long>(p.stats.replay_rejected),
         static_cast<unsigned long long>(p.stats.expired),
@@ -441,7 +523,7 @@ int main() {
         static_cast<unsigned long long>(p.stats.shed),
         static_cast<unsigned long long>(p.stats.malformed),
         static_cast<unsigned long long>(p.accepted_replays), p.p50_verify_us, p.p95_verify_us,
-        p.p99_verify_us, p.ledger_ok ? "true" : "false");
+        p.p99_verify_us, p.p999_verify_us, p.ledger_ok ? "true" : "false");
     first = false;
   }
 
@@ -464,6 +546,19 @@ int main() {
               static_cast<unsigned long long>(burst.shed),
               static_cast<unsigned long long>(burst.granted));
 
+  const AsyncBurst async_burst = run_async_burst();
+  std::printf("  \"async_burst\": {\"threads\": %zu, \"submitted\": %llu, "
+              "\"granted\": %llu, \"shed\": %llu, \"peak_in_flight\": %llu, "
+              "\"peak_suspended\": %llu, \"io_wait_ms\": %.1f, \"wall_s\": %.3f, "
+              "\"p50_verify_us\": %.1f, \"p999_verify_us\": %.1f},\n",
+              async_burst.threads, static_cast<unsigned long long>(async_burst.submitted),
+              static_cast<unsigned long long>(async_burst.granted),
+              static_cast<unsigned long long>(async_burst.shed),
+              static_cast<unsigned long long>(async_burst.peak_in_flight),
+              static_cast<unsigned long long>(async_burst.peak_suspended),
+              async_burst.io_wait_ms, async_burst.wall_s, async_burst.p50_verify_us,
+              async_burst.p999_verify_us);
+
   double one_thread = 0.0, four_thread = 0.0;
   for (const Point& p : points) {
     if (p.threads == 1) one_thread = p.grants_per_sec;
@@ -478,12 +573,21 @@ int main() {
               speedup, static_cast<unsigned long long>(total_accepted_replays), tau_violations);
 
   const bool shed_ok = burst.shed >= 1 && burst.granted + burst.shed == burst.submitted;
-  // The overlap model needs a real wait to scale on small hosts; with the
-  // wait disabled by the env knob, the speedup gate is moot.
-  const bool speedup_ok =
-      io_wait_s() <= 0.0 || one_thread == 0.0 || four_thread == 0.0 || speedup >= 2.5;
+  // With coroutine serving, waits park in the timer wheel at EVERY thread
+  // count, so the old 4t/1t scaling ratio is structurally ~1. The claim
+  // worth gating is the overlap itself: each point must have packed far
+  // more emulated I/O than wall time. Moot when the env knob disables the
+  // wait.
+  bool overlap_ok = true;
+  if (io_wait_s() > 0.0)
+    for (const Point& p : points) overlap_ok = overlap_ok && p.io_overlap >= 2.5;
+  // Coroutine gate: every request granted exactly once, and >= 10k of them
+  // provably parked at the same instant on 4 workers.
+  const bool async_ok = async_burst.granted == async_burst.submitted &&
+                        async_burst.shed == 0 && async_burst.peak_in_flight >= 10000 &&
+                        async_burst.peak_suspended >= 10000;
   return (all_ledgers_ok && total_accepted_replays == 0 && tau_violations == 0 && shed_ok &&
-          speedup_ok)
+          overlap_ok && async_ok)
              ? 0
              : 1;
 }

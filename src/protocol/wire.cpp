@@ -3,15 +3,23 @@
 namespace wavekey::protocol {
 
 void WireWriter::u32(std::uint32_t v) {
-  for (int i = 0; i < 4; ++i) out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  Bytes& out = buf();
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
 }
 
 void WireWriter::u64(std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  Bytes& out = buf();
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
 }
 
 void WireWriter::bytes(std::span<const std::uint8_t> data) {
-  out_.insert(out_.end(), data.begin(), data.end());
+  Bytes& out = buf();
+  out.insert(out.end(), data.begin(), data.end());
+}
+
+Bytes WireWriter::take() {
+  if (sink_ != nullptr) throw WireError("take() on an external-sink writer");
+  return std::move(owned_);
 }
 
 void WireWriter::blob(std::span<const std::uint8_t> data) {
@@ -39,12 +47,21 @@ std::uint64_t WireReader::u64() {
   return v;
 }
 
-Bytes WireReader::bytes(std::size_t n) {
+std::span<const std::uint8_t> WireReader::view(std::size_t n) {
   if (pos_ + n > data_.size()) throw WireError("bytes: underrun");
-  Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
-            data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  const std::span<const std::uint8_t> out = data_.subspan(pos_, n);
   pos_ += n;
   return out;
+}
+
+std::span<const std::uint8_t> WireReader::view_blob() {
+  const std::uint32_t n = u32();
+  return view(n);
+}
+
+Bytes WireReader::bytes(std::size_t n) {
+  const std::span<const std::uint8_t> v = view(n);
+  return Bytes(v.begin(), v.end());
 }
 
 Bytes WireReader::blob() {

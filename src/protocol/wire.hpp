@@ -24,21 +24,34 @@ class WireError : public std::runtime_error {
   explicit WireError(const std::string& what) : std::runtime_error(what) {}
 };
 
-/// Sequential writer into a byte buffer.
+/// Sequential writer into a byte buffer. Two modes:
+///  - owned (default ctor): writes into an internal vector, handed out by
+///    take();
+///  - external sink: writes append into a caller-provided vector (typically
+///    a pooled buffer from runtime::BufferPool), so the steady-state frame
+///    path allocates nothing. take() is a contract violation in this mode.
 class WireWriter {
  public:
-  void u8(std::uint8_t v) { out_.push_back(v); }
+  WireWriter() = default;
+  explicit WireWriter(Bytes* sink) : sink_(sink) {}
+
+  void u8(std::uint8_t v) { buf().push_back(v); }
   void u32(std::uint32_t v);
   void u64(std::uint64_t v);
   void bytes(std::span<const std::uint8_t> data);          ///< raw, no length
   void blob(std::span<const std::uint8_t> data);           ///< u32 length + raw
-  Bytes take() { return std::move(out_); }
+  Bytes take();  ///< owned mode only; throws WireError on a sink writer
 
  private:
-  Bytes out_;
+  Bytes& buf() { return sink_ ? *sink_ : owned_; }
+  Bytes owned_;
+  Bytes* sink_ = nullptr;
 };
 
 /// Sequential reader over a byte buffer; throws WireError on underrun.
+/// view/view_blob return subspans of the source buffer — zero-copy, valid
+/// only while the source outlives them unmodified. bytes/blob are the
+/// owning (copying) forms for fields that must escape the buffer.
 class WireReader {
  public:
   explicit WireReader(std::span<const std::uint8_t> data) : data_(data) {}
@@ -46,8 +59,10 @@ class WireReader {
   std::uint8_t u8();
   std::uint32_t u32();
   std::uint64_t u64();
-  Bytes bytes(std::size_t n);  ///< raw, exact n
-  Bytes blob();                ///< u32 length + raw
+  std::span<const std::uint8_t> view(std::size_t n);  ///< raw, exact n, no copy
+  std::span<const std::uint8_t> view_blob();          ///< u32 length + raw, no copy
+  Bytes bytes(std::size_t n);  ///< raw, exact n (copies)
+  Bytes blob();                ///< u32 length + raw (copies)
   bool done() const { return pos_ == data_.size(); }
   void expect_done() const;
 

@@ -1,0 +1,66 @@
+#include "runtime/buffer_pool.hpp"
+
+#include <cstdlib>
+#include <utility>
+
+namespace wavekey::runtime {
+
+PooledBuffer::PooledBuffer(PooledBuffer&& other) noexcept
+    : pool_(std::exchange(other.pool_, nullptr)), buf_(std::move(other.buf_)) {}
+
+PooledBuffer& PooledBuffer::operator=(PooledBuffer&& other) noexcept {
+  if (this != &other) {
+    if (pool_ != nullptr) pool_->give_back(std::move(buf_));
+    pool_ = std::exchange(other.pool_, nullptr);
+    buf_ = std::move(other.buf_);
+  }
+  return *this;
+}
+
+PooledBuffer::~PooledBuffer() {
+  if (pool_ != nullptr) pool_->give_back(std::move(buf_));
+  pool_ = nullptr;
+}
+
+void PooledBuffer::release() {
+  // Double return is aliasing waiting to happen (two leases sharing one
+  // vector on the wire path) — fail loudly rather than corrupt frames.
+  if (pool_ == nullptr) std::abort();
+  pool_->give_back(std::move(buf_));
+  pool_ = nullptr;
+}
+
+BufferPool::BufferPool(std::size_t reserve_bytes) : reserve_bytes_(reserve_bytes) {}
+
+PooledBuffer BufferPool::lease() {
+  std::vector<std::uint8_t> buf;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.leases;
+    ++stats_.in_use;
+    if (stats_.in_use > stats_.peak_in_use) stats_.peak_in_use = stats_.in_use;
+    if (!free_.empty()) {
+      buf = std::move(free_.back());
+      free_.pop_back();
+      buf.clear();  // keeps capacity
+      return PooledBuffer(this, std::move(buf));
+    }
+    ++stats_.allocations;
+  }
+  buf.reserve(reserve_bytes_);  // allocate outside the lock
+  return PooledBuffer(this, std::move(buf));
+}
+
+void BufferPool::give_back(std::vector<std::uint8_t> buf) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.returns;
+  --stats_.in_use;
+  free_.push_back(std::move(buf));
+}
+
+BufferPoolStats BufferPool::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace wavekey::runtime

@@ -1,0 +1,98 @@
+#pragma once
+
+// Recycling byte-buffer pool for the zero-copy wire path.
+//
+// Framing a cluster envelope used to allocate a fresh std::vector per
+// message (serialize -> frame -> transmit -> free). BufferPool keeps
+// returned vectors — with their grown capacity — on a freelist, so after
+// warm-up every lease is a pop + size reset and the steady-state wire path
+// performs zero heap allocations per request. Same discipline as the
+// TensorArena in the NN layers (DESIGN.md §6): counters expose allocations
+// vs leases so tests and CI can assert the steady state exactly.
+//
+// Ownership: lease() returns a move-only RAII PooledBuffer; destruction (or
+// explicit release()) returns the storage to the pool. Releasing the same
+// buffer twice is a contract violation and aborts — a double return would
+// let two leases alias one vector, which on the wire path means one
+// request's frame overwriting another's.
+//
+// Thread-safety: BufferPool is fully synchronized (one mutex; lease/return
+// are O(1) pointer moves). A PooledBuffer itself is confined to one
+// coroutine/thread at a time, like any other value.
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace wavekey::runtime {
+
+class BufferPool;
+
+/// Move-only lease of a pooled byte vector. Empty (sized 0) on lease, with
+/// whatever capacity its previous life grew; returned to the pool on
+/// destruction.
+class PooledBuffer {
+ public:
+  PooledBuffer() noexcept = default;
+  PooledBuffer(PooledBuffer&& other) noexcept;
+  PooledBuffer& operator=(PooledBuffer&& other) noexcept;
+  PooledBuffer(const PooledBuffer&) = delete;
+  PooledBuffer& operator=(const PooledBuffer&) = delete;
+  ~PooledBuffer();
+
+  /// The leased storage. Callers may resize/swap it freely; whatever vector
+  /// is here when the lease ends is what returns to the pool (so a
+  /// swapped-in vector donates its capacity — used by the gateway to round-
+  /// trip frames through FaultyChannel without copying).
+  std::vector<std::uint8_t>& bytes() noexcept { return buf_; }
+  const std::vector<std::uint8_t>& bytes() const noexcept { return buf_; }
+
+  bool valid() const noexcept { return pool_ != nullptr; }
+
+  /// Returns the storage to the pool now. Calling release() on an already
+  /// released (or default-constructed) buffer aborts.
+  void release();
+
+ private:
+  friend class BufferPool;
+  PooledBuffer(BufferPool* pool, std::vector<std::uint8_t> buf) noexcept
+      : pool_(pool), buf_(std::move(buf)) {}
+
+  BufferPool* pool_ = nullptr;
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Counters mirrored under the pool lock; `in_use == leases - returns` and
+/// steady state means `allocations` stops growing while `leases` does not.
+struct BufferPoolStats {
+  std::uint64_t leases = 0;       ///< lease() calls
+  std::uint64_t returns = 0;      ///< buffers returned (release or dtor)
+  std::uint64_t allocations = 0;  ///< leases served by a fresh vector (freelist empty)
+  std::uint64_t in_use = 0;       ///< currently leased
+  std::uint64_t peak_in_use = 0;  ///< high-water mark of in_use
+};
+
+class BufferPool {
+ public:
+  /// `reserve_bytes` is the capacity given to freshly allocated buffers so
+  /// typical frames never reallocate even on their first lease.
+  explicit BufferPool(std::size_t reserve_bytes = 512);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  PooledBuffer lease();
+  BufferPoolStats stats() const;
+
+ private:
+  friend class PooledBuffer;
+  void give_back(std::vector<std::uint8_t> buf);
+
+  const std::size_t reserve_bytes_;
+  mutable std::mutex mutex_;
+  std::vector<std::vector<std::uint8_t>> free_;
+  BufferPoolStats stats_;
+};
+
+}  // namespace wavekey::runtime

@@ -2,13 +2,11 @@
 
 #include <atomic>
 #include <chrono>
-#include <future>
 #include <mutex>
-#include <thread>
-#include <vector>
+#include <utility>
 
-#include "runtime/bounded_queue.hpp"
-#include "runtime/thread_pool.hpp"
+#include "runtime/event_loop.hpp"
+#include "runtime/task.hpp"
 
 namespace wavekey::server {
 
@@ -30,31 +28,36 @@ struct AccessServer::Impl {
   Clock::time_point epoch = Clock::now();
   KeyVault vault;
   TenantLimiter limiter;
-  runtime::BoundedQueue<Job> queue;
-  runtime::ThreadPool pool;
-  std::vector<std::future<void>> drainers;
+  // Admission window: admitted-but-unfinished requests. With coroutine
+  // serving a parked request holds no worker thread, so this counter — not
+  // a queue of waiting jobs — is what gives queue_capacity its shedding
+  // semantics: window full => kShed, exactly as the old bounded queue shed
+  // when workers fell behind.
+  std::atomic<std::size_t> active_admitted{0};
   std::atomic<bool> finished{false};
 
   // All stats live under one mutex: submit increments (submitted, in_flight)
   // and every outcome moves one unit from in_flight to its status counter in
   // the same critical section, so submitted == sum(status) + in_flight is an
   // exact invariant of every stats() snapshot — not just an eventual one.
+  // suspended rides the same lock: suspended <= in_flight in every snapshot.
   mutable std::mutex stats_mutex;
   std::uint64_t submitted = 0;
   std::uint64_t in_flight = 0;
+  std::uint64_t suspended = 0;
+  std::uint64_t peak_in_flight = 0;
+  std::uint64_t peak_suspended = 0;
   std::uint64_t counters[kAccessStatusCount] = {};  // indexed by AccessStatus
+
+  // Last member: its destructor (close + drain + join) runs first, while the
+  // rest of Impl is still alive for in-flight request coroutines.
+  runtime::EventLoop loop;
 
   explicit Impl(const AccessServerConfig& c)
       : config(c),
         vault(c.vault),
         limiter(c.admission),
-        queue(c.queue_capacity),
-        pool(std::max<std::size_t>(c.threads, 1)) {
-    for (std::size_t t = 0; t < pool.size(); ++t)
-      drainers.push_back(pool.submit([this] {
-        while (auto job = queue.pop()) serve(std::move(*job));
-      }));
-  }
+        loop(std::max<std::size_t>(c.threads, 1)) {}
 
   double now_s() const { return std::chrono::duration<double>(Clock::now() - epoch).count(); }
 
@@ -62,6 +65,7 @@ struct AccessServer::Impl {
     std::lock_guard<std::mutex> lock(stats_mutex);
     ++submitted;
     ++in_flight;
+    if (in_flight > peak_in_flight) peak_in_flight = in_flight;
   }
 
   /// Undo for the submit-after-close race: the request was never admitted.
@@ -77,6 +81,16 @@ struct AccessServer::Impl {
     --in_flight;
   }
 
+  void note_suspended(bool entering) {
+    std::lock_guard<std::mutex> lock(stats_mutex);
+    if (entering) {
+      ++suspended;
+      if (suspended > peak_suspended) peak_suspended = suspended;
+    } else {
+      --suspended;
+    }
+  }
+
   /// Builds the outcome for a fast-reject decided on the submit path.
   void reject_inline(std::uint64_t tag, AccessStatus status, const Callback& done) {
     count(status);
@@ -88,7 +102,10 @@ struct AccessServer::Impl {
     if (done) done(outcome);
   }
 
-  void serve(Job&& job) {
+  /// One request as a coroutine: parse + authorize run synchronously on the
+  /// first resume; a granted request then parks in the timer wheel for the
+  /// emulated actuation I/O instead of holding its worker.
+  runtime::Task<void> serve(Job job) {
     const Clock::time_point start = Clock::now();
     AccessOutcome outcome;
     outcome.tag = job.tag;
@@ -110,11 +127,17 @@ struct AccessServer::Impl {
     }
     outcome.verify_s = std::chrono::duration<double>(Clock::now() - start).count();
 
-    // Emulated downstream actuation (door strike / reader I/O): a blocking
-    // wait the workers overlap, charged after verification so verify_s stays
-    // a pure crypto/vault measurement.
-    if (have_key && config.io_wait_s > 0.0)
-      std::this_thread::sleep_for(std::chrono::duration<double>(config.io_wait_s));
+    // Emulated downstream actuation (door strike / reader I/O): the frame
+    // suspends into the timer wheel, charged after verification so verify_s
+    // stays a pure crypto/vault measurement and queue_wait_s a pure
+    // scheduling one — the park is reported in suspended_s.
+    if (have_key && config.io_wait_s > 0.0) {
+      const Clock::time_point parked = Clock::now();
+      note_suspended(true);
+      co_await loop.sleep_for(config.io_wait_s);
+      note_suspended(false);
+      outcome.suspended_s = std::chrono::duration<double>(Clock::now() - parked).count();
+    }
 
     outcome.grant_wire =
         make_access_grant(session_id, counter, outcome.status,
@@ -122,15 +145,15 @@ struct AccessServer::Impl {
                                    : std::span<const std::uint8_t>())
             .serialize();
     count(outcome.status);
+    active_admitted.fetch_sub(1, std::memory_order_release);
     if (job.done) job.done(outcome);
   }
 
   void finish() {
     bool expected = false;
     if (finished.compare_exchange_strong(expected, true)) {
-      queue.close();
-      for (auto& f : drainers) f.get();
-      drainers.clear();
+      loop.close();
+      loop.drain();
     }
   }
 };
@@ -146,37 +169,41 @@ double AccessServer::now_s() const { return impl_->now_s(); }
 bool AccessServer::submit(std::uint64_t tag, std::uint64_t tenant_id, Bytes request_wire,
                           Callback done) {
   impl_->note_submitted();
-  // Admission control first: a rate-limited tenant must not consume queue
+  // Admission control first: a rate-limited tenant must not consume window
   // space, and both rejects must stay O(1) on the caller thread.
   if (!impl_->limiter.admit(tenant_id, impl_->now_s())) {
     impl_->reject_inline(tag, AccessStatus::kRateLimited, done);
     return true;
   }
-  Job job{tag, std::move(request_wire), std::move(done), Clock::now()};
-  switch (impl_->queue.try_push(std::move(job))) {
-    case runtime::PushResult::kOk:
-      return true;
-    case runtime::PushResult::kFull:
-      // try_push leaves the job intact on kFull, so its callback survives.
-      impl_->reject_inline(tag, AccessStatus::kShed, job.done);
-      return true;
-    case runtime::PushResult::kClosed:
-      break;
+  const std::size_t prev = impl_->active_admitted.fetch_add(1, std::memory_order_acquire);
+  if (prev >= impl_->config.queue_capacity) {
+    impl_->active_admitted.fetch_sub(1, std::memory_order_release);
+    impl_->reject_inline(tag, AccessStatus::kShed, done);
+    return true;
   }
-  // Never admitted: no outcome will ever be counted for this request.
-  impl_->retract_submitted();
-  return false;
+  Job job{tag, std::move(request_wire), std::move(done), Clock::now()};
+  if (!impl_->loop.spawn(impl_->serve(std::move(job)))) {
+    // Lost the race with finish(): never admitted, no outcome will ever be
+    // counted for this request.
+    impl_->active_admitted.fetch_sub(1, std::memory_order_release);
+    impl_->retract_submitted();
+    return false;
+  }
+  return true;
 }
 
 void AccessServer::finish() { impl_->finish(); }
 
 AccessServerStats AccessServer::stats() const {
-  // One lock around the whole snapshot: the invariant documented on
-  // AccessServerStats depends on no counter moving mid-copy.
+  // One lock around the whole snapshot: the invariants documented on
+  // AccessServerStats depend on no counter moving mid-copy.
   std::lock_guard<std::mutex> lock(impl_->stats_mutex);
   AccessServerStats s;
   s.submitted = impl_->submitted;
   s.in_flight = impl_->in_flight;
+  s.suspended = impl_->suspended;
+  s.peak_in_flight = impl_->peak_in_flight;
+  s.peak_suspended = impl_->peak_suspended;
   const auto load = [&](AccessStatus st) {
     return impl_->counters[static_cast<std::size_t>(st)];
   };
@@ -193,6 +220,6 @@ AccessServerStats AccessServer::stats() const {
   return s;
 }
 
-std::size_t AccessServer::threads() const { return impl_->pool.size(); }
+std::size_t AccessServer::threads() const { return impl_->loop.threads(); }
 
 }  // namespace wavekey::server

@@ -6,20 +6,25 @@
 // access request with an HMAC under their session key, and this server
 // admits, verifies, and answers those requests from a worker pool.
 //
-// Request path:
+// Request path (one coroutine per request on a runtime::EventLoop):
 //   submit() [caller thread]  — tenant token bucket (kRateLimited) and
-//                               queue try_push (kShed) fast-reject inline;
-//   worker threads            — parse (kMalformed on WireError), then
+//                               admission window (kShed) fast-reject inline;
+//                               admitted requests spawn a request coroutine;
+//   event-loop workers        — parse (kMalformed on WireError), then
 //                               KeyVault::authorize under one shard lock
 //                               (kUnknownSession / kExpired / kRevoked /
 //                               kStaleEpoch / kBadMac / kReplay / kGranted),
-//                               optional emulated actuator I/O on grants,
+//                               then `co_await sleep_for(io_wait_s)` for the
+//                               emulated actuator I/O on grants — the frame
+//                               parks in the timer wheel and the worker moves
+//                               on, so in-flight grants are bounded by the
+//                               admission window, not the thread count —
 //                               then the completion callback with a MACed
 //                               AccessGrant.
 //
 // Thread-safety: submit() from any number of threads; finish() once from
 // one thread after producers stop (also run by the destructor). Completion
-// callbacks run on worker threads (or inline on the submit path for
+// callbacks run on event-loop workers (or inline on the submit path for
 // fast-rejects) and must be thread-safe.
 
 #include <cstdint>
@@ -33,8 +38,11 @@
 namespace wavekey::server {
 
 struct AccessServerConfig {
-  std::size_t threads = 1;          ///< verification workers
-  std::size_t queue_capacity = 256; ///< admission queue; overflow -> kShed
+  std::size_t threads = 1;          ///< event-loop workers
+  /// Admission window: max admitted-but-unfinished requests. With coroutine
+  /// serving a parked grant holds no worker, so the window (not the thread
+  /// count) is what bounds in-flight work; overflow -> kShed.
+  std::size_t queue_capacity = 256;
   VaultConfig vault;
   AdmissionConfig admission;
   /// Emulated downstream actuation I/O per *granted* request (door strike /
@@ -49,7 +57,10 @@ struct AccessOutcome {
   AccessStatus status = AccessStatus::kMalformed;
   Bytes grant_wire;           ///< serialized AccessGrant (MACed if keyed)
   double verify_s = 0.0;      ///< parse + vault authorize wall time
-  double queue_wait_s = 0.0;  ///< submit -> worker pickup (0 for fast-rejects)
+  double queue_wait_s = 0.0;  ///< submit -> first coroutine resume (0 for fast-rejects)
+  double suspended_s = 0.0;   ///< parked on actuation I/O (co_await sleep_for);
+                              ///< reported separately so queue_wait_s stays a
+                              ///< pure scheduling-delay measurement
 };
 
 /// Serving counters (one per status, plus totals). stats() snapshots every
@@ -60,6 +71,12 @@ struct AccessOutcome {
 struct AccessServerStats {
   std::uint64_t submitted = 0;
   std::uint64_t in_flight = 0;  ///< admitted, outcome not yet counted
+  /// Of in_flight: requests currently parked on actuation I/O (their frames
+  /// sit in the timer wheel, no worker held). suspended <= in_flight in
+  /// every snapshot — same one-lock discipline as the sum invariant.
+  std::uint64_t suspended = 0;
+  std::uint64_t peak_in_flight = 0;  ///< high-water mark of in_flight
+  std::uint64_t peak_suspended = 0;  ///< high-water mark of suspended
   std::uint64_t granted = 0;
   std::uint64_t unknown_session = 0;
   std::uint64_t expired = 0;

@@ -22,49 +22,76 @@ using protocol::WireWriter;
 
 // --- wire envelopes ---------------------------------------------------------
 
-Bytes ClusterRequest::serialize() const {
-  WireWriter w;
+void ClusterRequest::serialize_into(WireWriter& w) const {
   w.u8(static_cast<std::uint8_t>(MessageType::kClusterRequest));
   w.u64(request_id);
   w.u64(tenant_id);
   w.u32(attempt);
   w.blob(inner);
+}
+
+Bytes ClusterRequest::serialize() const {
+  WireWriter w;
+  serialize_into(w);
   return w.take();
 }
 
-ClusterRequest ClusterRequest::parse(std::span<const std::uint8_t> wire) {
+ClusterRequestView ClusterRequestView::parse(std::span<const std::uint8_t> wire) {
   WireReader r(wire);
   if (r.u8() != static_cast<std::uint8_t>(MessageType::kClusterRequest))
     throw WireError("ClusterRequest: wrong type tag");
-  ClusterRequest req;
+  ClusterRequestView req;
   req.request_id = r.u64();
   req.tenant_id = r.u64();
   req.attempt = r.u32();
-  req.inner = r.blob();
+  req.inner = r.view_blob();
   r.expect_done();
   return req;
 }
 
-Bytes ClusterResponse::serialize() const {
-  WireWriter w;
+ClusterRequest ClusterRequest::parse(std::span<const std::uint8_t> wire) {
+  const ClusterRequestView v = ClusterRequestView::parse(wire);
+  ClusterRequest req;
+  req.request_id = v.request_id;
+  req.tenant_id = v.tenant_id;
+  req.attempt = v.attempt;
+  req.inner = Bytes(v.inner.begin(), v.inner.end());
+  return req;
+}
+
+void ClusterResponse::serialize_into(WireWriter& w) const {
   w.u8(static_cast<std::uint8_t>(MessageType::kClusterResponse));
   w.u64(request_id);
   w.u8(static_cast<std::uint8_t>(status));
   w.blob(grant_wire);
+}
+
+Bytes ClusterResponse::serialize() const {
+  WireWriter w;
+  serialize_into(w);
   return w.take();
 }
 
-ClusterResponse ClusterResponse::parse(std::span<const std::uint8_t> wire) {
+ClusterResponseView ClusterResponseView::parse(std::span<const std::uint8_t> wire) {
   WireReader r(wire);
   if (r.u8() != static_cast<std::uint8_t>(MessageType::kClusterResponse))
     throw WireError("ClusterResponse: wrong type tag");
-  ClusterResponse resp;
+  ClusterResponseView resp;
   resp.request_id = r.u64();
   const std::uint8_t status = r.u8();
   if (status >= kAccessStatusCount) throw WireError("ClusterResponse: unknown status byte");
   resp.status = static_cast<AccessStatus>(status);
-  resp.grant_wire = r.blob();
+  resp.grant_wire = r.view_blob();
   r.expect_done();
+  return resp;
+}
+
+ClusterResponse ClusterResponse::parse(std::span<const std::uint8_t> wire) {
+  const ClusterResponseView v = ClusterResponseView::parse(wire);
+  ClusterResponse resp;
+  resp.request_id = v.request_id;
+  resp.status = v.status;
+  resp.grant_wire = Bytes(v.grant_wire.begin(), v.grant_wire.end());
   return resp;
 }
 
@@ -75,14 +102,29 @@ Bytes frame_message(std::span<const std::uint8_t> payload) {
   return w.take();
 }
 
-std::optional<Bytes> unframe_message(std::span<const std::uint8_t> wire) {
+void frame_seal(Bytes& buf) {
+  const std::uint32_t crc = protocol::crc32(buf);
+  // Appending via the writer keeps the byte order identical to
+  // frame_message; reserve-before-serialize in callers makes this
+  // allocation-free once the pooled buffer's capacity has grown.
+  WireWriter w(&buf);
+  w.u32(crc);
+}
+
+std::optional<std::span<const std::uint8_t>> unframe_view(std::span<const std::uint8_t> wire) {
   if (wire.size() < 4) return std::nullopt;
   const std::span<const std::uint8_t> payload = wire.first(wire.size() - 4);
   std::uint32_t carried = 0;
   for (std::size_t i = 0; i < 4; ++i)
     carried |= static_cast<std::uint32_t>(wire[payload.size() + i]) << (8 * i);
   if (protocol::crc32(payload) != carried) return std::nullopt;
-  return Bytes(payload.begin(), payload.end());
+  return payload;
+}
+
+std::optional<Bytes> unframe_message(std::span<const std::uint8_t> wire) {
+  const auto payload = unframe_view(wire);
+  if (!payload) return std::nullopt;
+  return Bytes(payload->begin(), payload->end());
 }
 
 // --- cluster ----------------------------------------------------------------
@@ -241,6 +283,15 @@ bool VaultCluster::revoke(std::uint64_t session_id) {
 }
 
 ClusterResponse VaultCluster::execute(const ClusterRequest& request) {
+  ClusterRequestView view;
+  view.request_id = request.request_id;
+  view.tenant_id = request.tenant_id;
+  view.attempt = request.attempt;
+  view.inner = request.inner;
+  return execute(view);
+}
+
+ClusterResponse VaultCluster::execute(const ClusterRequestView& request) {
   ClusterResponse resp;
   resp.request_id = request.request_id;
 

@@ -4,11 +4,12 @@
 #include <atomic>
 #include <chrono>
 #include <mutex>
-#include <thread>
 #include <utility>
 #include <vector>
 
-#include "runtime/bounded_queue.hpp"
+#include "runtime/buffer_pool.hpp"
+#include "runtime/event_loop.hpp"
+#include "runtime/task.hpp"
 
 namespace wavekey::server {
 
@@ -20,9 +21,6 @@ using protocol::FaultyChannelConfig;
 using protocol::InFlightMessage;
 using protocol::MessageType;
 using protocol::WireError;
-
-/// How long a worker parks in try_pop_for before re-checking for shutdown.
-constexpr double kPopSliceS = 0.010;
 
 struct Job {
   std::uint64_t request_id = 0;
@@ -36,43 +34,76 @@ struct Job {
 struct ReaderGateway::Impl {
   VaultCluster& cluster;
   GatewayConfig config;
-  runtime::BoundedQueue<Job> queue;
-  std::vector<std::thread> workers;
   std::atomic<std::uint64_t> next_seq{0};
   std::atomic<bool> finished{false};
   mutable std::mutex stats_mutex;
   GatewayStats counters;
+  // Recycled frame buffers: after warm-up the serialize -> seal -> transmit
+  // -> unframe round trip allocates nothing (asserted via stats in tests).
+  runtime::BufferPool pool;
+  // Declared after everything the lane coroutines touch; destroyed first.
+  runtime::EventLoop loop;
+  runtime::AsyncQueue<Job> queue;
 
   Impl(VaultCluster& c, const GatewayConfig& cfg)
-      : cluster(c), config(cfg), queue(cfg.queue_capacity) {
+      : cluster(c),
+        config(cfg),
+        loop(cfg.workers < 1 ? 1 : cfg.workers),
+        queue(loop, cfg.queue_capacity) {
     if (config.max_attempts < 1) config.max_attempts = 1;
     if (config.workers < 1) config.workers = 1;
-    workers.reserve(config.workers);
-    for (std::size_t w = 0; w < config.workers; ++w)
-      workers.emplace_back([this, w] { worker_loop(w); });
+    for (std::size_t w = 0; w < config.workers; ++w) loop.spawn(lane(w));
   }
 
-  void worker_loop(std::size_t index) {
-    // Each worker owns one channel: FaultyChannel's PRNG is externally
-    // synchronized, and distinct seeds keep workers' fault traces independent.
+  /// One transport lane: owns its FaultyChannel (externally-synchronized
+  /// PRNG, seed derived from gateway id + lane index so fault traces stay
+  /// independent and reproducible) and serves jobs strictly one at a time —
+  /// the per-lane channel state is never shared. Parked lanes wake via the
+  /// queue's close/notify handoff, not by polling: queue.close() posts every
+  /// waiter immediately, so shutdown latency is scheduling latency.
+  runtime::Task<void> lane(std::size_t index) {
     FaultyChannelConfig channel_config = config.channel;
     channel_config.seed =
         channel_config.seed + (std::uint64_t{config.gateway_id} << 20) + index * 0x9E37ull + 1;
     FaultyChannel channel(channel_config);
     while (true) {
-      std::optional<Job> job = queue.try_pop_for(kPopSliceS);
-      if (!job) {
-        if (queue.closed()) return;  // closed AND drained
-        continue;
-      }
-      run_job(*job, channel);
+      std::optional<Job> job = co_await queue.pop();
+      if (!job) co_return;  // closed AND drained
+      co_await run_job(std::move(*job), channel);
     }
   }
 
-  /// One request end-to-end: attempts x (frame -> WAN -> cluster -> WAN),
-  /// with the attempt deadline applied to delivery times and capped
-  /// exponential backoff (real sleep) between attempts.
-  void run_job(Job& job, FaultyChannel& channel) {
+  /// Frames `envelope` into a pooled buffer and transmits it: the buffer is
+  /// moved into the message for the (copying) channel, then moved back so
+  /// its capacity returns to the pool — zero allocations at steady state.
+  std::vector<Delivery> transmit_framed(FaultyChannel& channel, const ClusterRequest* request,
+                                        const ClusterResponse* response, double send_time,
+                                        std::uint64_t& frames) {
+    runtime::PooledBuffer lease = pool.lease();
+    {
+      protocol::WireWriter writer(&lease.bytes());
+      if (request != nullptr) request->serialize_into(writer);
+      if (response != nullptr) response->serialize_into(writer);
+    }
+    frame_seal(lease.bytes());
+
+    InFlightMessage msg;
+    msg.from = request != nullptr ? "mobile" : "server";
+    msg.to = request != nullptr ? "server" : "mobile";
+    msg.type = request != nullptr ? MessageType::kClusterRequest : MessageType::kClusterResponse;
+    msg.payload = std::move(lease.bytes());
+    msg.send_time = send_time;
+    ++frames;
+    std::vector<Delivery> deliveries = channel.transmit(msg, config.base_latency_s);
+    lease.bytes() = std::move(msg.payload);  // hand the capacity back
+    return deliveries;
+  }
+
+  /// One request end-to-end as a coroutine: attempts x (frame -> WAN ->
+  /// cluster -> WAN) with the attempt deadline applied to delivery times;
+  /// the capped exponential backoff between attempts is a co_await into the
+  /// timer wheel, so a backing-off request holds no lane thread.
+  runtime::Task<void> run_job(Job job, FaultyChannel& channel) {
     GatewayResult result;
     result.request_id = job.request_id;
 
@@ -88,31 +119,26 @@ struct ReaderGateway::Impl {
       envelope.request_id = job.request_id;  // stable across attempts
       envelope.tenant_id = job.tenant_id;
       envelope.attempt = attempt;
-      envelope.inner = job.inner;
+      envelope.inner = std::move(job.inner);  // borrowed for the serialize
 
-      InFlightMessage msg;
-      msg.from = "mobile";
-      msg.to = "server";
-      msg.type = MessageType::kClusterRequest;
-      msg.payload = frame_message(envelope.serialize());
-      msg.send_time = clock;
       const double deadline = clock + config.attempt_timeout_s;
-      ++frames;
+      std::vector<Delivery> copies = transmit_framed(channel, &envelope, nullptr, clock, frames);
+      job.inner = std::move(envelope.inner);  // returned after the serialize
 
       std::optional<ClusterResponse> response;
-      for (Delivery& copy : channel.transmit(msg, config.base_latency_s)) {
+      for (Delivery& copy : copies) {
         if (copy.arrival_s > deadline) {
           ++late;
           continue;
         }
-        std::optional<Bytes> payload = unframe_message(copy.payload);
+        const auto payload = unframe_view(copy.payload);
         if (!payload) {
           ++corrupt;
           continue;
         }
-        ClusterRequest arrived;
+        ClusterRequestView arrived;
         try {
-          arrived = ClusterRequest::parse(*payload);
+          arrived = ClusterRequestView::parse(*payload);
         } catch (const WireError&) {
           ++corrupt;
           continue;
@@ -121,27 +147,27 @@ struct ReaderGateway::Impl {
         // cache returns the recorded response to every copy after the first.
         ClusterResponse server_answer = cluster.execute(arrived);
 
-        InFlightMessage reply;
-        reply.from = "server";
-        reply.to = "mobile";
-        reply.type = MessageType::kClusterResponse;
-        reply.payload = frame_message(server_answer.serialize());
-        reply.send_time = copy.arrival_s;
-        ++frames;
-        for (Delivery& back : channel.transmit(reply, config.base_latency_s)) {
+        for (Delivery& back :
+             transmit_framed(channel, nullptr, &server_answer, copy.arrival_s, frames)) {
           if (back.arrival_s > deadline) {
             ++late;
             continue;
           }
-          std::optional<Bytes> reply_payload = unframe_message(back.payload);
+          const auto reply_payload = unframe_view(back.payload);
           if (!reply_payload) {
             ++corrupt;
             continue;
           }
           try {
-            ClusterResponse parsed = ClusterResponse::parse(*reply_payload);
+            const ClusterResponseView parsed = ClusterResponseView::parse(*reply_payload);
             if (parsed.request_id == job.request_id) {
-              response = std::move(parsed);
+              // The one accepted copy materializes its grant; dropped and
+              // duplicate copies never leave the pooled delivery buffer.
+              ClusterResponse accepted;
+              accepted.request_id = parsed.request_id;
+              accepted.status = parsed.status;
+              accepted.grant_wire.assign(parsed.grant_wire.begin(), parsed.grant_wire.end());
+              response = std::move(accepted);
               break;
             }
           } catch (const WireError&) {
@@ -162,8 +188,10 @@ struct ReaderGateway::Impl {
       if (attempt + 1 < config.max_attempts) {
         const double backoff = std::min(config.backoff_base_s * static_cast<double>(1u << attempt),
                                         config.backoff_max_s);
-        if (backoff > 0.0)
-          std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+        // Real-time wait, suspended in the timer wheel (sleep_for resumes
+        // inline when backoff is zero). The virtual clock advances by the
+        // same amount so the channel model sees identical timing.
+        co_await loop.sleep_for(backoff);
         clock = deadline + backoff;
       }
     }
@@ -219,14 +247,20 @@ std::optional<std::uint64_t> ReaderGateway::submit(std::uint64_t tenant_id,
 
 void ReaderGateway::finish() {
   impl_->finished.store(true, std::memory_order_release);
+  // close() hands a nullopt to every parked lane immediately — shutdown is
+  // notify-driven, there is no polling interval to wait out.
   impl_->queue.close();
-  for (std::thread& t : impl_->workers)
-    if (t.joinable()) t.join();
+  impl_->loop.close();
+  impl_->loop.drain();
 }
 
 GatewayStats ReaderGateway::stats() const {
   std::lock_guard<std::mutex> lock(impl_->stats_mutex);
-  return impl_->counters;
+  GatewayStats snapshot = impl_->counters;
+  const runtime::BufferPoolStats pool = impl_->pool.stats();
+  snapshot.pool_leases = pool.leases;
+  snapshot.pool_allocations = pool.allocations;
+  return snapshot;
 }
 
 }  // namespace wavekey::server

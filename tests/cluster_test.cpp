@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <mutex>
 #include <set>
 #include <thread>
@@ -580,6 +581,40 @@ TEST(ReaderGatewayTest, CleanChannelGrantsEverythingExactlyOnce) {
   }
   EXPECT_EQ(log.count(AccessStatus::kGranted), 64u);
   EXPECT_EQ(cluster.stats().vault_grants, 64u);
+}
+
+TEST(ReaderGatewayTest, ShutdownOfParkedLanesIsNotifyDriven) {
+  // Lanes used to poll the job queue on a 10 ms try_pop_for slice, so an
+  // idle gateway took up to one slice per worker to notice finish(). Now a
+  // parked lane suspends in the queue and close() posts it a nullopt
+  // directly, so shutdown latency is pure scheduling latency. Let the lanes
+  // park for real, then require finish() to come back well under a single
+  // old poll slice.
+  ClusterConfig cluster_config;
+  cluster_config.nodes = 2;
+  VaultCluster cluster(cluster_config);
+  crypto::Drbg drbg(95);
+  const SessionKey key = random_key(drbg);
+  ASSERT_TRUE(cluster.install(1, key));
+
+  GatewayConfig gw_config;
+  gw_config.workers = 4;
+  ResultLog log;
+  ReaderGateway gateway(cluster, gw_config);
+  // One real job proves the lanes are alive before they go idle.
+  ASSERT_TRUE(gateway.submit(1, request_wire(1, 1, key), log.recorder()).has_value());
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));  // all 4 lanes parked
+
+  const auto start = std::chrono::steady_clock::now();
+  gateway.finish();
+  const double shutdown_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+
+  EXPECT_EQ(log.count(AccessStatus::kGranted), 1u);
+  EXPECT_EQ(gateway.stats().resolved, 1u);
+  // Generous for CI yet far below the 4-lane worst case of the old polling
+  // design (and below even one 10 ms slice).
+  EXPECT_LT(shutdown_s, 0.008);
 }
 
 TEST(ReaderGatewayTest, SubmitAfterFinishIsRefusedCleanly) {

@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <limits>
 #include <mutex>
 #include <set>
@@ -822,15 +823,23 @@ TEST(AccessServerTest, StatsSnapshotIsConsistentMidFlight) {
   }
 
   std::atomic<bool> done{false};
-  std::uint64_t snapshots = 0, inflight_seen = 0;
+  std::uint64_t snapshots = 0, inflight_seen = 0, suspended_seen = 0;
   std::thread sampler([&] {
     while (!done.load()) {
       const AccessServerStats snap = server.stats();
       ASSERT_EQ(snap.submitted, outcome_sum(snap) + snap.in_flight)
           << "torn snapshot: submitted=" << snap.submitted << " sum=" << outcome_sum(snap)
           << " in_flight=" << snap.in_flight;
+      // The suspended counter rides the same lock: a request parked on
+      // actuation is always also in flight, in every snapshot.
+      ASSERT_LE(snap.suspended, snap.in_flight)
+          << "torn snapshot: suspended=" << snap.suspended
+          << " in_flight=" << snap.in_flight;
+      ASSERT_LE(snap.suspended, snap.peak_suspended);
+      ASSERT_LE(snap.in_flight, snap.peak_in_flight);
       ++snapshots;
       if (snap.in_flight > 0) ++inflight_seen;
+      if (snap.suspended > 0) ++suspended_seen;
     }
   });
 
@@ -854,11 +863,60 @@ TEST(AccessServerTest, StatsSnapshotIsConsistentMidFlight) {
   const AccessServerStats final_stats = server.stats();
   EXPECT_EQ(final_stats.submitted, 400u);
   EXPECT_EQ(final_stats.in_flight, 0u);  // finish() drained everything
+  EXPECT_EQ(final_stats.suspended, 0u);  // nothing left parked either
   EXPECT_EQ(final_stats.submitted, outcome_sum(final_stats));
+  EXPECT_GE(final_stats.peak_in_flight, final_stats.peak_suspended);
   EXPECT_GT(snapshots, 0u);
   // Not asserted (scheduling-dependent), but nearly always nonzero — the
   // sampler genuinely observes requests mid-flight:
   (void)inflight_seen;
+  (void)suspended_seen;
+}
+
+TEST(AccessServerTest, SuspendedGrantsOverlapBeyondThreadCount) {
+  // The coroutine refactor's headline property: grants parked on actuation
+  // I/O hold no worker, so the in-flight population is bounded by the
+  // admission window, not the thread count. 64 grants with 30 ms actuation
+  // on ONE thread must overlap (wall time far under the serial 1.92 s) and
+  // the server must report them parked concurrently.
+  AccessServerConfig config;
+  config.threads = 1;
+  config.queue_capacity = 256;
+  config.io_wait_s = 0.030;
+  config.admission.burst = 1e6;
+  config.vault.replay_window_bits = 512;
+  crypto::Drbg rng(62);
+  AccessServer server(config);
+  const SessionKey key = random_key(rng);
+  ASSERT_TRUE(server.vault().install(1, key, server.now_s()));
+
+  OutcomeLog log;
+  const auto start = std::chrono::steady_clock::now();
+  for (std::uint64_t c = 1; c <= 64; ++c) {
+    const AccessRequest req = make_access_request(1, 0, c, nonce_from(c), {}, key);
+    ASSERT_TRUE(server.submit(c, 1, req.serialize(), log.recorder()));
+  }
+  server.finish();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+
+  const AccessServerStats stats = server.stats();
+  EXPECT_EQ(stats.granted, 64u);
+  EXPECT_EQ(stats.shed, 0u);
+  // Concurrency evidence from both axes: wall clock (64 x 30 ms serial
+  // would be ~1.9 s) and the server's own high-water mark.
+  EXPECT_LT(elapsed, 1.0);
+  EXPECT_GE(stats.peak_suspended, 8u);
+  EXPECT_EQ(stats.suspended, 0u);
+
+  // suspended_s is reported separately: the park shows up there, NOT in
+  // queue_wait_s (satellite fix — queue_wait_s used to absorb worker-held
+  // time under load) and not in verify_s.
+  for (const AccessOutcome& outcome : log.outcomes) {
+    ASSERT_EQ(outcome.status, AccessStatus::kGranted);
+    EXPECT_GE(outcome.suspended_s, 0.029);
+    EXPECT_LT(outcome.verify_s, 0.020);
+  }
 }
 
 // --- pairing engine → vault handoff ---

@@ -12,11 +12,22 @@ normalized by the anchor benchmark (BM_Sha256_1KiB): a host that is
 uniformly 2x slower than the baseline machine shifts the anchor by the same
 factor and cancels out; only *relative* kernel regressions trip the gate.
 
+A second mode diffs serving-latency percentiles instead of ops-rate
+anchors: `--latency` takes two bench_server / bench_throughput style JSONs
+(anything with a "points" array carrying p50/p95/p99/p99.9 fields) and
+compares TAIL AMPLIFICATION — each percentile normalized by the lowest
+percentile of its own family in the same run — so absolute machine speed
+cancels and only tail-shape regressions (a blocking wait sneaking back into
+the request path, a lock convoy) trip the gate. The default --threshold in
+this mode is 3.0 (4x amplification growth): a deliberate tripwire for
+order-of-magnitude regressions, not a noise-sensitive 15% gate.
+
 Stdlib only — no third-party dependencies.
 """
 
 import argparse
 import json
+import re
 import sys
 
 ANCHOR = "BM_Sha256_1KiB"
@@ -43,7 +54,83 @@ GATED = [
     "BM_GemmF32",
     "BM_ClusterFrame",
     "BM_PartitionMapRoute",
+    "BM_EventLoopSpawn",
+    "BM_BufferPoolLease",
+    "BM_FramePooled",
 ]
+
+# Matches latency-percentile point fields: p50_verify_us, p999_critical_ms...
+PERCENTILE_KEY = re.compile(r"^p(\d+)_(.+)_(us|ms)$")
+
+
+def load_latency_points(path):
+    """Returns {point label: {family: {percentile: microseconds}}}."""
+    with open(path) as f:
+        doc = json.load(f)
+    points = {}
+    for point in doc.get("points", []):
+        label = f"threads={point.get('threads', '?')}"
+        families = {}
+        for key, value in point.items():
+            m = PERCENTILE_KEY.match(key)
+            if m is None or not isinstance(value, (int, float)):
+                continue
+            # 'p999' means p99.9: interpret the digit string as a percentile
+            # with an implied decimal point after the first two digits.
+            digits = m.group(1)
+            pct = float(digits) if len(digits) <= 2 else float(digits[:2] + "." + digits[2:])
+            us = float(value) * (1e3 if m.group(3) == "ms" else 1.0)
+            families.setdefault(m.group(2), {})[pct] = us
+        if families:
+            points[label] = families
+    return points
+
+
+def compare_latency(args):
+    base = load_latency_points(args.baseline)
+    cur = load_latency_points(args.current)
+    if not base or not cur:
+        print("bench_compare: no latency percentiles found in baseline or current",
+              file=sys.stderr)
+        return 1
+
+    failed = []
+    compared = 0
+    for label, base_families in sorted(base.items()):
+        if label not in cur:
+            print(f"{label}: SKIP (missing from current run)")
+            continue
+        for family, base_pcts in sorted(base_families.items()):
+            cur_pcts = cur[label].get(family, {})
+            shared = sorted(set(base_pcts) & set(cur_pcts))
+            if len(shared) < 2:
+                continue
+            floor = shared[0]  # lowest shared percentile anchors the family
+            for pct in shared[1:]:
+                base_amp = base_pcts[pct] / base_pcts[floor] if base_pcts[floor] > 0 else 0.0
+                cur_amp = cur_pcts[pct] / cur_pcts[floor] if cur_pcts[floor] > 0 else 0.0
+                if base_amp <= 0.0:
+                    continue
+                compared += 1
+                ratio = cur_amp / base_amp
+                verdict = "ok"
+                if ratio > 1.0 + args.threshold:
+                    verdict = "REGRESSION"
+                    failed.append(f"{label} {family} p{pct:g}")
+                print(f"  {label:<12} {family:<12} p{pct:<5g} base {base_pcts[pct]:>10.1f} us "
+                      f"(x{base_amp:5.1f} over p{floor:g})  cur {cur_pcts[pct]:>10.1f} us "
+                      f"(x{cur_amp:5.1f})  tail ratio x{ratio:.2f}  {verdict}")
+
+    if compared == 0:
+        print("bench_compare: no comparable percentile pairs (need >= 2 shared "
+              "percentiles per family)", file=sys.stderr)
+        return 1
+    if failed:
+        print(f"bench_compare: {len(failed)} tail percentile(s) regressed more than "
+              f"{args.threshold:.0%} in amplification: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    print(f"bench_compare: all {compared} tail percentiles within threshold")
+    return 0
 
 
 def load_times(path):
@@ -69,9 +156,18 @@ def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("baseline", help="committed baseline JSON (BENCH_micro.json)")
     ap.add_argument("current", help="freshly measured JSON")
-    ap.add_argument("--threshold", type=float, default=0.15,
-                    help="allowed fractional slowdown after normalization (default 0.15)")
+    ap.add_argument("--latency", action="store_true",
+                    help="diff latency percentiles (bench_server/bench_throughput "
+                         "JSONs) instead of ops-rate anchors")
+    ap.add_argument("--threshold", type=float, default=None,
+                    help="allowed fractional slowdown after normalization "
+                         "(default 0.15; 3.0 in --latency mode)")
     args = ap.parse_args()
+
+    if args.threshold is None:
+        args.threshold = 3.0 if args.latency else 0.15
+    if args.latency:
+        return compare_latency(args)
 
     base = load_times(args.baseline)
     cur = load_times(args.current)

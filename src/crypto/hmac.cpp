@@ -1,30 +1,52 @@
 #include "crypto/hmac.hpp"
 
+#include <array>
+#include <cstring>
+
 namespace wavekey::crypto {
 
-Digest256 hmac_sha256(std::span<const std::uint8_t> key, std::span<const std::uint8_t> data) {
+namespace {
+
+Digest256 hmac_impl(std::span<const std::uint8_t> key, std::span<const std::uint8_t> data,
+                    bool force_portable) {
+  // Hot path of vault authorization: everything lives on the stack. The
+  // three per-call heap vectors the original implementation allocated cost
+  // more than a SHA-NI compression round.
   constexpr std::size_t kBlock = 64;
-  std::vector<std::uint8_t> k(kBlock, 0);
+  std::array<std::uint8_t, kBlock> k{};
   if (key.size() > kBlock) {
-    const Digest256 kh = Sha256::hash(key);
-    std::copy(kh.begin(), kh.end(), k.begin());
-  } else {
-    std::copy(key.begin(), key.end(), k.begin());
+    Sha256 kh(force_portable);
+    kh.update(key);
+    const Digest256 khd = kh.finalize();
+    std::memcpy(k.data(), khd.data(), khd.size());
+  } else if (!key.empty()) {
+    std::memcpy(k.data(), key.data(), key.size());
   }
 
-  std::vector<std::uint8_t> ipad(kBlock), opad(kBlock);
+  std::array<std::uint8_t, kBlock> ipad, opad;
   for (std::size_t i = 0; i < kBlock; ++i) {
-    ipad[i] = k[i] ^ 0x36;
-    opad[i] = k[i] ^ 0x5c;
+    ipad[i] = static_cast<std::uint8_t>(k[i] ^ 0x36);
+    opad[i] = static_cast<std::uint8_t>(k[i] ^ 0x5c);
   }
 
-  Sha256 inner;
+  Sha256 inner(force_portable);
   inner.update(ipad).update(data);
   const Digest256 inner_digest = inner.finalize();
 
-  Sha256 outer;
+  Sha256 outer(force_portable);
   outer.update(opad).update(inner_digest);
   return outer.finalize();
+}
+
+}  // namespace
+
+Digest256 hmac_sha256(std::span<const std::uint8_t> key, std::span<const std::uint8_t> data) {
+  return hmac_impl(key, data, /*force_portable=*/false);
+}
+
+Digest256 hmac_sha256_portable(std::span<const std::uint8_t> key,
+                               std::span<const std::uint8_t> data) {
+  return hmac_impl(key, data, /*force_portable=*/true);
 }
 
 bool digest_equal(const Digest256& a, const Digest256& b) {

@@ -15,6 +15,13 @@ namespace wavekey::crypto {
 /// pre-hashed per the RFC.
 Digest256 hmac_sha256(std::span<const std::uint8_t> key, std::span<const std::uint8_t> data);
 
+/// Same MAC, pinned to the portable SHA-256 kernel (no SHA-NI) — the
+/// in-process reference for kernel differentials (crypto_test) and the
+/// pre-accelerated arm of bench_vault's baseline. Produces bit-identical
+/// output to hmac_sha256.
+Digest256 hmac_sha256_portable(std::span<const std::uint8_t> key,
+                               std::span<const std::uint8_t> data);
+
 /// Constant-time digest comparison (avoids leaking the mismatch position to
 /// a timing observer during key confirmation).
 bool digest_equal(const Digest256& a, const Digest256& b);

@@ -18,6 +18,11 @@ class Sha256 {
  public:
   Sha256();
 
+  /// A hasher pinned to the portable (scalar) compression kernel regardless
+  /// of CPU features — for in-process differentials against the SHA-NI path
+  /// and for benchmarks that model the pre-accelerated pipeline.
+  explicit Sha256(bool force_portable);
+
   /// Absorbs more input.
   Sha256& update(std::span<const std::uint8_t> data);
 
@@ -32,13 +37,26 @@ class Sha256 {
   static Digest256 hash(std::span<const std::uint8_t> data);
 
  private:
-  void process_block(const std::uint8_t* block);
+  void process_blocks(const std::uint8_t* blocks, std::size_t nblocks);
 
   std::array<std::uint32_t, 8> state_;
   std::array<std::uint8_t, 64> buffer_;
   std::size_t buffer_len_ = 0;
   std::uint64_t total_len_ = 0;
   bool finalized_ = false;
+  bool force_portable_ = false;
 };
+
+/// SHA-NI block compression kernel (sha256_shani.cpp, compiled with -msha on
+/// x86). Runs `nblocks` 64-byte blocks through the FIPS 180-4 compression,
+/// updating `state` in place. Callers must gate on
+/// runtime::cpu::sha_ni_active(); Sha256 does this internally.
+void sha256_process_blocks_shani(std::uint32_t state[8], const std::uint8_t* blocks,
+                                 std::size_t nblocks);
+
+/// True iff the SHA-NI kernel was compiled into this binary (x86 toolchain
+/// with -msha support). Hardware/runtime gating is separate: see
+/// runtime::cpu::sha_ni_active().
+bool sha256_shani_compiled();
 
 }  // namespace wavekey::crypto

@@ -89,6 +89,20 @@ SimdTier active_tier() {
   return static_cast<SimdTier>(cached);
 }
 
+bool detected_sha_ni() {
+#if defined(__x86_64__) || defined(__i386__) || defined(_M_X64) || defined(_M_IX86)
+  static const bool supported = [] {
+    __builtin_cpu_init();
+    return __builtin_cpu_supports("sha") != 0;
+  }();
+  return supported;
+#else
+  return false;
+#endif
+}
+
+bool sha_ni_active() { return detected_sha_ni() && active_tier() > SimdTier::kScalar; }
+
 void force_tier_for_testing(std::optional<SimdTier> tier) {
   if (!tier.has_value()) {
     g_active.store(kUnset, std::memory_order_relaxed);

@@ -50,4 +50,14 @@ SimdTier resolve_tier(const char* env, SimdTier detected);
 /// safe to call while kernels run on other threads.
 void force_tier_for_testing(std::optional<SimdTier> tier);
 
+/// True iff the hardware executes the SHA-NI extension (sha256rnds2 et al).
+/// Orthogonal to the vector-width ladder: a capability probe, not a tier.
+bool detected_sha_ni();
+
+/// True iff the SHA-256 kernel may use SHA-NI right now: the hardware has it
+/// AND the active tier is above scalar — so WAVEKEY_SIMD=scalar (and
+/// force_tier_for_testing(kScalar)) pins hashing to the portable kernel
+/// together with every other vectorized path.
+bool sha_ni_active();
+
 }  // namespace wavekey::runtime::cpu

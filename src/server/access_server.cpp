@@ -35,6 +35,10 @@ struct AccessServer::Impl {
   // when workers fell behind.
   std::atomic<std::size_t> active_admitted{0};
   std::atomic<bool> finished{false};
+  /// Next vault TTL sweep deadline (seconds on the server clock). submit()
+  /// CAS-claims it; the winner spawns a one-shot purge coroutine — no
+  /// long-lived looping task that drain() would have to wait out.
+  std::atomic<double> next_purge_s{0.0};
 
   // All stats live under one mutex: submit increments (submitted, in_flight)
   // and every outcome moves one unit from in_flight to its status counter in
@@ -149,6 +153,27 @@ struct AccessServer::Impl {
     if (job.done) job.done(outcome);
   }
 
+  /// One-shot TTL sweep on an event-loop worker (see next_purge_s).
+  runtime::Task<void> purge_vault() {
+    vault.purge_expired(now_s());
+    co_return;
+  }
+
+  /// Claims the purge deadline if due; at most one submitter wins per
+  /// interval. Called on the submit path, off the request's critical work.
+  void maybe_spawn_purge() {
+    if (config.vault_purge_interval_s <= 0.0) return;
+    const double now = now_s();
+    double due = next_purge_s.load(std::memory_order_relaxed);
+    if (now < due) return;
+    if (!next_purge_s.compare_exchange_strong(due, now + config.vault_purge_interval_s,
+                                              std::memory_order_relaxed)) {
+      return;  // another submitter claimed this interval
+    }
+    // Spawn failure (post-finish race) is fine: the sweep is best-effort.
+    (void)loop.spawn(purge_vault());
+  }
+
   void finish() {
     bool expected = false;
     if (finished.compare_exchange_strong(expected, true)) {
@@ -168,6 +193,7 @@ double AccessServer::now_s() const { return impl_->now_s(); }
 
 bool AccessServer::submit(std::uint64_t tag, std::uint64_t tenant_id, Bytes request_wire,
                           Callback done) {
+  impl_->maybe_spawn_purge();
   impl_->note_submitted();
   // Admission control first: a rate-limited tenant must not consume window
   // space, and both rejects must stay O(1) on the caller thread.

@@ -49,6 +49,13 @@ struct AccessServerConfig {
   /// reader round-trip); a real sleep that workers overlap, mirroring
   /// radio_wait_s in core::PairingEngine. Zero disables it.
   double io_wait_s = 0.0;
+  /// TTL purge cadence: at most once per this interval, a submit() spawns a
+  /// short-lived coroutine that sweeps the vault's timer wheels
+  /// (KeyVault::purge_expired), so expired-but-never-touched sessions are
+  /// reclaimed even when no request ever hits them again. Piggybacking on
+  /// the submit path keeps the loop free of long-lived tasks (finish()'s
+  /// drain() must see an emptying loop). Zero disables the sweep.
+  double vault_purge_interval_s = 1.0;
 };
 
 /// Completion record handed to the callback.

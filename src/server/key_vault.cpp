@@ -1,23 +1,48 @@
 #include "server/key_vault.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 
 #include "crypto/hkdf.hpp"
 #include "crypto/hmac.hpp"
 #include "protocol/wire.hpp"
+#include "runtime/flat_map.hpp"
 
 namespace wavekey::server {
 
 namespace {
 
-/// splitmix64 finalizer — decorrelates sequential session ids across shards.
+/// splitmix64 finalizer — decorrelates sequential session ids. Identical to
+/// the FlatMap's internal mix; the vault consumes bits 32.. for shard
+/// routing, the map consumes bits 7.. for group selection and 57.. for the
+/// tag, so the two never alias (header comment).
 std::uint64_t mix64(std::uint64_t x) {
   x += 0x9E3779B97F4A7C15ull;
   x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
   x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
   return x ^ (x >> 31);
 }
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p *= 2;
+  return p;
+}
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                        std::chrono::steady_clock::now().time_since_epoch())
+                                        .count());
+}
+
+/// Bounded optimistic retries before falling back to the classic path. Two
+/// consecutive losses require two distinct mutations of the same session
+/// racing this request; more than a handful means the session is being
+/// hammered with rotates and the under-lock path is the honest choice.
+constexpr int kMaxOptimisticRetries = 4;
+
+constexpr std::size_t kLockHoldRing = 16384;  // samples kept per shard
 
 }  // namespace
 
@@ -39,61 +64,236 @@ SessionKey derive_rotated_key(const SessionKey& old_key, std::uint64_t session_i
   return out;
 }
 
+/// Per-session state, stored by value in the shard's FlatMap pool.
+struct KeyVault::Entry {
+  SessionKey key{};
+  std::uint32_t epoch = 0;
+  double expires_at_s = 0.0;  ///< valid while now < expires_at_s
+  bool revoked = false;
+  /// Mutation stamp from Shard::version_clock: install / rotate / revoke /
+  /// import each bump it, so an optimistic reader can detect ANY concurrent
+  /// mutation — including erase + reinstall of the same id into a recycled
+  /// pool slot (the clock is shard-monotonic, never per-slot, so there is
+  /// no ABA).
+  std::uint64_t version = 0;
+  ReplayWindow window;
+};
+
+/// Hierarchical timer wheel for TTL expiry: same 4-level × 64-slot shape as
+/// the event loop's wheel (src/runtime/event_loop.cpp) but on the vault's
+/// caller-supplied seconds axis with a 10 ms tick. Entries are ADVISORY —
+/// they carry only the session id, and purge re-checks `now >= expires_at_s`
+/// against the live entry before erasing — so early fires (an entry re-armed
+/// by rotate leaves its old arm in place) and duplicates are harmless; a
+/// fired-but-live session is simply re-armed at its current deadline.
+struct KeyVault::TtlWheel {
+  static constexpr int kLevels = 4;
+  static constexpr int kLevelBits = 6;
+  static constexpr std::uint64_t kSlots = 1ull << kLevelBits;  // 64
+  static constexpr double kTickS = 0.010;                      // 10 ms
+  /// A jump farther than the whole wheel span (64^4 ticks ≈ 46 h) drains
+  /// every slot instead of stepping tick-by-tick.
+  static constexpr std::uint64_t kDrainJump = 1ull << (kLevelBits * kLevels);
+
+  struct Armed {
+    std::uint64_t session_id;
+    std::uint64_t deadline_tick;
+  };
+
+  std::uint64_t current_tick = 0;  ///< last tick fully processed
+  std::array<std::array<std::vector<Armed>, kSlots>, kLevels> slots;
+
+  static std::uint64_t tick_of(double t_s) {
+    if (t_s <= 0.0) return 0;
+    const double ticks = t_s / kTickS;
+    if (ticks >= 9.0e18) return 9'000'000'000'000'000'000ull;
+    return static_cast<std::uint64_t>(ticks);
+  }
+
+  /// Arms `id` to fire strictly after `expires_at_s` has passed.
+  void arm(std::uint64_t id, double expires_at_s) {
+    place(Armed{id, tick_of(expires_at_s) + 1});
+  }
+
+  void place(const Armed& e) {
+    std::uint64_t deadline = e.deadline_tick;
+    if (deadline <= current_tick) deadline = current_tick + 1;  // next advance
+    const std::uint64_t delta = deadline - current_tick;
+    int level = kLevels - 1;
+    for (int l = 0; l < kLevels; ++l) {
+      if (delta < (1ull << (kLevelBits * (l + 1)))) {
+        level = l;
+        break;
+      }
+    }
+    const std::uint64_t idx = (deadline >> (kLevelBits * level)) & (kSlots - 1);
+    slots[static_cast<std::size_t>(level)][idx].push_back(Armed{e.session_id, deadline});
+  }
+
+  /// Advances one tick PAST the tick containing `now_s`, appending fired
+  /// session ids to `fired`. The +1 pairs with arm()'s +1: every entry with
+  /// expires_at_s <= now_s has deadline tick_of(expires)+1 <= target, so a
+  /// sweep at `now_s` is exact — no same-tick granularity lag versus a full
+  /// scan. Entries whose expiry falls later in the current tick may fire
+  /// early; that's fine because entries are advisory (the caller re-checks
+  /// the authoritative expires_at_s and re-arms live ones). Cheap per empty
+  /// tick; degenerate jumps drain the whole wheel.
+  void advance_to(double now_s, std::vector<std::uint64_t>& fired) {
+    const std::uint64_t target = tick_of(now_s) + 1;
+    if (target <= current_tick) return;
+    if (target - current_tick >= kDrainJump) {
+      for (auto& level : slots) {
+        for (auto& slot : level) {
+          for (const Armed& e : slot) fired.push_back(e.session_id);
+          slot.clear();
+        }
+      }
+      current_tick = target;
+      return;
+    }
+    while (current_tick < target) {
+      ++current_tick;
+      const std::uint64_t t = current_tick;
+      // Cascade every level whose index wrapped at this tick, top-down so
+      // re-placed entries land in already-processed (or lower) positions.
+      int wrapped = 0;
+      for (int l = 1; l < kLevels; ++l) {
+        if ((t & ((1ull << (kLevelBits * l)) - 1)) != 0) break;
+        wrapped = l;
+      }
+      for (int l = wrapped; l >= 1; --l) {
+        const std::uint64_t idx = (t >> (kLevelBits * l)) & (kSlots - 1);
+        auto moved = std::move(slots[static_cast<std::size_t>(l)][idx]);
+        slots[static_cast<std::size_t>(l)][idx].clear();
+        for (const Armed& e : moved) {
+          if (e.deadline_tick <= t) {
+            fired.push_back(e.session_id);
+          } else {
+            place(e);
+          }
+        }
+      }
+      auto& due = slots[0][t & (kSlots - 1)];
+      for (const Armed& e : due) fired.push_back(e.session_id);
+      due.clear();
+    }
+  }
+
+  std::size_t memory_bytes() const {
+    std::size_t total = 0;
+    for (const auto& level : slots) {
+      for (const auto& slot : level) total += slot.capacity() * sizeof(Armed);
+    }
+    return total;
+  }
+};
+
+struct KeyVault::Shard {
+  mutable std::mutex mutex;
+  runtime::FlatMap<Entry> map;
+  TtlWheel wheel;
+  std::uint64_t version_clock = 0;  ///< bumped on every entry mutation
+  // Lock-hold sampling ring (only written when config.measure_lock_hold).
+  std::vector<std::uint64_t> hold_ns;
+  std::size_t hold_pos = 0;
+
+  void record_hold(std::uint64_t ns) {
+    if (hold_ns.size() < kLockHoldRing) {
+      hold_ns.push_back(ns);
+    } else {
+      hold_ns[hold_pos] = ns;
+      hold_pos = (hold_pos + 1) % kLockHoldRing;
+    }
+  }
+};
+
+namespace {
+
+/// RAII shard-lock that optionally records its hold time into the shard's
+/// sampling ring. The clock reads sit outside the critical section's useful
+/// work but inside the hold, slightly inflating reported holds — a
+/// conservative bias for a metric whose gate is an upper bound.
+class ShardLock {
+ public:
+  ShardLock(KeyVault::Shard& shard, bool measure)
+      : shard_(shard), measure_(measure), lock_(shard.mutex) {
+    if (measure_) start_ = now_ns();
+  }
+  ~ShardLock() {
+    if (measure_) shard_.record_hold(now_ns() - start_);
+  }
+
+ private:
+  KeyVault::Shard& shard_;
+  bool measure_;
+  std::lock_guard<std::mutex> lock_;
+  std::uint64_t start_ = 0;
+};
+
+}  // namespace
+
 KeyVault::KeyVault(const VaultConfig& config) : config_(config) {
   if (config_.shards < 1) config_.shards = 1;
+  config_.shards = round_up_pow2(config_.shards);
   if (config_.capacity < config_.shards) config_.capacity = config_.shards;
   per_shard_capacity_ = (config_.capacity + config_.shards - 1) / config_.shards;
   shards_.reserve(config_.shards);
-  for (std::size_t i = 0; i < config_.shards; ++i) shards_.push_back(std::make_unique<Shard>());
+  for (std::size_t i = 0; i < config_.shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->map.reserve(per_shard_capacity_);
+    shards_.push_back(std::move(shard));
+  }
 }
 
+KeyVault::~KeyVault() = default;
+
 KeyVault::Shard& KeyVault::shard_for(std::uint64_t session_id) {
-  return *shards_[mix64(session_id) % shards_.size()];
+  return *shards_[(mix64(session_id) >> 32) & (shards_.size() - 1)];
 }
 
 const KeyVault::Shard& KeyVault::shard_for(std::uint64_t session_id) const {
-  return *shards_[mix64(session_id) % shards_.size()];
+  return *shards_[(mix64(session_id) >> 32) & (shards_.size() - 1)];
 }
 
-bool KeyVault::reap_if_expired(Shard& shard, std::uint64_t session_id, double now_s) {
-  auto it = shard.entries.find(session_id);
-  if (it == shard.entries.end()) return false;
-  if (now_s < it->second.expires_at_s) return false;
-  shard.lru.erase(it->second.lru_pos);
-  shard.entries.erase(it);
+bool KeyVault::reap_if_expired(Shard& shard, std::uint32_t idx, double now_s) {
+  if (now_s < shard.map.at(idx).expires_at_s) return false;
+  shard.map.erase_index(idx);
   ttl_evictions_.fetch_add(1, std::memory_order_relaxed);
+  resident_entries_.fetch_sub(1, std::memory_order_relaxed);
   return true;
 }
 
-void KeyVault::touch(Shard& shard, Entry& entry) {
-  shard.lru.splice(shard.lru.begin(), shard.lru, entry.lru_pos);
+void KeyVault::evict_for_capacity(Shard& shard) {
+  if (shard.map.size() < per_shard_capacity_) return;
+  const std::uint32_t victim = shard.map.lru_tail();
+  if (victim == runtime::FlatMap<Entry>::kNil) return;
+  shard.map.erase_index(victim);
+  lru_evictions_.fetch_add(1, std::memory_order_relaxed);
+  resident_entries_.fetch_sub(1, std::memory_order_relaxed);
 }
 
 bool KeyVault::install(std::uint64_t session_id, std::span<const std::uint8_t> key,
                        double now_s) {
   if (key.size() != sizeof(SessionKey)) return false;
   Shard& shard = shard_for(session_id);
-  std::lock_guard<std::mutex> lock(shard.mutex);
-  auto it = shard.entries.find(session_id);
-  if (it == shard.entries.end()) {
-    if (shard.entries.size() >= per_shard_capacity_ && !shard.lru.empty()) {
-      const std::uint64_t victim = shard.lru.back();
-      shard.lru.pop_back();
-      shard.entries.erase(victim);
-      lru_evictions_.fetch_add(1, std::memory_order_relaxed);
-    }
-    it = shard.entries.emplace(session_id, Entry(config_.replay_window_bits)).first;
-    shard.lru.push_front(session_id);
-    it->second.lru_pos = shard.lru.begin();
+  ShardLock lock(shard, config_.measure_lock_hold);
+  std::uint32_t idx = shard.map.find_index(session_id);
+  if (idx == runtime::FlatMap<Entry>::kNil) {
+    evict_for_capacity(shard);
+    idx = shard.map.find_or_insert(session_id).first;
+    shard.map.at(idx).window.reconfigure(config_.replay_window_bits);
+    resident_entries_.fetch_add(1, std::memory_order_relaxed);
   } else {
-    touch(shard, it->second);
+    shard.map.touch(idx);
   }
-  Entry& entry = it->second;
+  Entry& entry = shard.map.at(idx);
   std::copy(key.begin(), key.end(), entry.key.begin());
   entry.epoch = 0;
   entry.expires_at_s = now_s + config_.ttl_s;
   entry.revoked = false;
+  entry.version = ++shard.version_clock;
   entry.window.reset();
+  shard.wheel.arm(session_id, entry.expires_at_s);
   installs_.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
@@ -106,39 +306,43 @@ bool KeyVault::install(std::uint64_t session_id, const BitVec& key, double now_s
 
 std::optional<std::uint32_t> KeyVault::rotate(std::uint64_t session_id, double now_s) {
   Shard& shard = shard_for(session_id);
-  std::lock_guard<std::mutex> lock(shard.mutex);
-  if (reap_if_expired(shard, session_id, now_s)) return std::nullopt;
-  auto it = shard.entries.find(session_id);
-  if (it == shard.entries.end() || it->second.revoked) return std::nullopt;
-  Entry& entry = it->second;
+  ShardLock lock(shard, config_.measure_lock_hold);
+  const std::uint32_t idx = shard.map.find_index(session_id);
+  if (idx == runtime::FlatMap<Entry>::kNil) return std::nullopt;
+  if (reap_if_expired(shard, idx, now_s)) return std::nullopt;
+  Entry& entry = shard.map.at(idx);
+  if (entry.revoked) return std::nullopt;
   entry.epoch += 1;
   entry.key = derive_rotated_key(entry.key, session_id, entry.epoch);
   entry.expires_at_s = now_s + config_.ttl_s;
+  entry.version = ++shard.version_clock;
   entry.window.reset();
-  touch(shard, entry);
+  shard.map.touch(idx);
+  shard.wheel.arm(session_id, entry.expires_at_s);
   rotations_.fetch_add(1, std::memory_order_relaxed);
   return entry.epoch;
 }
 
 bool KeyVault::revoke(std::uint64_t session_id) {
   Shard& shard = shard_for(session_id);
-  std::lock_guard<std::mutex> lock(shard.mutex);
-  auto it = shard.entries.find(session_id);
-  if (it == shard.entries.end()) return false;
-  it->second.revoked = true;
+  ShardLock lock(shard, config_.measure_lock_hold);
+  const std::uint32_t idx = shard.map.find_index(session_id);
+  if (idx == runtime::FlatMap<Entry>::kNil) return false;
+  Entry& entry = shard.map.at(idx);
+  entry.revoked = true;
+  entry.version = ++shard.version_clock;
   revocations_.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
 
-AccessStatus KeyVault::authorize(const AccessRequest& req,
-                                 std::span<const std::uint8_t> mac_input, double now_s,
-                                 SessionKey* key_out) {
-  Shard& shard = shard_for(req.session_id);
-  std::lock_guard<std::mutex> lock(shard.mutex);
-  if (reap_if_expired(shard, req.session_id, now_s)) return AccessStatus::kExpired;
-  auto it = shard.entries.find(req.session_id);
-  if (it == shard.entries.end()) return AccessStatus::kUnknownSession;
-  Entry& entry = it->second;
+AccessStatus KeyVault::authorize_locked(Shard& shard, const AccessRequest& req,
+                                        std::span<const std::uint8_t> mac_input,
+                                        double now_s, SessionKey* key_out) {
+  ShardLock lock(shard, config_.measure_lock_hold);
+  const std::uint32_t idx = shard.map.find_index(req.session_id);
+  if (idx == runtime::FlatMap<Entry>::kNil) return AccessStatus::kUnknownSession;
+  if (reap_if_expired(shard, idx, now_s)) return AccessStatus::kExpired;
+  Entry& entry = shard.map.at(idx);
   if (entry.revoked) return AccessStatus::kRevoked;
   if (req.epoch != entry.epoch) return AccessStatus::kStaleEpoch;
   const crypto::Digest256 expected = crypto::hmac_sha256(entry.key, mac_input);
@@ -147,19 +351,109 @@ AccessStatus KeyVault::authorize(const AccessRequest& req,
   if (!crypto::digest_equal(expected, carried)) return AccessStatus::kBadMac;
   // Only authenticated counters may advance the window (header contract).
   if (!entry.window.check_and_update(req.counter)) return AccessStatus::kReplay;
-  touch(shard, entry);
+  shard.map.touch(idx);
   if (key_out != nullptr) *key_out = entry.key;
   return AccessStatus::kGranted;
 }
 
+AccessStatus KeyVault::authorize(const AccessRequest& req,
+                                 std::span<const std::uint8_t> mac_input, double now_s,
+                                 SessionKey* key_out) {
+  Shard& shard = shard_for(req.session_id);
+  if (!config_.optimistic_verify) {
+    return authorize_locked(shard, req, mac_input, now_s, key_out);
+  }
+
+  for (int attempt = 0; attempt < kMaxOptimisticRetries; ++attempt) {
+    // Phase 1 — snapshot under the lock: resolve every pre-MAC rejection
+    // exactly as the classic path would, then capture (key, version).
+    SessionKey snap_key;
+    std::uint64_t snap_version;
+    {
+      ShardLock lock(shard, config_.measure_lock_hold);
+      const std::uint32_t idx = shard.map.find_index(req.session_id);
+      if (idx == runtime::FlatMap<Entry>::kNil) return AccessStatus::kUnknownSession;
+      if (reap_if_expired(shard, idx, now_s)) return AccessStatus::kExpired;
+      const Entry& entry = shard.map.at(idx);
+      if (entry.revoked) return AccessStatus::kRevoked;
+      if (req.epoch != entry.epoch) return AccessStatus::kStaleEpoch;
+      snap_key = entry.key;
+      snap_version = entry.version;
+    }
+
+    // Phase 2 — the HMAC, outside the lock. This is the whole point: other
+    // requests for the same shard proceed while we hash.
+    const crypto::Digest256 expected = crypto::hmac_sha256(snap_key, mac_input);
+    crypto::Digest256 carried{};
+    std::copy(req.mac.begin(), req.mac.end(), carried.begin());
+    const bool mac_ok = crypto::digest_equal(expected, carried);
+    optimistic_verifies_.fetch_add(1, std::memory_order_relaxed);
+
+    // Phase 3 — re-validate and commit under the lock. An unchanged version
+    // proves the entry (key, epoch, revocation, TTL deadline) is byte-for-
+    // byte what we hashed against, so verify+mark is as atomic as the
+    // classic path. Any mutation since the snapshot forces a retry.
+    {
+      ShardLock lock(shard, config_.measure_lock_hold);
+      const std::uint32_t idx = shard.map.find_index(req.session_id);
+      if (idx == runtime::FlatMap<Entry>::kNil) return AccessStatus::kUnknownSession;
+      Entry& entry = shard.map.at(idx);
+      if (entry.version != snap_version) {
+        version_retries_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      if (!mac_ok) return AccessStatus::kBadMac;
+      if (!entry.window.check_and_update(req.counter)) return AccessStatus::kReplay;
+      shard.map.touch(idx);
+      if (key_out != nullptr) *key_out = entry.key;
+      return AccessStatus::kGranted;
+    }
+  }
+
+  // The session is being mutated faster than we can hash — do it the
+  // classic way; under the lock nothing can race.
+  locked_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+  return authorize_locked(shard, req, mac_input, now_s, key_out);
+}
+
+std::size_t KeyVault::purge_expired(double now_s) {
+  std::size_t purged = 0;
+  std::vector<std::uint64_t> fired;
+  for (const auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    fired.clear();
+    ShardLock lock(shard, config_.measure_lock_hold);
+    shard.wheel.advance_to(now_s, fired);
+    for (const std::uint64_t id : fired) {
+      const std::uint32_t idx = shard.map.find_index(id);
+      if (idx == runtime::FlatMap<Entry>::kNil) continue;  // already gone
+      const Entry& entry = shard.map.at(idx);
+      if (now_s >= entry.expires_at_s) {
+        shard.map.erase_index(idx);
+        ++purged;
+        resident_entries_.fetch_sub(1, std::memory_order_relaxed);
+      } else {
+        // Fired early (stale arm from a rotate, or a drain jump): the entry
+        // is live — re-arm it at its current deadline so it is not leaked.
+        shard.wheel.arm(id, entry.expires_at_s);
+      }
+    }
+  }
+  ttl_evictions_.fetch_add(purged, std::memory_order_relaxed);
+  purged_expired_.fetch_add(purged, std::memory_order_relaxed);
+  return purged;
+}
+
 bool KeyVault::note_seen(std::uint64_t session_id, std::uint64_t counter) {
   Shard& shard = shard_for(session_id);
-  std::lock_guard<std::mutex> lock(shard.mutex);
-  auto it = shard.entries.find(session_id);
-  if (it == shard.entries.end() || it->second.revoked) return false;
+  ShardLock lock(shard, config_.measure_lock_hold);
+  const std::uint32_t idx = shard.map.find_index(session_id);
+  if (idx == runtime::FlatMap<Entry>::kNil) return false;
+  Entry& entry = shard.map.at(idx);
+  if (entry.revoked) return false;
   // The return value is irrelevant: the primary accepted the counter, so a
   // duplicate mark (a re-replicated retry) is simply already-seen.
-  (void)it->second.window.check_and_update(counter);
+  (void)entry.window.check_and_update(counter);
   return true;
 }
 
@@ -168,8 +462,9 @@ std::vector<ExportedSession> KeyVault::export_sessions(
   std::vector<ExportedSession> out;
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mutex);
-    for (const auto& [id, entry] : shard->entries) {
-      if (!pred(id)) continue;
+    // Oldest-first: importing in this order re-creates the LRU list exactly.
+    shard->map.for_each_lru_oldest_first([&](std::uint64_t id, const Entry& entry) {
+      if (!pred(id)) return;
       ExportedSession exported;
       exported.session_id = id;
       exported.key = entry.key;
@@ -178,7 +473,7 @@ std::vector<ExportedSession> KeyVault::export_sessions(
       exported.revoked = entry.revoked;
       exported.window = entry.window.snapshot();
       out.push_back(std::move(exported));
-    }
+    });
   }
   return out;
 }
@@ -187,27 +482,24 @@ std::size_t KeyVault::import_sessions(std::span<const ExportedSession> sessions)
   std::size_t imported = 0;
   for (const ExportedSession& s : sessions) {
     Shard& shard = shard_for(s.session_id);
-    std::lock_guard<std::mutex> lock(shard.mutex);
-    auto it = shard.entries.find(s.session_id);
-    if (it == shard.entries.end()) {
-      if (shard.entries.size() >= per_shard_capacity_ && !shard.lru.empty()) {
-        const std::uint64_t victim = shard.lru.back();
-        shard.lru.pop_back();
-        shard.entries.erase(victim);
-        lru_evictions_.fetch_add(1, std::memory_order_relaxed);
-      }
-      it = shard.entries.emplace(s.session_id, Entry(config_.replay_window_bits)).first;
-      shard.lru.push_front(s.session_id);
-      it->second.lru_pos = shard.lru.begin();
+    ShardLock lock(shard, config_.measure_lock_hold);
+    std::uint32_t idx = shard.map.find_index(s.session_id);
+    if (idx == runtime::FlatMap<Entry>::kNil) {
+      evict_for_capacity(shard);
+      idx = shard.map.find_or_insert(s.session_id).first;
+      shard.map.at(idx).window.reconfigure(config_.replay_window_bits);
+      resident_entries_.fetch_add(1, std::memory_order_relaxed);
     } else {
-      touch(shard, it->second);
+      shard.map.touch(idx);
     }
-    Entry& entry = it->second;
+    Entry& entry = shard.map.at(idx);
     entry.key = s.key;
     entry.epoch = s.epoch;
     entry.expires_at_s = s.expires_at_s;
     entry.revoked = s.revoked;
+    entry.version = ++shard.version_clock;
     entry.window.restore(s.window);
+    shard.wheel.arm(s.session_id, entry.expires_at_s);
     ++imported;
   }
   return imported;
@@ -216,35 +508,41 @@ std::size_t KeyVault::import_sessions(std::span<const ExportedSession> sessions)
 void KeyVault::clear() {
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mutex);
-    shard->entries.clear();
-    shard->lru.clear();
+    resident_entries_.fetch_sub(shard->map.size(), std::memory_order_relaxed);
+    shard->map.clear();
+    shard->wheel = TtlWheel{};
+    shard->version_clock += 1;  // invalidate any in-flight optimistic snapshot
   }
 }
 
 std::optional<SessionKey> KeyVault::current_key(std::uint64_t session_id, double now_s) const {
   const Shard& shard = shard_for(session_id);
   std::lock_guard<std::mutex> lock(shard.mutex);
-  auto it = shard.entries.find(session_id);
-  if (it == shard.entries.end() || it->second.revoked) return std::nullopt;
-  if (now_s >= it->second.expires_at_s) return std::nullopt;
-  return it->second.key;
+  const std::uint32_t idx = shard.map.find_index(session_id);
+  if (idx == runtime::FlatMap<Entry>::kNil) return std::nullopt;
+  const Entry& entry = shard.map.at(idx);
+  if (entry.revoked) return std::nullopt;
+  if (now_s >= entry.expires_at_s) return std::nullopt;
+  return entry.key;
 }
 
 std::optional<std::uint32_t> KeyVault::current_epoch(std::uint64_t session_id,
                                                      double now_s) const {
   const Shard& shard = shard_for(session_id);
   std::lock_guard<std::mutex> lock(shard.mutex);
-  auto it = shard.entries.find(session_id);
-  if (it == shard.entries.end() || it->second.revoked) return std::nullopt;
-  if (now_s >= it->second.expires_at_s) return std::nullopt;
-  return it->second.epoch;
+  const std::uint32_t idx = shard.map.find_index(session_id);
+  if (idx == runtime::FlatMap<Entry>::kNil) return std::nullopt;
+  const Entry& entry = shard.map.at(idx);
+  if (entry.revoked) return std::nullopt;
+  if (now_s >= entry.expires_at_s) return std::nullopt;
+  return entry.epoch;
 }
 
 std::size_t KeyVault::size() const {
   std::size_t total = 0;
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mutex);
-    total += shard->entries.size();
+    total += shard->map.size();
   }
   return total;
 }
@@ -256,7 +554,38 @@ VaultStats KeyVault::stats() const {
   s.revocations = revocations_.load(std::memory_order_relaxed);
   s.lru_evictions = lru_evictions_.load(std::memory_order_relaxed);
   s.ttl_evictions = ttl_evictions_.load(std::memory_order_relaxed);
+  s.purged_expired = purged_expired_.load(std::memory_order_relaxed);
+  s.resident_entries = resident_entries_.load(std::memory_order_relaxed);
+  s.optimistic_verifies = optimistic_verifies_.load(std::memory_order_relaxed);
+  s.version_retries = version_retries_.load(std::memory_order_relaxed);
+  s.locked_fallbacks = locked_fallbacks_.load(std::memory_order_relaxed);
   return s;
+}
+
+std::size_t KeyVault::memory_bytes() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->map.memory_bytes() + shard->wheel.memory_bytes();
+  }
+  return total;
+}
+
+std::vector<std::uint64_t> KeyVault::lock_hold_samples_ns() const {
+  std::vector<std::uint64_t> out;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    out.insert(out.end(), shard->hold_ns.begin(), shard->hold_ns.end());
+  }
+  return out;
+}
+
+void KeyVault::reset_lock_hold_samples() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->hold_ns.clear();
+    shard->hold_pos = 0;
+  }
 }
 
 }  // namespace wavekey::server

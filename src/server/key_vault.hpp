@@ -1,35 +1,48 @@
 #pragma once
 
-// Sharded session-key vault (DESIGN.md §9.1): the backend's store of keys
-// established by pairing. Sessions hash onto N independently-locked shards;
-// each shard keeps an id -> entry map with LRU ordering, so the vault is
-// bounded (capacity/N entries per shard, least-recently-used evicted first)
-// and all mutation — TTL expiry, revocation, HKDF rotation, replay-window
-// updates, MAC verification — happens atomically under one shard lock.
+// Sharded session-key vault (DESIGN.md §9.1, data plane rebuilt in §13):
+// the backend's store of keys established by pairing. Sessions hash onto N
+// independently-locked shards; each shard is a runtime::FlatMap — a
+// SwissTable-style open-addressing table with an intrusive index-based LRU
+// — plus a hierarchical timer wheel for TTL expiry. The vault is bounded
+// (capacity/N entries per shard, least-recently-used evicted first) and
+// resident memory tracks *live* sessions: expired entries are reclaimed by
+// purge_expired() in O(expired), not only when they happen to be touched.
 //
-// Authorization order inside the lock (each step a distinct AccessStatus):
+// Shard count is rounded UP to a power of two so routing is a mask, not a
+// modulo: shard = (splitmix64(id) >> 32) & (shards-1). The shard index is
+// drawn from bits 32.. of the same mix the FlatMap probes with (group bits
+// 7.., tag bits 57..) — disjoint ranges, so per-shard slot distribution
+// stays uniform. shards() reports the rounded value.
+//
+// Authorization (each step a distinct AccessStatus):
 //   lookup -> TTL -> revoked -> epoch -> HMAC -> replay window -> granted.
 // The MAC is checked BEFORE the replay window is advanced so forged
-// requests can never burn counters (replay_window.hpp), and computing the
-// HMAC under the shard lock is what makes "verify + mark seen" atomic —
-// shard count, not lock scope, provides the parallelism.
+// requests can never burn counters (replay_window.hpp). By default the
+// HMAC — the single most expensive step — is computed OUTSIDE the shard
+// lock: the lock is held once to snapshot (key, epoch, version) and once
+// to re-validate the per-entry version counter and mark the window. Any
+// concurrent rotate/revoke/install/import bumps the version, forcing a
+// bounded retry (then a classic under-lock verify), so the verify+mark pair
+// is exactly as atomic as the classic path — the failure modes are
+// identical, only the lock hold time shrinks from ~1 HMAC to ~2 probes.
+// Set VaultConfig::optimistic_verify=false for the classic single-critical-
+// section path (used by the differential tests and as the fallback).
 //
 // Time is caller-supplied (seconds on any monotonic axis): tests drive the
 // TTL boundary deterministically, the AccessServer feeds its steady-clock.
 //
 // Thread-safety: every public method may be called concurrently from any
-// thread; each takes exactly one shard mutex (stats use atomics).
+// thread; each takes one shard mutex at a time (stats use atomics).
 
 #include <array>
 #include <atomic>
 #include <cstdint>
 #include <functional>
-#include <list>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "numeric/bitvec.hpp"
@@ -42,19 +55,30 @@ namespace wavekey::server {
 using SessionKey = std::array<std::uint8_t, 32>;
 
 struct VaultConfig {
-  std::size_t shards = 8;            ///< independently-locked shards (>= 1)
-  std::size_t capacity = 4096;       ///< total entries, split across shards
-  double ttl_s = 300.0;              ///< entry lifetime from install/rotate
+  std::size_t shards = 8;       ///< rounded up to a power of two (>= 1)
+  std::size_t capacity = 4096;  ///< total entries, split across shards
+  double ttl_s = 300.0;         ///< entry lifetime from install/rotate
   std::size_t replay_window_bits = 128;
+  bool optimistic_verify = true;  ///< HMAC outside the shard lock (see above)
+  bool measure_lock_hold = false; ///< sample shard-lock hold times (bench)
 };
 
-/// Monotonic counters, readable without any shard lock.
+/// Counters are monotonic; resident_entries is a point-in-time gauge.
 struct VaultStats {
   std::uint64_t installs = 0;
   std::uint64_t rotations = 0;
   std::uint64_t revocations = 0;
   std::uint64_t lru_evictions = 0;
-  std::uint64_t ttl_evictions = 0;  ///< expired entries reclaimed on access
+  std::uint64_t ttl_evictions = 0;   ///< expired entries reclaimed (lazy + sweep)
+  std::uint64_t purged_expired = 0;  ///< subset of ttl_evictions reclaimed by
+                                     ///< the purge_expired() wheel sweep
+  std::uint64_t resident_entries = 0;  ///< entries currently resident
+  std::uint64_t optimistic_verifies = 0;  ///< HMACs computed outside the lock
+  std::uint64_t version_retries = 0;   ///< optimistic re-validations that lost
+                                       ///< a race and retried
+  std::uint64_t locked_fallbacks = 0;  ///< optimistic attempts that exhausted
+                                       ///< retries and fell back to the
+                                       ///< classic under-lock path
 };
 
 /// Deterministic client/server-shared rotation schedule: the key of epoch
@@ -79,7 +103,14 @@ struct ExportedSession {
 
 class KeyVault {
  public:
+  // Opaque per-shard machinery, defined in key_vault.cpp (public so the
+  // cpp-local lock-instrumentation helper can name them).
+  struct Entry;
+  struct Shard;
+  struct TtlWheel;
+
   explicit KeyVault(const VaultConfig& config);
+  ~KeyVault();
 
   /// Installs (or replaces) the key for a session at epoch 0 with a fresh
   /// TTL and replay window. Keys shorter/longer than 32 bytes are rejected
@@ -98,11 +129,19 @@ class KeyVault {
   /// tombstone ages out by TTL or LRU pressure). Returns false if absent.
   bool revoke(std::uint64_t session_id);
 
-  /// Full request authorization under the shard lock (see header comment).
+  /// Full request authorization (see header comment for lock discipline).
   /// On kGranted fills `key_out` (if non-null) with the epoch key so the
   /// caller can MAC the grant. `mac_input` must be req.mac_input().
   AccessStatus authorize(const AccessRequest& req, std::span<const std::uint8_t> mac_input,
                          double now_s, SessionKey* key_out);
+
+  /// Sweeps the per-shard timer wheels, reclaiming every session whose TTL
+  /// passed by `now_s` — including sessions that were never touched after
+  /// expiry, which the lazy on-access reap alone would leak until LRU
+  /// pressure. O(expired). Returns the number reclaimed (counted in both
+  /// ttl_evictions and purged_expired). Called from the AccessServer's
+  /// submit-path tick and from bench_vault.
+  std::size_t purge_expired(double now_s);
 
   /// Trusted intra-cluster replication: marks `counter` seen in the session's
   /// replay window WITHOUT a MAC check — the primary already verified the
@@ -113,13 +152,16 @@ class KeyVault {
 
   /// Snapshot of every session matching `pred` (id → include?): the export
   /// half of partition handoff. Tombstones and expired entries are included
-  /// verbatim — migration must not resurrect or silently drop either.
+  /// verbatim — migration must not resurrect or silently drop either. Each
+  /// shard is emitted LRU-oldest-first, so importing in order reproduces
+  /// the exact eviction order on the receiving node.
   std::vector<ExportedSession> export_sessions(
       const std::function<bool(std::uint64_t)>& pred) const;
 
   /// Upserts exported sessions, preserving epoch / TTL / revocation /
-  /// replay-window state exactly (unlike install, which starts fresh). May
-  /// LRU-evict under capacity pressure. Returns the number imported.
+  /// replay-window state exactly (unlike install, which starts fresh), and
+  /// re-arming TTL wheels from the preserved deadlines. May LRU-evict under
+  /// capacity pressure. Returns the number imported.
   std::size_t import_sessions(std::span<const ExportedSession> sessions);
 
   /// Drops every entry in every shard — the "node memory lost" crash model
@@ -137,30 +179,31 @@ class KeyVault {
   std::size_t capacity_per_shard() const { return per_shard_capacity_; }
   VaultStats stats() const;
 
+  /// Heap bytes owned by the session store (all shards' FlatMap arrays +
+  /// wheel slots); the bytes/session axis of bench_vault.
+  std::size_t memory_bytes() const;
+
+  /// Shard-lock hold samples in nanoseconds, newest-first not guaranteed —
+  /// only populated when VaultConfig::measure_lock_hold. Each critical
+  /// section contributes one sample (so an optimistic authorize contributes
+  /// two short ones where classic contributes one long one).
+  std::vector<std::uint64_t> lock_hold_samples_ns() const;
+
+  /// Discards accumulated lock-hold samples — call between a fill phase and
+  /// the measured run, or install-time holds drown the authorize holds.
+  void reset_lock_hold_samples();
+
  private:
-  struct Entry {
-    SessionKey key{};
-    std::uint32_t epoch = 0;
-    double expires_at_s = 0.0;  ///< valid while now < expires_at_s
-    bool revoked = false;
-    ReplayWindow window;
-    std::list<std::uint64_t>::iterator lru_pos;  ///< position in Shard::lru
-
-    explicit Entry(std::size_t window_bits) : window(window_bits) {}
-  };
-
-  struct Shard {
-    mutable std::mutex mutex;
-    std::unordered_map<std::uint64_t, Entry> entries;
-    std::list<std::uint64_t> lru;  ///< front = most recent
-  };
-
   Shard& shard_for(std::uint64_t session_id);
   const Shard& shard_for(std::uint64_t session_id) const;
-  /// Erases the entry if its TTL has passed (counting a ttl_eviction);
-  /// returns true if it expired. Caller holds the shard lock.
-  bool reap_if_expired(Shard& shard, std::uint64_t session_id, double now_s);
-  void touch(Shard& shard, Entry& entry);
+
+  AccessStatus authorize_locked(Shard& shard, const AccessRequest& req,
+                                std::span<const std::uint8_t> mac_input, double now_s,
+                                SessionKey* key_out);
+  /// Caller holds the shard lock. Erases + counts a lazy TTL eviction if the
+  /// entry at `idx` expired; returns true if it did.
+  bool reap_if_expired(Shard& shard, std::uint32_t idx, double now_s);
+  void evict_for_capacity(Shard& shard);
 
   VaultConfig config_;
   std::size_t per_shard_capacity_;
@@ -171,6 +214,11 @@ class KeyVault {
   std::atomic<std::uint64_t> revocations_{0};
   std::atomic<std::uint64_t> lru_evictions_{0};
   std::atomic<std::uint64_t> ttl_evictions_{0};
+  std::atomic<std::uint64_t> purged_expired_{0};
+  std::atomic<std::uint64_t> resident_entries_{0};
+  std::atomic<std::uint64_t> optimistic_verifies_{0};
+  std::atomic<std::uint64_t> version_retries_{0};
+  std::atomic<std::uint64_t> locked_fallbacks_{0};
 };
 
 }  // namespace wavekey::server

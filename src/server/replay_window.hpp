@@ -16,7 +16,13 @@
 // (KeyVault::authorize enforces this ordering under the shard lock).
 //
 // Thread-safety: none; callers synchronize (the vault holds its shard lock).
+//
+// Storage: windows up to 256 bits (the vault default is 128) live in an
+// inline 4-word array — a ReplayWindow then costs zero heap allocations,
+// which matters at a million resident sessions. Wider windows spill to a
+// heap vector transparently.
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -26,8 +32,20 @@ namespace wavekey::server {
 class ReplayWindow {
  public:
   /// @param bits  window width; rounded up to a multiple of 64, minimum 64.
-  explicit ReplayWindow(std::size_t bits = 128)
-      : bits_(((bits < 64 ? 64 : bits) + 63) / 64 * 64), words_(bits_ / 64, 0) {}
+  explicit ReplayWindow(std::size_t bits = 128) { reconfigure(bits); }
+
+  /// Resizes to `bits` (same rounding as the constructor) and resets all
+  /// state. Used when a pooled session entry is recycled with a different
+  /// window width.
+  void reconfigure(std::size_t bits) {
+    bits_ = ((bits < 64 ? 64 : bits) + 63) / 64 * 64;
+    nwords_ = bits_ / 64;
+    heap_.clear();
+    if (nwords_ > kInlineWords) heap_.resize(nwords_, 0);
+    inline_.fill(0);
+    any_ = false;
+    max_seen_ = 0;
+  }
 
   std::size_t bits() const { return bits_; }
 
@@ -57,7 +75,8 @@ class ReplayWindow {
   void reset() {
     any_ = false;
     max_seen_ = 0;
-    for (auto& w : words_) w = 0;
+    std::uint64_t* w = words();
+    for (std::size_t i = 0; i < nwords_; ++i) w[i] = 0;
   }
 
   /// Highest counter accepted so far (0 if nothing seen yet).
@@ -73,7 +92,10 @@ class ReplayWindow {
     std::vector<std::uint64_t> words;
   };
 
-  Snapshot snapshot() const { return Snapshot{any_, max_seen_, words_}; }
+  Snapshot snapshot() const {
+    const std::uint64_t* w = words();
+    return Snapshot{any_, max_seen_, std::vector<std::uint64_t>(w, w + nwords_)};
+  }
 
   /// Adopts `s`. A snapshot from a wider window is truncated to this width
   /// (oldest counters fall off — they would be rejected as too-old anyway);
@@ -81,38 +103,47 @@ class ReplayWindow {
   void restore(const Snapshot& s) {
     any_ = s.any;
     max_seen_ = s.max_seen;
-    for (std::size_t i = 0; i < words_.size(); ++i)
-      words_[i] = i < s.words.size() ? s.words[i] : 0;
+    std::uint64_t* w = words();
+    for (std::size_t i = 0; i < nwords_; ++i) w[i] = i < s.words.size() ? s.words[i] : 0;
   }
 
  private:
-  // Bit `age` means counter (max_seen_ - age); bit 0 lives in words_[0] LSB.
-  bool get_bit(std::uint64_t age) const {
-    return (words_[age / 64] >> (age % 64)) & 1;
+  static constexpr std::size_t kInlineWords = 4;  // 256 bits without heap
+
+  std::uint64_t* words() { return nwords_ > kInlineWords ? heap_.data() : inline_.data(); }
+  const std::uint64_t* words() const {
+    return nwords_ > kInlineWords ? heap_.data() : inline_.data();
   }
-  void set_bit(std::uint64_t age) { words_[age / 64] |= std::uint64_t{1} << (age % 64); }
+
+  // Bit `age` means counter (max_seen_ - age); bit 0 lives in words()[0] LSB.
+  bool get_bit(std::uint64_t age) const {
+    return (words()[age / 64] >> (age % 64)) & 1;
+  }
+  void set_bit(std::uint64_t age) { words()[age / 64] |= std::uint64_t{1} << (age % 64); }
 
   /// Ages every seen counter by `distance` (the new max is `distance` ahead).
   void slide(std::uint64_t distance) {
+    std::uint64_t* w = words();
     if (distance >= bits_) {
-      for (auto& w : words_) w = 0;
+      for (std::size_t i = 0; i < nwords_; ++i) w[i] = 0;
       return;
     }
     const std::size_t word_shift = static_cast<std::size_t>(distance / 64);
     const std::size_t bit_shift = static_cast<std::size_t>(distance % 64);
-    const std::size_t n = words_.size();
-    for (std::size_t i = n; i-- > 0;) {
+    for (std::size_t i = nwords_; i-- > 0;) {
       std::uint64_t v = 0;
       if (i >= word_shift) {
-        v = words_[i - word_shift] << bit_shift;
-        if (bit_shift != 0 && i > word_shift) v |= words_[i - word_shift - 1] >> (64 - bit_shift);
+        v = w[i - word_shift] << bit_shift;
+        if (bit_shift != 0 && i > word_shift) v |= w[i - word_shift - 1] >> (64 - bit_shift);
       }
-      words_[i] = v;
+      w[i] = v;
     }
   }
 
-  std::size_t bits_;
-  std::vector<std::uint64_t> words_;
+  std::size_t bits_ = 0;
+  std::size_t nwords_ = 0;
+  std::array<std::uint64_t, kInlineWords> inline_{};
+  std::vector<std::uint64_t> heap_;
   std::uint64_t max_seen_ = 0;
   bool any_ = false;
 };

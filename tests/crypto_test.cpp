@@ -73,6 +73,30 @@ TEST(Sha256Test, UpdateAfterFinalizeThrows) {
   EXPECT_EQ(h.finalize(), Sha256::hash({}));
 }
 
+TEST(Sha256Test, PortablePinnedKernelMatchesDispatchedKernel) {
+  // In-process differential between the portable compression loop and
+  // whatever kernel the dispatcher picked (SHA-NI where available): every
+  // length from 0 to beyond two blocks, covering all padding branches.
+  Drbg rng(7331);
+  for (std::size_t len = 0; len <= 160; ++len) {
+    std::vector<std::uint8_t> data(len);
+    rng.random_bytes(data);
+    Sha256 portable(/*force_portable=*/true);
+    portable.update(data);
+    EXPECT_EQ(portable.finalize(), Sha256::hash(data)) << "len " << len;
+  }
+}
+
+TEST(HmacTest, PortableHmacMatchesDispatchedHmac) {
+  Drbg rng(7332);
+  for (std::size_t len : {0u, 1u, 31u, 63u, 64u, 65u, 200u}) {
+    std::vector<std::uint8_t> key(32), data(len);
+    rng.random_bytes(key);
+    rng.random_bytes(data);
+    EXPECT_EQ(hmac_sha256_portable(key, data), hmac_sha256(key, data)) << "len " << len;
+  }
+}
+
 TEST(HmacTest, Rfc4231Case1) {
   const std::vector<std::uint8_t> key(20, 0x0b);
   EXPECT_EQ(hex(hmac_sha256(key, ascii("Hi There"))),

@@ -12,9 +12,13 @@
 #include <atomic>
 #include <chrono>
 #include <limits>
+#include <list>
 #include <mutex>
+#include <optional>
 #include <set>
 #include <thread>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/config.hpp"
@@ -22,6 +26,7 @@
 #include "core/seed_quantizer.hpp"
 #include "crypto/drbg.hpp"
 #include "crypto/hkdf.hpp"
+#include "crypto/hmac.hpp"
 #include "nist/nist.hpp"
 #include "numeric/rng.hpp"
 #include "server/access_server.hpp"
@@ -599,6 +604,377 @@ TEST(KeyVaultTest, ShardingSpreadsSessions) {
   EXPECT_EQ(vault.stats().lru_evictions, 0u);
 }
 
+TEST(KeyVaultTest, ShardCountRoundsUpToPowerOfTwo) {
+  // Routing is mask-based, so the constructor rounds shards UP to a power
+  // of two (documented in key_vault.hpp).
+  for (const auto& [requested, expected] :
+       std::vector<std::pair<std::size_t, std::size_t>>{
+           {0, 1}, {1, 1}, {2, 2}, {3, 4}, {5, 8}, {8, 8}, {9, 16}, {31, 32}}) {
+    VaultConfig vc;
+    vc.shards = requested;
+    vc.capacity = 1024;
+    KeyVault vault(vc);
+    EXPECT_EQ(vault.shards(), expected) << "requested " << requested;
+    EXPECT_EQ(vault.shards() & (vault.shards() - 1), 0u) << "not a power of two";
+  }
+}
+
+TEST(KeyVaultTest, WheelPurgeReclaimsUntouchedExpiredSessions) {
+  VaultConfig vc;
+  vc.shards = 4;
+  vc.capacity = 400;
+  vc.ttl_s = 10.0;
+  KeyVault vault(vc);
+  crypto::Drbg rng(45);
+  for (std::uint64_t id = 0; id < 100; ++id)
+    ASSERT_TRUE(vault.install(id, random_key(rng), 0.0));
+  ASSERT_EQ(vault.stats().resident_entries, 100u);
+
+  // Not yet expired: the sweep reclaims nothing and leaks nothing.
+  EXPECT_EQ(vault.purge_expired(9.9), 0u);
+  EXPECT_EQ(vault.stats().resident_entries, 100u);
+
+  // This is the stale-stats gap the sweep closes: the sessions expired but
+  // were never touched, so before the sweep nothing shows in ttl_evictions.
+  EXPECT_EQ(vault.stats().ttl_evictions, 0u);
+  EXPECT_EQ(vault.purge_expired(10.5), 100u);
+  const VaultStats stats = vault.stats();
+  EXPECT_EQ(stats.purged_expired, 100u);
+  EXPECT_EQ(stats.ttl_evictions, 100u);  // sweep reclaims count as TTL evictions
+  EXPECT_EQ(stats.resident_entries, 0u);
+  EXPECT_EQ(vault.size(), 0u);
+
+  // Idempotent: a second sweep finds nothing.
+  EXPECT_EQ(vault.purge_expired(11.0), 0u);
+}
+
+TEST(KeyVaultTest, RotateReArmsTheWheelSoPurgeHonorsTheNewDeadline) {
+  VaultConfig vc;
+  vc.shards = 1;
+  vc.capacity = 8;
+  vc.ttl_s = 10.0;
+  KeyVault vault(vc);
+  crypto::Drbg rng(46);
+  ASSERT_TRUE(vault.install(7, random_key(rng), 0.0));
+  ASSERT_TRUE(vault.rotate(7, 8.0).has_value());  // deadline moves to 18.0
+
+  // The original arm (t=10) fires but the entry is live — must survive.
+  EXPECT_EQ(vault.purge_expired(12.0), 0u);
+  EXPECT_EQ(vault.stats().resident_entries, 1u);
+  // The re-arm fires after the rotated deadline.
+  EXPECT_EQ(vault.purge_expired(18.5), 1u);
+  EXPECT_EQ(vault.stats().resident_entries, 0u);
+}
+
+TEST(KeyVaultTest, ResidentEntriesGaugeTracksLifecycle) {
+  VaultConfig vc;
+  vc.shards = 1;
+  vc.capacity = 4;
+  vc.ttl_s = 100.0;
+  KeyVault vault(vc);
+  crypto::Drbg rng(47);
+  for (std::uint64_t id = 0; id < 4; ++id)
+    ASSERT_TRUE(vault.install(id, random_key(rng), 0.0));
+  EXPECT_EQ(vault.stats().resident_entries, 4u);
+
+  // LRU eviction replaces, net resident unchanged.
+  ASSERT_TRUE(vault.install(99, random_key(rng), 1.0));
+  EXPECT_EQ(vault.stats().resident_entries, 4u);
+  EXPECT_EQ(vault.stats().lru_evictions, 1u);
+
+  // Lazy on-access reap decrements the gauge too.
+  const AccessRequest req = client_request(vault, 99, 1, 1.0);
+  EXPECT_EQ(authorize(vault, req, 101.5), AccessStatus::kExpired);
+  EXPECT_EQ(vault.stats().resident_entries, 3u);
+
+  vault.clear();
+  EXPECT_EQ(vault.stats().resident_entries, 0u);
+}
+
+// --- optimistic-vs-classic and FlatMap-vs-reference differentials ---
+
+namespace {
+
+/// Reference vault model: the seed implementation's semantics re-stated on
+/// std::unordered_map + std::list, single shard. Drives the soak test —
+/// the FlatMap-backed vault must match it outcome for outcome and byte for
+/// byte in the exported snapshots.
+struct RefVault {
+  struct Entry {
+    SessionKey key{};
+    std::uint32_t epoch = 0;
+    double expires_at_s = 0.0;
+    bool revoked = false;
+    ReplayWindow window;
+    explicit Entry(std::size_t bits) : window(bits) {}
+  };
+
+  std::size_t capacity;
+  double ttl_s;
+  std::size_t window_bits;
+  std::unordered_map<std::uint64_t, Entry> entries;
+  std::list<std::uint64_t> lru;  // front = most recent
+
+  RefVault(std::size_t cap, double ttl, std::size_t bits)
+      : capacity(cap), ttl_s(ttl), window_bits(bits) {}
+
+  void touch(std::uint64_t id) {
+    lru.remove(id);
+    lru.push_front(id);
+  }
+
+  bool reap_if_expired(std::uint64_t id, double now_s) {
+    auto it = entries.find(id);
+    if (it == entries.end() || now_s < it->second.expires_at_s) return false;
+    lru.remove(id);
+    entries.erase(it);
+    return true;
+  }
+
+  bool install(std::uint64_t id, const SessionKey& key, double now_s) {
+    auto it = entries.find(id);
+    if (it == entries.end()) {
+      if (entries.size() >= capacity && !lru.empty()) {
+        entries.erase(lru.back());
+        lru.pop_back();
+      }
+      it = entries.emplace(id, Entry(window_bits)).first;
+      lru.push_front(id);
+    } else {
+      touch(id);
+    }
+    Entry& e = it->second;
+    e.key = key;
+    e.epoch = 0;
+    e.expires_at_s = now_s + ttl_s;
+    e.revoked = false;
+    e.window.reset();
+    return true;
+  }
+
+  std::optional<std::uint32_t> rotate(std::uint64_t id, double now_s) {
+    if (reap_if_expired(id, now_s)) return std::nullopt;
+    auto it = entries.find(id);
+    if (it == entries.end() || it->second.revoked) return std::nullopt;
+    Entry& e = it->second;
+    e.epoch += 1;
+    e.key = derive_rotated_key(e.key, id, e.epoch);
+    e.expires_at_s = now_s + ttl_s;
+    e.window.reset();
+    touch(id);
+    return e.epoch;
+  }
+
+  bool revoke(std::uint64_t id) {
+    auto it = entries.find(id);
+    if (it == entries.end()) return false;
+    it->second.revoked = true;
+    return true;
+  }
+
+  AccessStatus authorize(const AccessRequest& req, double now_s) {
+    if (reap_if_expired(req.session_id, now_s)) return AccessStatus::kExpired;
+    auto it = entries.find(req.session_id);
+    if (it == entries.end()) return AccessStatus::kUnknownSession;
+    Entry& e = it->second;
+    if (e.revoked) return AccessStatus::kRevoked;
+    if (req.epoch != e.epoch) return AccessStatus::kStaleEpoch;
+    const Bytes mac_input = req.mac_input();
+    const crypto::Digest256 expected = crypto::hmac_sha256(e.key, mac_input);
+    crypto::Digest256 carried{};
+    std::copy(req.mac.begin(), req.mac.end(), carried.begin());
+    if (!crypto::digest_equal(expected, carried)) return AccessStatus::kBadMac;
+    if (!e.window.check_and_update(req.counter)) return AccessStatus::kReplay;
+    touch(req.session_id);
+    return AccessStatus::kGranted;
+  }
+
+  std::size_t purge(double now_s) {
+    std::size_t purged = 0;
+    for (auto it = entries.begin(); it != entries.end();) {
+      if (now_s >= it->second.expires_at_s) {
+        lru.remove(it->first);
+        it = entries.erase(it);
+        ++purged;
+      } else {
+        ++it;
+      }
+    }
+    return purged;
+  }
+
+  std::vector<ExportedSession> export_all() const {
+    std::vector<ExportedSession> out;
+    for (const auto& [id, e] : entries) {
+      ExportedSession s;
+      s.session_id = id;
+      s.key = e.key;
+      s.epoch = e.epoch;
+      s.expires_at_s = e.expires_at_s;
+      s.revoked = e.revoked;
+      s.window = e.window.snapshot();
+      out.push_back(std::move(s));
+    }
+    std::sort(out.begin(), out.end(),
+              [](const auto& a, const auto& b) { return a.session_id < b.session_id; });
+    return out;
+  }
+};
+
+void expect_exports_equal(std::vector<ExportedSession> got, std::vector<ExportedSession> want,
+                          const char* label) {
+  std::sort(got.begin(), got.end(),
+            [](const auto& a, const auto& b) { return a.session_id < b.session_id; });
+  std::sort(want.begin(), want.end(),
+            [](const auto& a, const auto& b) { return a.session_id < b.session_id; });
+  ASSERT_EQ(got.size(), want.size()) << label;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    const ExportedSession& g = got[i];
+    const ExportedSession& w = want[i];
+    ASSERT_EQ(g.session_id, w.session_id) << label << " [" << i << "]";
+    EXPECT_EQ(g.key, w.key) << label << " id " << g.session_id;
+    EXPECT_EQ(g.epoch, w.epoch) << label << " id " << g.session_id;
+    EXPECT_EQ(g.expires_at_s, w.expires_at_s) << label << " id " << g.session_id;
+    EXPECT_EQ(g.revoked, w.revoked) << label << " id " << g.session_id;
+    EXPECT_EQ(g.window.any, w.window.any) << label << " id " << g.session_id;
+    EXPECT_EQ(g.window.max_seen, w.window.max_seen) << label << " id " << g.session_id;
+    EXPECT_EQ(g.window.words, w.window.words) << label << " id " << g.session_id;
+  }
+}
+
+/// 100k seeded mixed ops against one vault configuration, asserting every
+/// outcome matches the RefVault model; returns nothing — failures carry the
+/// op index. Used with both the optimistic and classic verify paths.
+void run_vault_soak(bool optimistic) {
+  VaultConfig vc;
+  vc.shards = 1;  // single shard: LRU/capacity behavior is deterministic
+  vc.capacity = 64;
+  vc.ttl_s = 50.0;
+  vc.replay_window_bits = 128;
+  vc.optimistic_verify = optimistic;
+  KeyVault vault(vc);
+  RefVault ref(vc.capacity, vc.ttl_s, vc.replay_window_bits);
+
+  crypto::Drbg key_rng(48);
+  Rng rng(0x50AC50ACu + (optimistic ? 1 : 0));
+  double now = 0.0;
+  constexpr std::uint64_t kIdSpace = 256;
+
+  for (int op = 0; op < 100000; ++op) {
+    now += rng.uniform() * 0.2;  // creep forward; TTLs lapse mid-run
+    const std::uint64_t id = rng.uniform_u64(kIdSpace);
+    switch (rng.uniform_u64(10)) {
+      case 0:
+      case 1: {  // install
+        const SessionKey key = random_key(key_rng);
+        ASSERT_EQ(vault.install(id, key, now), ref.install(id, key, now)) << "op " << op;
+        break;
+      }
+      case 2: {  // rotate
+        ASSERT_EQ(vault.rotate(id, now), ref.rotate(id, now)) << "op " << op;
+        break;
+      }
+      case 3: {  // revoke
+        ASSERT_EQ(vault.revoke(id), ref.revoke(id)) << "op " << op;
+        break;
+      }
+      case 4: {  // TTL purge sweep
+        ASSERT_EQ(vault.purge_expired(now), ref.purge(now)) << "op " << op;
+        break;
+      }
+      default: {  // authorize: valid, replayed, stale-epoch or corrupted MAC
+        auto it = ref.entries.find(id);
+        AccessRequest req;
+        if (it != ref.entries.end()) {
+          const std::uint64_t roll = rng.uniform_u64(8);
+          std::uint64_t counter = 1 + rng.uniform_u64(200);
+          std::uint32_t epoch = it->second.epoch;
+          if (roll == 6) epoch += 1;  // stale/future epoch
+          req = make_access_request(id, epoch, counter, nonce_from(counter), {0xAB},
+                                    it->second.key);
+          if (roll == 7) req.mac[0] ^= 0x01;  // corrupted MAC
+        } else {
+          req = make_access_request(id, 0, 1, nonce_from(1), {0xAB}, random_key(key_rng));
+        }
+        const AccessStatus want = ref.authorize(req, now);
+        ASSERT_EQ(vault.authorize(req, req.mac_input(), now, nullptr), want) << "op " << op;
+        break;
+      }
+    }
+    ASSERT_EQ(vault.size(), ref.entries.size()) << "op " << op;
+  }
+
+  // Byte-for-byte state audit at the end of the run.
+  expect_exports_equal(vault.export_sessions([](std::uint64_t) { return true; }),
+                       ref.export_all(), optimistic ? "optimistic" : "classic");
+  EXPECT_EQ(vault.stats().locked_fallbacks, 0u);  // single-threaded: no races
+}
+
+}  // namespace
+
+TEST(KeyVaultSoak, DifferentialAgainstReferenceModelClassic) { run_vault_soak(false); }
+
+TEST(KeyVaultSoak, DifferentialAgainstReferenceModelOptimistic) { run_vault_soak(true); }
+
+TEST(KeyVaultTest, OptimisticRotateRaceNeverDoubleGrantsACounter) {
+  // Hammer one session from 4 authorizing threads (fresh counters plus
+  // deliberate duplicates) while a rotator thread keeps bumping the epoch.
+  // Invariants: (a) no (epoch, counter) pair is granted twice — the replay
+  // window commit is atomic with the version re-validation; (b) every
+  // grant's MAC was verified against the key of the epoch it was granted
+  // in (the request was built under that key, so a cross-epoch commit
+  // would have returned kBadMac/kStaleEpoch instead).
+  VaultConfig vc;
+  vc.shards = 1;
+  vc.capacity = 8;
+  vc.ttl_s = 1e6;
+  vc.optimistic_verify = true;
+  KeyVault vault(vc);
+  crypto::Drbg rng(51);
+  ASSERT_TRUE(vault.install(1, random_key(rng), 0.0));
+
+  std::mutex mu;
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> grants;  // (epoch, counter)
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&, t] {
+      Rng lrng(100 + static_cast<unsigned>(t));
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto key = vault.current_key(1, 0.0);
+        const auto epoch = vault.current_epoch(1, 0.0);
+        if (!key || !epoch) continue;
+        // Mostly fresh counters; every 4th is a deliberate duplicate domain.
+        const std::uint64_t counter = 1 + lrng.uniform_u64(64) * 4 + lrng.uniform_u64(2);
+        const AccessRequest req = make_access_request(1, *epoch, counter,
+                                                      nonce_from(counter), {}, *key);
+        const Bytes mac_input = req.mac_input();
+        if (vault.authorize(req, mac_input, 0.0, nullptr) == AccessStatus::kGranted) {
+          std::lock_guard<std::mutex> lock(mu);
+          grants.emplace_back(*epoch, counter);
+        }
+      }
+    });
+  }
+  std::thread rotator([&] {
+    for (int i = 0; i < 200; ++i) {
+      vault.rotate(1, 0.0);
+      std::this_thread::yield();
+    }
+    stop.store(true, std::memory_order_relaxed);
+  });
+  rotator.join();
+  for (auto& w : workers) w.join();
+
+  std::set<std::pair<std::uint32_t, std::uint64_t>> unique(grants.begin(), grants.end());
+  EXPECT_EQ(unique.size(), grants.size()) << "a (epoch, counter) pair was granted twice";
+  const VaultStats stats = vault.stats();
+  EXPECT_EQ(stats.rotations, 200u);
+  // The optimistic path actually ran (hash outside the lock at least once).
+  EXPECT_GT(stats.optimistic_verifies, 0u);
+}
+
 // --- NIST battery on rotated keys (rotation must not degrade key quality) ---
 
 TEST(KeyVaultTest, RotatedKeysPassNistBattery) {
@@ -663,6 +1039,38 @@ TEST(AccessServerTest, GrantsValidRequestsAndMacsTheGrant) {
     EXPECT_TRUE(verify_access_grant(grant, key));
   }
   EXPECT_EQ(server.stats().granted, 8u);
+}
+
+TEST(AccessServerTest, SubmitPathBackgroundPurgeReclaimsExpiredSessions) {
+  // Sessions that expire and are never addressed again must still be
+  // reclaimed: the submit path CAS-claims vault_purge_interval_s and spawns
+  // a one-shot sweep coroutine, regardless of which session the traffic
+  // itself targets (here: malformed frames that never reach the vault).
+  AccessServerConfig config;
+  config.threads = 1;
+  config.vault.ttl_s = 0.05;
+  config.vault.capacity = 256;
+  config.vault_purge_interval_s = 0.01;
+  crypto::Drbg rng(44);
+  AccessServer server(config);
+  for (std::uint64_t id = 10; id < 60; ++id)
+    ASSERT_TRUE(server.vault().install(id, random_key(rng), server.now_s()));
+  ASSERT_EQ(server.vault().stats().resident_entries, 50u);
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));  // every TTL lapses
+  OutcomeLog log;
+  for (std::uint64_t tag = 1; tag <= 100; ++tag) {
+    ASSERT_TRUE(server.submit(tag, 1, Bytes{0xFF}, log.recorder()));
+    if (server.vault().stats().purged_expired >= 50) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  server.finish();
+
+  const VaultStats stats = server.vault().stats();
+  EXPECT_EQ(stats.purged_expired, 50u);
+  EXPECT_EQ(stats.ttl_evictions, 50u);
+  EXPECT_EQ(stats.resident_entries, 0u);
+  EXPECT_EQ(server.vault().size(), 0u);
 }
 
 TEST(AccessServerTest, MalformedAndUnknownAreTyped) {

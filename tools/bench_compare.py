@@ -57,6 +57,8 @@ GATED = [
     "BM_EventLoopSpawn",
     "BM_BufferPoolLease",
     "BM_FramePooled",
+    "BM_FlatMapProbe",
+    "BM_VaultAuthorizeHot",
 ]
 
 # Matches latency-percentile point fields: p50_verify_us, p999_critical_ms...

@@ -7,6 +7,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <memory>
 #include <string_view>
 
 #include "core/dataset.hpp"
@@ -28,7 +29,10 @@
 #include "runtime/event_loop.hpp"
 #include "runtime/flat_map.hpp"
 #include "runtime/task.hpp"
+#include "crypto/kdf_tree.hpp"
 #include "server/access_protocol.hpp"
+#include "server/audit.hpp"
+#include "server/grants.hpp"
 #include "server/key_vault.hpp"
 #include "server/cluster.hpp"
 #include "server/membership.hpp"
@@ -426,6 +430,89 @@ void BM_VaultAuthorizeHot(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
 }
 BENCHMARK(BM_VaultAuthorizeHot);
+
+void BM_KdfDerive(benchmark::State& state) {
+  // Full four-level derivation master -> tenant -> tag -> purpose: three
+  // chained labeled HKDF hops plus the purpose leaf (8 HMAC-SHA256
+  // invocations end to end). This is the cold-cache cost of materializing
+  // one tag's grant_mac key from nothing but the master secret.
+  std::array<std::uint8_t, 32> master{};
+  for (std::size_t i = 0; i < master.size(); ++i)
+    master[i] = static_cast<std::uint8_t>(i * 7 + 3);
+  const crypto::KdfTree tree(master);
+  std::uint64_t tag = 0;
+  for (auto _ : state) {
+    const crypto::Digest256 key =
+        tree.purpose_key(/*tenant_id=*/1, /*tag_uid=*/tag++, crypto::KeyPurpose::kGrantMac);
+    benchmark::DoNotOptimize(key);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_KdfDerive);
+
+void BM_GrantVerifyOffline(benchmark::State& state) {
+  // Vault-free token acceptance on the actuator: parse + purpose-key MAC +
+  // monotonic counter advance. Tokens are preminted with increasing
+  // counters; the verifier reset that reopens the counter stream is
+  // amortized over the batch.
+  std::array<std::uint8_t, 32> master{};
+  for (std::size_t i = 0; i < master.size(); ++i)
+    master[i] = static_cast<std::uint8_t>(i * 5 + 1);
+  server::GrantIssuer issuer(master);
+  const server::ProvisionedTag tag = issuer.provision(/*tenant=*/1, /*tag_uid=*/42, 0x1);
+  constexpr std::size_t kBatch = 512;
+  std::vector<protocol::Bytes> wires;
+  wires.reserve(kBatch);
+  for (std::size_t i = 0; i < kBatch; ++i) {
+    const auto token = issuer.issue(1, 42, /*actuator=*/5, 0x1, /*ttl_s=*/1e9, 0.0);
+    wires.push_back(token->serialize());
+  }
+  auto verifier = std::make_unique<server::OfflineVerifier>(/*actuator_id=*/5);
+  verifier->provision(tag);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    if (i == wires.size()) {
+      verifier = std::make_unique<server::OfflineVerifier>(5);
+      verifier->provision(tag);
+      i = 0;
+    }
+    const server::AccessStatus st = verifier->verify(wires[i], 0.0);
+    if (st != server::AccessStatus::kGranted) {
+      state.SkipWithError("offline verify did not grant");
+      break;
+    }
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_GrantVerifyOffline);
+
+void BM_AuditAppend(benchmark::State& state) {
+  // One hash-chain link: serialize the record and extend
+  // h_i = SHA256(h_{i-1} || record_i) under the shard lock (SHA-NI
+  // dispatched where the host has it). The log restart that bounds memory
+  // is amortized over 64Ki appends.
+  crypto::Digest256 seal{};
+  for (std::size_t i = 0; i < seal.size(); ++i) seal[i] = static_cast<std::uint8_t>(i + 9);
+  auto log = std::make_unique<server::AuditLog>(server::AuditLog::Config{1, seal});
+  server::AuditRecord record{};
+  record.kind = server::AuditKind::kVerify;
+  record.tenant_id = 1;
+  record.tag_uid = 42;
+  record.actuator_id = 5;
+  record.status = server::AccessStatus::kGranted;
+  std::uint64_t n = 0;
+  for (auto _ : state) {
+    if (log->total_size() >= 65536) {
+      log = std::make_unique<server::AuditLog>(server::AuditLog::Config{1, seal});
+    }
+    record.counter = ++n;
+    log->append(record);
+  }
+  benchmark::DoNotOptimize(log->head(0));
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_AuditAppend);
 
 // --- `--simd-check`: forced-scalar vs AVX2 speedup assertion ---------------
 // Run from tools/ci.sh on AVX2 hosts: re-times the four SIMD kernels with

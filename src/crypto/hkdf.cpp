@@ -1,5 +1,6 @@
 #include "crypto/hkdf.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "crypto/hmac.hpp"
@@ -40,6 +41,19 @@ std::vector<std::uint8_t> hkdf_sha256(std::span<const std::uint8_t> salt,
                                       std::span<const std::uint8_t> ikm,
                                       std::span<const std::uint8_t> info, std::size_t length) {
   return hkdf_expand(hkdf_extract(salt, ikm), info, length);
+}
+
+Digest256 hkdf_labeled(std::span<const std::uint8_t> master,
+                       std::span<const std::vector<std::uint8_t>> labels) {
+  std::vector<std::uint8_t> key(master.begin(), master.end());
+  Digest256 out{};
+  std::copy(key.begin(), key.begin() + std::min<std::size_t>(key.size(), out.size()), out.begin());
+  for (const std::vector<std::uint8_t>& label : labels) {
+    const std::vector<std::uint8_t> derived = hkdf_sha256(label, key, {}, out.size());
+    std::copy(derived.begin(), derived.end(), out.begin());
+    key.assign(derived.begin(), derived.end());
+  }
+  return out;
 }
 
 }  // namespace wavekey::crypto

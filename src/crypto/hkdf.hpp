@@ -30,4 +30,12 @@ std::vector<std::uint8_t> hkdf_sha256(std::span<const std::uint8_t> salt,
                                       std::span<const std::uint8_t> ikm,
                                       std::span<const std::uint8_t> info, std::size_t length);
 
+/// Chained labeled derivation — the node walk of crypto::KdfTree. Starting
+/// from `master`, each label in turn derives
+///   key_{i+1} = HKDF-SHA256(salt = labels[i], ikm = key_i, info = "", 32),
+/// so every tree node is a full extract-then-expand away from its parent and
+/// siblings under distinct labels are cryptographically independent.
+Digest256 hkdf_labeled(std::span<const std::uint8_t> master,
+                       std::span<const std::vector<std::uint8_t>> labels);
+
 }  // namespace wavekey::crypto

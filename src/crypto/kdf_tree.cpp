@@ -1,0 +1,83 @@
+#include "crypto/kdf_tree.hpp"
+
+#include <cstring>
+#include <string_view>
+#include <vector>
+
+#include "crypto/hkdf.hpp"
+
+namespace wavekey::crypto {
+
+namespace {
+
+using Label = std::vector<std::uint8_t>;
+
+Label make_label(std::string_view prefix, std::uint64_t id) {
+  Label label(prefix.begin(), prefix.end());
+  for (std::size_t i = 0; i < 8; ++i) label.push_back(static_cast<std::uint8_t>(id >> (8 * i)));
+  return label;
+}
+
+Label make_label32(std::string_view prefix, std::uint32_t id) {
+  Label label(prefix.begin(), prefix.end());
+  for (std::size_t i = 0; i < 4; ++i) label.push_back(static_cast<std::uint8_t>(id >> (8 * i)));
+  return label;
+}
+
+}  // namespace
+
+const char* key_purpose_label(KeyPurpose purpose) {
+  switch (purpose) {
+    case KeyPurpose::kGrantMac: return "grant_mac";
+    case KeyPurpose::kSessionHmac: return "session_hmac";
+    case KeyPurpose::kAuditSeal: return "audit_seal";
+  }
+  return "unknown";
+}
+
+KdfTree::KdfTree(std::span<const std::uint8_t> master, std::uint32_t master_epoch)
+    : epoch_(master_epoch) {
+  // Normalize arbitrary-width master input to one extract so the chained
+  // rotation below always operates on a 256-bit value.
+  const Label salt = make_label32("wavekey-kdf-master", 0);
+  master_ = hkdf_extract(salt, master);
+  derive_root();
+}
+
+void KdfTree::derive_root() {
+  const Label labels[] = {make_label32("wavekey-kdf-root", epoch_)};
+  root_ = hkdf_labeled(master_, labels);
+}
+
+void KdfTree::rotate_master() {
+  // Forward-only chain, mirroring KeyVault's derive_rotated_key discipline:
+  // the new master is a one-way function of the old, salted by the new epoch.
+  epoch_ += 1;
+  const Label salt = make_label32("wavekey-kdf-rotate", epoch_);
+  master_ = hkdf_extract(salt, master_);
+  derive_root();
+}
+
+Digest256 KdfTree::tenant_key(std::uint64_t tenant_id) const {
+  const Label labels[] = {make_label("tenant", tenant_id)};
+  return hkdf_labeled(root_, labels);
+}
+
+Digest256 KdfTree::tag_key(std::uint64_t tenant_id, std::uint64_t tag_uid) const {
+  const Label labels[] = {make_label("tenant", tenant_id), make_label("tag", tag_uid)};
+  return hkdf_labeled(root_, labels);
+}
+
+Digest256 KdfTree::purpose_key(const Digest256& tag_key, KeyPurpose purpose) {
+  const std::string_view name = key_purpose_label(purpose);
+  Label label(name.begin(), name.end());
+  const Label labels[] = {std::move(label)};
+  return hkdf_labeled(tag_key, labels);
+}
+
+Digest256 KdfTree::purpose_key(std::uint64_t tenant_id, std::uint64_t tag_uid,
+                               KeyPurpose purpose) const {
+  return purpose_key(tag_key(tenant_id, tag_uid), purpose);
+}
+
+}  // namespace wavekey::crypto

@@ -87,6 +87,9 @@ enum class MessageType : std::uint8_t {
   // stable request id so retransmissions stay idempotent.
   kClusterRequest = 8,   ///< request id, tenant, attempt, inner AccessRequest
   kClusterResponse = 9,  ///< request id, status, inner AccessGrant
+  // Offline-grant subsystem (src/server/grants.hpp): compact signed
+  // capability an actuator can verify with no vault connectivity.
+  kGrantToken = 10,  ///< tenant, tag, actuator, counter, scope, epoch, expiry, HMAC
 };
 
 }  // namespace wavekey::protocol

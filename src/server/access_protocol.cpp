@@ -37,6 +37,8 @@ const char* access_status_name(AccessStatus status) {
     case AccessStatus::kMalformed: return "malformed";
     case AccessStatus::kUnavailable: return "unavailable";
     case AccessStatus::kRetryExhausted: return "retry_exhausted";
+    case AccessStatus::kCounterRollback: return "counter_rollback";
+    case AccessStatus::kWrongScope: return "wrong_scope";
   }
   return "unknown";
 }

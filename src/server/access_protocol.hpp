@@ -51,10 +51,14 @@ enum class AccessStatus : std::uint8_t {
   // request can only have once the backend is a multi-node service.
   kUnavailable = 10,    ///< owning vault node down, failover not yet complete
   kRetryExhausted = 11, ///< gateway gave up after its capped retry budget
+  // Offline-grant statuses (src/server/grants.*): rejections only a
+  // disconnected-actuator token verification can produce.
+  kCounterRollback = 12, ///< grant counter regressed below the accepted high-water
+  kWrongScope = 13,      ///< token scope not allowed for this tag/actuator
 };
 
 /// Number of distinct AccessStatus values (for status-indexed counters).
-inline constexpr std::size_t kAccessStatusCount = 12;
+inline constexpr std::size_t kAccessStatusCount = 14;
 
 /// Human-readable status name (telemetry / bench output).
 const char* access_status_name(AccessStatus status);

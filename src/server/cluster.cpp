@@ -64,6 +64,10 @@ void ClusterResponse::serialize_into(WireWriter& w) const {
   w.u64(request_id);
   w.u8(static_cast<std::uint8_t>(status));
   w.blob(grant_wire);
+  // Audit cross-link rides AFTER the grant blob so the status byte keeps
+  // its historical wire offset (1 + 8).
+  w.u64(audit_count);
+  w.bytes(audit_hash);
 }
 
 Bytes ClusterResponse::serialize() const {
@@ -82,6 +86,9 @@ ClusterResponseView ClusterResponseView::parse(std::span<const std::uint8_t> wir
   if (status >= kAccessStatusCount) throw WireError("ClusterResponse: unknown status byte");
   resp.status = static_cast<AccessStatus>(status);
   resp.grant_wire = r.view_blob();
+  resp.audit_count = r.u64();
+  const auto hash = r.view(resp.audit_hash.size());
+  std::copy(hash.begin(), hash.end(), resp.audit_hash.begin());
   r.expect_done();
   return resp;
 }
@@ -92,6 +99,8 @@ ClusterResponse ClusterResponse::parse(std::span<const std::uint8_t> wire) {
   resp.request_id = v.request_id;
   resp.status = v.status;
   resp.grant_wire = Bytes(v.grant_wire.begin(), v.grant_wire.end());
+  resp.audit_count = v.audit_count;
+  resp.audit_hash = v.audit_hash;
   return resp;
 }
 
@@ -137,6 +146,11 @@ struct DedupEntry {
   std::uint32_t partition = 0;
   AccessStatus status = AccessStatus::kMalformed;
   Bytes grant_wire;
+  // The audit stamp recorded when the request first executed: a retry gets
+  // the ORIGINAL chain head back, not the head at retry time — the audit
+  // chain sees each request once, exactly like the vault does.
+  std::uint64_t audit_count = 0;
+  crypto::Digest256 audit_hash{};
 };
 
 using Clock = std::chrono::steady_clock;
@@ -146,6 +160,7 @@ using Clock = std::chrono::steady_clock;
 struct VaultCluster::Node {
   NodeState state = NodeState::kUp;
   std::unique_ptr<KeyVault> vault;
+  std::unique_ptr<AuditLog> audit;  ///< hash-chained decision log (audit.hpp)
   // Idempotency cache, FIFO-bounded. Guarded by its own mutex so serving
   // threads on different nodes never contend.
   mutable std::mutex dedup_mutex;
@@ -163,6 +178,10 @@ struct VaultCluster::Impl {
   mutable std::mutex stats_mutex;
   ClusterStats counters;
 
+  AuditLog::Config audit_config() const {
+    return AuditLog::Config{config.audit_shards, config.audit_seal};
+  }
+
   explicit Impl(const ClusterConfig& c)
       : config(c), map(c.partitions < 1 ? 1 : c.partitions, c.ring_vnodes) {
     if (config.nodes < 1) config.nodes = 1;
@@ -170,6 +189,7 @@ struct VaultCluster::Impl {
     for (NodeId id = 0; id < config.nodes; ++id) {
       auto node = std::make_unique<Node>();
       node->vault = std::make_unique<KeyVault>(config.vault);
+      node->audit = std::make_unique<AuditLog>(audit_config());
       nodes.push_back(std::move(node));
       ids.push_back(id);
     }
@@ -323,14 +343,16 @@ ClusterResponse VaultCluster::execute(const ClusterRequestView& request) {
     impl_->bump(&ClusterStats::dedup_hits);
     resp.status = cached->status;
     resp.grant_wire = std::move(cached->grant_wire);
+    resp.audit_count = cached->audit_count;
+    resp.audit_hash = cached->audit_hash;
     return resp;
   }
 
   impl_->bump(&ClusterStats::executed);
+  const double now = impl_->now_s();
   const Bytes mac_input = inner.mac_input();
   SessionKey key{};
-  const AccessStatus status =
-      primary.vault->authorize(inner, mac_input, impl_->now_s(), &key);
+  const AccessStatus status = primary.vault->authorize(inner, mac_input, now, &key);
   resp.status = status;
   resp.grant_wire =
       make_access_grant(inner.session_id, inner.counter, status,
@@ -338,7 +360,20 @@ ClusterResponse VaultCluster::execute(const ClusterRequestView& request) {
                                                          : std::span<const std::uint8_t>())
           .serialize();
 
-  DedupEntry entry{partition, status, resp.grant_wire};
+  // Fold the decision into the serving node's audit chain and cross-link
+  // the resulting head into the response.
+  AuditRecord record;
+  record.kind = AuditKind::kAccess;
+  record.tenant_id = request.tenant_id;
+  record.tag_uid = inner.session_id;
+  record.counter = inner.counter;
+  record.status = status;
+  record.time_us = static_cast<std::uint64_t>(now * 1e6);
+  const AuditHead audit_head = primary.audit->append(record);
+  resp.audit_count = audit_head.count;
+  resp.audit_hash = audit_head.hash;
+
+  DedupEntry entry{partition, status, resp.grant_wire, audit_head.count, audit_head.hash};
   if (status == AccessStatus::kGranted) {
     impl_->bump(&ClusterStats::vault_grants);
     // Synchronous mirror to the replica: the accepted counter lands in its
@@ -360,11 +395,14 @@ void VaultCluster::crash(NodeId node) {
   if (node >= impl_->nodes.size() || impl_->nodes[node]->state == NodeState::kDown) return;
   Node& n = *impl_->nodes[node];
   n.state = NodeState::kDown;
-  // Memory lost: fresh empty vault, empty idempotency cache. The partition
-  // map is deliberately left stale — until fail_over() runs, this node's
-  // partitions answer kUnavailable, which is exactly the window a real
-  // failure detector leaves.
+  // Memory lost: fresh empty vault, empty idempotency cache, fresh audit
+  // chain (a restarted node cannot reproduce a previously cross-linked head
+  // at the same count — that's how gateways detect truncation). The
+  // partition map is deliberately left stale — until fail_over() runs, this
+  // node's partitions answer kUnavailable, which is exactly the window a
+  // real failure detector leaves.
   n.vault = std::make_unique<KeyVault>(impl_->config.vault);
+  n.audit = std::make_unique<AuditLog>(impl_->audit_config());
   {
     std::lock_guard<std::mutex> dedup_lock(n.dedup_mutex);
     n.dedup.clear();
@@ -398,6 +436,7 @@ void VaultCluster::drain(NodeId node) {
   Node& n = *impl_->nodes[node];
   n.state = NodeState::kDown;
   n.vault = std::make_unique<KeyVault>(impl_->config.vault);
+  n.audit = std::make_unique<AuditLog>(impl_->audit_config());
   {
     std::lock_guard<std::mutex> dedup_lock(n.dedup_mutex);
     n.dedup.clear();
@@ -409,6 +448,11 @@ void VaultCluster::drain(NodeId node) {
 NodeState VaultCluster::node_state(NodeId node) const {
   std::shared_lock<std::shared_mutex> lock(impl_->topology);
   return node < impl_->nodes.size() ? impl_->nodes[node]->state : NodeState::kDown;
+}
+
+const AuditLog* VaultCluster::audit_log(NodeId node) const {
+  std::shared_lock<std::shared_mutex> lock(impl_->topology);
+  return node < impl_->nodes.size() ? impl_->nodes[node]->audit.get() : nullptr;
 }
 
 std::uint32_t VaultCluster::nodes() const {

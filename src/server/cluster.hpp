@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "server/access_protocol.hpp"
+#include "server/audit.hpp"
 #include "server/key_vault.hpp"
 #include "server/membership.hpp"
 
@@ -74,11 +75,18 @@ struct ClusterRequestView {
 };
 
 /// Cluster -> gateway. Carries the typed status plus the (possibly MACed)
-/// AccessGrant produced by the owning node.
+/// AccessGrant produced by the owning node, and — for executed requests —
+/// the audit chain head of the serving node after this decision was logged
+/// (audit.hpp). The cross-link lets a gateway detect a node that lost or
+/// rewrote its log across a crash: a fresh chain cannot reproduce a
+/// previously observed head at the same count. audit_count == 0 means
+/// "no audit stamp" (malformed / owner-down responses).
 struct ClusterResponse {
   std::uint64_t request_id = 0;
   AccessStatus status = AccessStatus::kMalformed;
   Bytes grant_wire;
+  std::uint64_t audit_count = 0;     ///< serving node's chain length after logging
+  crypto::Digest256 audit_hash{};    ///< chain head hash at that length
 
   Bytes serialize() const;
   /// Appends the envelope to `writer`'s buffer (pooled zero-copy path).
@@ -92,6 +100,8 @@ struct ClusterResponseView {
   std::uint64_t request_id = 0;
   AccessStatus status = AccessStatus::kMalformed;
   std::span<const std::uint8_t> grant_wire;
+  std::uint64_t audit_count = 0;
+  crypto::Digest256 audit_hash{};
 
   static ClusterResponseView parse(std::span<const std::uint8_t> wire);
 };
@@ -127,6 +137,8 @@ struct ClusterConfig {
   std::uint32_t ring_vnodes = 64;
   VaultConfig vault;             ///< per-node vault configuration
   std::size_t dedup_capacity = 1 << 15;  ///< idempotency entries per node
+  std::size_t audit_shards = 1;          ///< per-node audit chain shards
+  crypto::Digest256 audit_seal{};        ///< keys every node's genesis links
 };
 
 /// Monotonic counters; snapshot under one lock so totals are consistent.
@@ -184,6 +196,10 @@ class VaultCluster {
   void drain(NodeId node);
 
   NodeState node_state(NodeId node) const;
+  /// The node's audit chain (nullptr for an out-of-range id). The log is
+  /// reset on crash — a restarted node starts a fresh chain, which is what
+  /// makes truncation detectable against previously cross-linked heads.
+  const AuditLog* audit_log(NodeId node) const;
   std::uint32_t nodes() const;
   std::uint32_t partitions() const;
   /// Current owners of the partition serving `session_id` (test/bench use).

@@ -202,6 +202,21 @@ struct ReaderGateway::Impl {
     result.status = saw_response ? last_status : AccessStatus::kRetryExhausted;
     result.grant_wire = std::move(last_grant);
 
+    // Disconnected-operation fallback: the cluster is unreachable (nothing
+    // heard, or owner down with no failover landing) and the submitted wire
+    // is a signed GrantToken — let the actuator-side verifier decide with
+    // the keys it holds locally. Online answers always win; the fallback
+    // only fires when the vault had no say at all.
+    if (config.offline_verifier != nullptr &&
+        (result.status == AccessStatus::kRetryExhausted ||
+         result.status == AccessStatus::kUnavailable) &&
+        !job.inner.empty() &&
+        job.inner[0] == static_cast<std::uint8_t>(MessageType::kGrantToken)) {
+      const double offline_clock = config.offline_now ? config.offline_now() : 0.0;
+      result.status = config.offline_verifier->verify(job.inner, offline_clock);
+      result.offline = true;
+    }
+
     {
       std::lock_guard<std::mutex> lock(stats_mutex);
       counters.resolved += 1;
@@ -210,6 +225,10 @@ struct ReaderGateway::Impl {
       counters.corrupt_dropped += corrupt;
       counters.timed_out_copies += late;
       counters.outcomes[static_cast<std::size_t>(result.status)] += 1;
+      if (result.offline) {
+        counters.offline_verified += 1;
+        if (result.status == AccessStatus::kGranted) counters.offline_granted += 1;
+      }
     }
     if (job.callback) job.callback(result);
   }

@@ -35,6 +35,7 @@
 #include "protocol/faulty_channel.hpp"
 #include "server/access_protocol.hpp"
 #include "server/cluster.hpp"
+#include "server/grants.hpp"
 
 namespace wavekey::server {
 
@@ -48,6 +49,16 @@ struct GatewayConfig {
   double backoff_max_s = 0.002;       ///< ... capped here
   double base_latency_s = 0.002;      ///< fault-free one-way WAN latency
   protocol::FaultyChannelConfig channel{};  ///< per-worker seeds derived from this
+  /// Disconnected-operation fallback (server/grants.hpp): when every attempt
+  /// at the cluster died (kRetryExhausted) or the owner stayed down
+  /// (kUnavailable) AND the submitted wire is a GrantToken, the gateway hands
+  /// it to this actuator-side verifier instead of failing the request — the
+  /// paper's "vault unreachable, door still opens for valid grants" mode.
+  /// Not owned; must outlive the gateway. nullptr disables the fallback.
+  OfflineVerifier* offline_verifier = nullptr;
+  /// Virtual clock feeding the verifier's expiry checks (seconds). Required
+  /// when offline_verifier is set; the test/bench harness advances it.
+  std::function<double()> offline_now;
 };
 
 /// Final resolution of one submitted request.
@@ -56,6 +67,7 @@ struct GatewayResult {
   AccessStatus status = AccessStatus::kRetryExhausted;
   std::uint32_t attempts = 0;  ///< attempts actually spent (1..max_attempts)
   Bytes grant_wire;            ///< serialized AccessGrant ({} if none arrived)
+  bool offline = false;        ///< status came from the OfflineVerifier fallback
 };
 
 /// Monotonic counters; snapshot under one lock so totals are consistent.
@@ -74,6 +86,8 @@ struct GatewayStats {
   /// (<= lanes) while leases keeps growing — asserted in bench_cluster.
   std::uint64_t pool_leases = 0;
   std::uint64_t pool_allocations = 0;
+  std::uint64_t offline_verified = 0;  ///< requests resolved by the offline fallback
+  std::uint64_t offline_granted = 0;   ///< ... of which kGranted
   std::array<std::uint64_t, kAccessStatusCount> outcomes{};
 };
 

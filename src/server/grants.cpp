@@ -1,0 +1,328 @@
+#include "server/grants.hpp"
+
+#include <algorithm>
+
+#include "crypto/hmac.hpp"
+#include "server/key_vault.hpp"
+#include "server/replay_window.hpp"
+
+namespace wavekey::server {
+
+namespace {
+
+using protocol::MessageType;
+using protocol::WireError;
+using protocol::WireReader;
+using protocol::WireWriter;
+
+constexpr double kUsPerSecond = 1e6;
+
+std::uint64_t to_virtual_us(double seconds) {
+  if (seconds <= 0) return 0;
+  return static_cast<std::uint64_t>(seconds * kUsPerSecond);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// GrantToken wire format
+
+Bytes GrantToken::mac_input() const {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(MessageType::kGrantToken));
+  w.u64(tenant_id);
+  w.u64(tag_uid);
+  w.u64(actuator_id);
+  w.u64(counter);
+  w.u32(scope);
+  w.u32(key_epoch);
+  w.u64(expires_us);
+  return w.take();
+}
+
+Bytes GrantToken::serialize() const {
+  Bytes out = mac_input();
+  out.insert(out.end(), mac.begin(), mac.end());
+  return out;
+}
+
+GrantToken GrantToken::parse(std::span<const std::uint8_t> wire) {
+  WireReader r(wire);
+  if (r.u8() != static_cast<std::uint8_t>(MessageType::kGrantToken))
+    throw WireError("GrantToken: wrong type tag");
+  GrantToken token;
+  token.tenant_id = r.u64();
+  token.tag_uid = r.u64();
+  token.actuator_id = r.u64();
+  token.counter = r.u64();
+  token.scope = r.u32();
+  token.key_epoch = r.u32();
+  token.expires_us = r.u64();
+  const Bytes mac = r.bytes(kMacBytes);
+  std::copy(mac.begin(), mac.end(), token.mac.begin());
+  r.expect_done();
+  return token;
+}
+
+GrantToken make_grant_token(std::uint64_t tenant_id, std::uint64_t tag_uid,
+                            std::uint64_t actuator_id, std::uint64_t counter,
+                            std::uint32_t scope, std::uint32_t key_epoch,
+                            std::uint64_t expires_us,
+                            const crypto::Digest256& grant_mac_key) {
+  GrantToken token;
+  token.tenant_id = tenant_id;
+  token.tag_uid = tag_uid;
+  token.actuator_id = actuator_id;
+  token.counter = counter;
+  token.scope = scope;
+  token.key_epoch = key_epoch;
+  token.expires_us = expires_us;
+  token.mac = crypto::hmac_sha256(grant_mac_key, token.mac_input());
+  return token;
+}
+
+bool verify_grant_token_mac(const GrantToken& token, const crypto::Digest256& grant_mac_key) {
+  const crypto::Digest256 expected = crypto::hmac_sha256(grant_mac_key, token.mac_input());
+  return crypto::digest_equal(expected, token.mac);
+}
+
+// ---------------------------------------------------------------------------
+// GrantIssuer
+
+GrantIssuer::GrantIssuer(std::span<const std::uint8_t> master, AuditLog* audit)
+    : tree_(master), audit_(audit) {}
+
+GrantIssuer::Lineage& GrantIssuer::lineage_locked(std::uint64_t tenant_id,
+                                                  std::uint64_t tag_uid) {
+  const TagId id{tenant_id, tag_uid};
+  auto it = lineages_.find(id);
+  if (it == lineages_.end()) {
+    Lineage lineage;
+    lineage.tag_key = tree_.tag_key(tenant_id, tag_uid);
+    it = lineages_.emplace(id, lineage).first;
+  }
+  return it->second;
+}
+
+void GrantIssuer::audit_event(AuditKind kind, std::uint64_t tenant_id, std::uint64_t tag_uid,
+                              std::uint64_t actuator_id, std::uint64_t counter,
+                              AccessStatus status) {
+  if (!audit_) return;
+  AuditRecord record;
+  record.kind = kind;
+  record.tenant_id = tenant_id;
+  record.tag_uid = tag_uid;
+  record.actuator_id = actuator_id;
+  record.counter = counter;
+  record.status = status;
+  audit_->append(record);
+}
+
+std::optional<GrantToken> GrantIssuer::issue(std::uint64_t tenant_id, std::uint64_t tag_uid,
+                                             std::uint64_t actuator_id, std::uint32_t scope,
+                                             double ttl_s, double now_s) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Lineage& lineage = lineage_locked(tenant_id, tag_uid);
+  if (lineage.revoked) {
+    stats_.refused += 1;
+    audit_event(AuditKind::kIssueRefused, tenant_id, tag_uid, actuator_id, 0,
+                AccessStatus::kRevoked);
+    return std::nullopt;
+  }
+  std::uint64_t& next = next_counter_[StreamId{tenant_id, actuator_id}];
+  if (next == 0) next = 1;  // strict streams mint from 1 (counter_advance floor)
+  const std::uint64_t counter = next++;
+  const crypto::Digest256 mac_key =
+      crypto::KdfTree::purpose_key(lineage.tag_key, crypto::KeyPurpose::kGrantMac);
+  GrantToken token = make_grant_token(tenant_id, tag_uid, actuator_id, counter, scope,
+                                      lineage.key_epoch, to_virtual_us(now_s + ttl_s),
+                                      mac_key);
+  stats_.issued += 1;
+  audit_event(AuditKind::kIssue, tenant_id, tag_uid, actuator_id, counter,
+              AccessStatus::kGranted);
+  return token;
+}
+
+ProvisionedTag GrantIssuer::provision(std::uint64_t tenant_id, std::uint64_t tag_uid,
+                                      std::uint32_t allowed_scopes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Lineage& lineage = lineage_locked(tenant_id, tag_uid);
+  ProvisionedTag tag;
+  tag.tenant_id = tenant_id;
+  tag.tag_uid = tag_uid;
+  tag.grant_mac_key =
+      crypto::KdfTree::purpose_key(lineage.tag_key, crypto::KeyPurpose::kGrantMac);
+  tag.key_epoch = lineage.key_epoch;
+  tag.allowed_scopes = allowed_scopes;
+  audit_event(AuditKind::kProvision, tenant_id, tag_uid, 0, 0, AccessStatus::kGranted);
+  return tag;
+}
+
+std::optional<std::uint32_t> GrantIssuer::rotate_tag(std::uint64_t tenant_id,
+                                                     std::uint64_t tag_uid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Lineage& lineage = lineage_locked(tenant_id, tag_uid);
+  if (lineage.revoked) return std::nullopt;
+  lineage.key_epoch += 1;
+  // Literally KeyVault's rotation machinery: the tag key plays the session
+  // key, the tag uid plays the session id.
+  lineage.tag_key = derive_rotated_key(lineage.tag_key, tag_uid, lineage.key_epoch);
+  stats_.rotations += 1;
+  audit_event(AuditKind::kRotate, tenant_id, tag_uid, 0, lineage.key_epoch,
+              AccessStatus::kGranted);
+  return lineage.key_epoch;
+}
+
+bool GrantIssuer::revoke_tag(std::uint64_t tenant_id, std::uint64_t tag_uid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Lineage& lineage = lineage_locked(tenant_id, tag_uid);
+  if (lineage.revoked) return false;
+  lineage.revoked = true;
+  stats_.revocations += 1;
+  audit_event(AuditKind::kRevoke, tenant_id, tag_uid, 0, 0, AccessStatus::kRevoked);
+  return true;
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>> GrantIssuer::revoked_tags() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TagId> out;
+  for (const auto& [id, lineage] : lineages_)
+    if (lineage.revoked) out.push_back(id);
+  return out;
+}
+
+ExportedIssuerState GrantIssuer::export_state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ExportedIssuerState state;
+  state.lineages.reserve(lineages_.size());
+  for (const auto& [id, lineage] : lineages_)
+    state.lineages.push_back(ExportedIssuerState::Lineage{
+        id.first, id.second, lineage.tag_key, lineage.key_epoch, lineage.revoked});
+  state.counters.reserve(next_counter_.size());
+  for (const auto& [id, next] : next_counter_)
+    state.counters.push_back(ExportedIssuerState::CounterStream{id.first, id.second, next});
+  return state;
+}
+
+void GrantIssuer::import_state(const ExportedIssuerState& state) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const ExportedIssuerState::Lineage& lineage : state.lineages) {
+    Lineage local;
+    local.tag_key = lineage.tag_key;
+    local.key_epoch = lineage.key_epoch;
+    local.revoked = lineage.revoked;
+    lineages_[TagId{lineage.tenant_id, lineage.tag_uid}] = local;
+  }
+  for (const ExportedIssuerState::CounterStream& stream : state.counters) {
+    std::uint64_t& next = next_counter_[StreamId{stream.tenant_id, stream.actuator_id}];
+    // Max-merge: never move a stream backwards, even if the import races
+    // local issuance during a drain.
+    next = std::max(next, stream.next_counter);
+  }
+  audit_event(AuditKind::kHandoff, 0, 0, 0, state.counters.size(), AccessStatus::kGranted);
+}
+
+GrantIssuer::Stats GrantIssuer::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+// ---------------------------------------------------------------------------
+// OfflineVerifier
+
+OfflineVerifier::OfflineVerifier(std::uint64_t actuator_id, AuditLog* audit)
+    : actuator_id_(actuator_id), audit_(audit) {}
+
+void OfflineVerifier::provision(const ProvisionedTag& tag) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TagState state;
+  state.grant_mac_key = tag.grant_mac_key;
+  state.key_epoch = tag.key_epoch;
+  state.allowed_scopes = tag.allowed_scopes;
+  tags_[TagId{tag.tenant_id, tag.tag_uid}] = state;
+}
+
+void OfflineVerifier::revoke(std::uint64_t tenant_id, std::uint64_t tag_uid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  tags_[TagId{tenant_id, tag_uid}].revoked = true;
+}
+
+AccessStatus OfflineVerifier::verify_locked(std::span<const std::uint8_t> wire, double now_s,
+                                            std::uint64_t& tenant, std::uint64_t& tag,
+                                            std::uint64_t& counter) {
+  GrantToken token;
+  try {
+    token = GrantToken::parse(wire);
+  } catch (const WireError&) {
+    return AccessStatus::kMalformed;
+  }
+  tenant = token.tenant_id;
+  tag = token.tag_uid;
+  counter = token.counter;
+  if (token.actuator_id != actuator_id_) return AccessStatus::kWrongScope;
+  const auto it = tags_.find(TagId{token.tenant_id, token.tag_uid});
+  if (it == tags_.end()) return AccessStatus::kUnknownSession;
+  const TagState& state = it->second;
+  if (token.key_epoch != state.key_epoch) return AccessStatus::kStaleEpoch;
+  // MAC before ANY counter-state read or write: a forged token must not be
+  // able to burn counters or probe the high-water.
+  if (!verify_grant_token_mac(token, state.grant_mac_key)) return AccessStatus::kBadMac;
+  if (state.revoked) return AccessStatus::kRevoked;
+  if (to_virtual_us(now_s) >= token.expires_us) return AccessStatus::kExpired;
+  if ((token.scope & ~state.allowed_scopes) != 0) return AccessStatus::kWrongScope;
+  std::uint64_t& seen = seen_[token.tenant_id];
+  if (counter_advance(seen, token.counter)) {
+    seen = token.counter;
+    return AccessStatus::kGranted;
+  }
+  return token.counter == seen ? AccessStatus::kReplay : AccessStatus::kCounterRollback;
+}
+
+AccessStatus OfflineVerifier::verify(std::span<const std::uint8_t> wire, double now_s) {
+  std::uint64_t tenant = 0, tag = 0, counter = 0;
+  AccessStatus status;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    status = verify_locked(wire, now_s, tenant, tag, counter);
+    stats_.attempts += 1;
+    stats_.by_status[static_cast<std::size_t>(status)] += 1;
+    if (status == AccessStatus::kGranted) stats_.granted += 1;
+  }
+  if (audit_) {
+    AuditRecord record;
+    record.kind = AuditKind::kVerify;
+    record.tenant_id = tenant;
+    record.tag_uid = tag;
+    record.actuator_id = actuator_id_;
+    record.counter = counter;
+    record.status = status;
+    record.time_us = to_virtual_us(now_s);
+    audit_->append(record);
+  }
+  return status;
+}
+
+std::vector<ExportedIssuerState::CounterStream> OfflineVerifier::export_counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ExportedIssuerState::CounterStream> out;
+  out.reserve(seen_.size());
+  for (const auto& [tenant, seen] : seen_)
+    out.push_back(ExportedIssuerState::CounterStream{tenant, actuator_id_, seen});
+  return out;
+}
+
+void OfflineVerifier::import_counters(
+    std::span<const ExportedIssuerState::CounterStream> counters) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const ExportedIssuerState::CounterStream& stream : counters) {
+    std::uint64_t& seen = seen_[stream.tenant_id];
+    seen = std::max(seen, stream.next_counter);
+  }
+}
+
+OfflineVerifier::Stats OfflineVerifier::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace wavekey::server

@@ -29,6 +29,17 @@
 
 namespace wavekey::server {
 
+/// Monotonic-counter acceptance predicate, shared by ReplayWindow's slide
+/// decision and the offline grant verifier's strict per-actuator counters
+/// (server/grants.hpp): true iff `candidate` is strictly ahead of `seen` —
+/// the only direction a monotonic counter may move. Total over the full u64
+/// range: at seen == UINT64_MAX the stream is exhausted (nothing advances),
+/// and candidate == 0 can never advance past anything, which is why strict
+/// counter streams mint from 1 and use 0 as the "nothing seen" floor.
+inline bool counter_advance(std::uint64_t seen, std::uint64_t candidate) {
+  return candidate > seen;
+}
+
 class ReplayWindow {
  public:
   /// @param bits  window width; rounded up to a multiple of 64, minimum 64.
@@ -58,7 +69,7 @@ class ReplayWindow {
       set_bit(0);
       return true;
     }
-    if (counter > max_seen_) {
+    if (counter_advance(max_seen_, counter)) {
       slide(counter - max_seen_);
       max_seen_ = counter;
       set_bit(0);

@@ -95,6 +95,59 @@ TEST(HkdfTest, Rfc5869Case1) {
   EXPECT_EQ(okm, expected_okm);
 }
 
+TEST(HkdfTest, Rfc5869Case2MultiBlockExpand) {
+  // A.2: 80-byte IKM/salt/info and L=82, so expand runs T(1)..T(3) and
+  // truncates the last block — the multi-block counter path that Case 1
+  // (42 bytes) only half exercises.
+  std::vector<std::uint8_t> ikm, salt, info;
+  for (int i = 0x00; i <= 0x4f; ++i) ikm.push_back(static_cast<std::uint8_t>(i));
+  for (int i = 0x60; i <= 0xaf; ++i) salt.push_back(static_cast<std::uint8_t>(i));
+  for (int i = 0xb0; i <= 0xff; ++i) info.push_back(static_cast<std::uint8_t>(i));
+
+  const crypto::Digest256 prk = crypto::hkdf_extract(salt, ikm);
+  const crypto::Digest256 expected_prk = {0x06, 0xa6, 0xb8, 0x8c, 0x58, 0x53, 0x36, 0x1a,
+                                          0x06, 0x10, 0x4c, 0x9c, 0xeb, 0x35, 0xb4, 0x5c,
+                                          0xef, 0x76, 0x00, 0x14, 0x90, 0x46, 0x71, 0x01,
+                                          0x4a, 0x19, 0x3f, 0x40, 0xc1, 0x5f, 0xc2, 0x44};
+  EXPECT_EQ(prk, expected_prk);
+
+  const std::vector<std::uint8_t> okm = crypto::hkdf_expand(prk, info, 82);
+  const std::vector<std::uint8_t> expected_okm = {
+      0xb1, 0x1e, 0x39, 0x8d, 0xc8, 0x03, 0x27, 0xa1, 0xc8, 0xe7, 0xf7, 0x8c, 0x59, 0x6a,
+      0x49, 0x34, 0x4f, 0x01, 0x2e, 0xda, 0x2d, 0x4e, 0xfa, 0xd8, 0xa0, 0x50, 0xcc, 0x4c,
+      0x19, 0xaf, 0xa9, 0x7c, 0x59, 0x04, 0x5a, 0x99, 0xca, 0xc7, 0x82, 0x72, 0x71, 0xcb,
+      0x41, 0xc6, 0x5e, 0x59, 0x0e, 0x09, 0xda, 0x32, 0x75, 0x60, 0x0c, 0x2f, 0x09, 0xb8,
+      0x36, 0x77, 0x93, 0xa9, 0xac, 0xa3, 0xdb, 0x71, 0xcc, 0x30, 0xc5, 0x81, 0x79, 0xec,
+      0x3e, 0x87, 0xc1, 0x4c, 0x01, 0xd5, 0xc1, 0xf3, 0x43, 0x4f, 0x1d, 0x87};
+  EXPECT_EQ(okm, expected_okm);
+  EXPECT_EQ(crypto::hkdf_sha256(salt, ikm, info, 82), expected_okm);
+}
+
+TEST(HkdfTest, LabeledDerivationChainsOneHopPerLabel) {
+  // hkdf_labeled is defined as iterated extract-then-expand with the label
+  // as salt — check it against the primitives hop by hop, plus the identity
+  // that an empty label list just re-keys nothing.
+  std::vector<std::uint8_t> master(32, 0xA5);
+  const std::vector<std::uint8_t> l1 = {'t', 'e', 'n', 'a', 'n', 't'};
+  const std::vector<std::uint8_t> l2 = {'t', 'a', 'g'};
+  const std::vector<std::vector<std::uint8_t>> labels = {l1, l2};
+
+  crypto::Digest256 expected{};
+  std::copy(master.begin(), master.end(), expected.begin());
+  EXPECT_EQ(crypto::hkdf_labeled(master, {}), expected);  // zero hops = identity
+  for (const auto& label : labels) {
+    const auto okm = crypto::hkdf_sha256(label, expected, {}, 32);
+    std::copy(okm.begin(), okm.end(), expected.begin());
+  }
+  EXPECT_EQ(crypto::hkdf_labeled(master, labels), expected);
+
+  // Distinct labels at the same depth diverge; prefix order matters.
+  const std::vector<std::vector<std::uint8_t>> swapped = {l2, l1};
+  EXPECT_NE(crypto::hkdf_labeled(master, labels), crypto::hkdf_labeled(master, swapped));
+  const std::vector<std::vector<std::uint8_t>> just_one = {l1};
+  EXPECT_NE(crypto::hkdf_labeled(master, labels), crypto::hkdf_labeled(master, just_one));
+}
+
 TEST(HkdfTest, Rfc5869Case3ZeroSalt) {
   // A.3: empty salt and info.
   const std::vector<std::uint8_t> ikm(22, 0x0b);

@@ -59,6 +59,9 @@ GATED = [
     "BM_FramePooled",
     "BM_FlatMapProbe",
     "BM_VaultAuthorizeHot",
+    "BM_KdfDerive",
+    "BM_GrantVerifyOffline",
+    "BM_AuditAppend",
 ]
 
 # Matches latency-percentile point fields: p50_verify_us, p999_critical_ms...
@@ -98,10 +101,17 @@ def compare_latency(args):
 
     failed = []
     compared = 0
-    for label, base_families in sorted(base.items()):
+    # Walk the union of labels so a point present on only one side is
+    # reported as a SKIP instead of silently ignored (or a KeyError when the
+    # baseline predates a newly added point).
+    for label in sorted(set(base) | set(cur)):
         if label not in cur:
             print(f"{label}: SKIP (missing from current run)")
             continue
+        if label not in base:
+            print(f"{label}: SKIP (not in baseline; refresh the committed JSON)")
+            continue
+        base_families = base[label]
         for family, base_pcts in sorted(base_families.items()):
             cur_pcts = cur[label].get(family, {})
             shared = sorted(set(base_pcts) & set(cur_pcts))
@@ -118,7 +128,8 @@ def compare_latency(args):
                 verdict = "ok"
                 if ratio > 1.0 + args.threshold:
                     verdict = "REGRESSION"
-                    failed.append(f"{label} {family} p{pct:g}")
+                    failed.append(f"{label} {family} p{pct:g} "
+                                  f"(x{base_amp:.1f} -> x{cur_amp:.1f})")
                 print(f"  {label:<12} {family:<12} p{pct:<5g} base {base_pcts[pct]:>10.1f} us "
                       f"(x{base_amp:5.1f} over p{floor:g})  cur {cur_pcts[pct]:>10.1f} us "
                       f"(x{cur_amp:5.1f})  tail ratio x{ratio:.2f}  {verdict}")
@@ -198,13 +209,16 @@ def main():
         verdict = "ok"
         if normalized > 1.0 + args.threshold:
             verdict = "REGRESSION"
-            failed.append(name)
+            failed.append(f"{name} (committed {base[name]:.0f} ns, measured "
+                          f"{cur[name]:.0f} ns, x{normalized:.3f} normalized)")
         print(f"  {name:<28} base {base[name]:>12.0f} ns  cur {cur[name]:>12.0f} ns  "
               f"normalized x{normalized:.3f}  {verdict}")
 
     if failed:
         print(f"bench_compare: {len(failed)} gated benchmark(s) regressed more than "
-              f"{args.threshold:.0%}: {', '.join(failed)}", file=sys.stderr)
+              f"{args.threshold:.0%} [anchor {ANCHOR}: committed {base[ANCHOR]:.0f} ns vs "
+              f"measured {cur[ANCHOR]:.0f} ns, machine factor x{anchor_ratio:.3f}]: "
+              f"{'; '.join(failed)}", file=sys.stderr)
         return 1
     print("bench_compare: all gated benchmarks within threshold")
     return 0

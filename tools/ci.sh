@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # CI driver: builds and runs the tier-1 ctest suite in three configurations —
-# a plain RelWithDebInfo build (plus the bench_throughput JSON/tau and
-# bench_vault authorize-speedup/replay-ledger gates), a
+# a plain RelWithDebInfo build (plus the bench_throughput JSON/tau,
+# bench_vault authorize-speedup/replay-ledger, and bench_grants
+# offline-window ledger gates), a
 # WAVEKEY_SANITIZE=ON (ASan + UBSan) build, and a WAVEKEY_TSAN=ON
 # (ThreadSanitizer) build scoped to the concurrency suites — so every merge
 # exercises correctness, memory/UB cleanliness, and data-race freedom. A
@@ -292,6 +293,52 @@ print(f"bench_cluster ok: executed={cluster['executed']}, "
 PYEOF
 }
 
+grants_gate() {
+  # bench_grants soaks the offline-grant subsystem through a full
+  # reachable -> partitioned -> healed cycle and exits non-zero on any
+  # ledger miss; the python pass re-derives the closed-form ledger from the
+  # emitted JSON so a broken exit path cannot mask it: every pre-issued
+  # token accepted vault-free during the partition, each rejection class
+  # fired with its exact typed count, zero cluster executions while
+  # blackholed, zero accepted after revocation propagates on heal, and
+  # both audit chains verifying end-to-end with exactly one record per
+  # event (the tamper probe must have pinpointed its injected index).
+  echo "=== [plain] bench_grants gate ==="
+  ./build-ci/bench/bench_grants > build-ci/bench_grants.json
+  python3 - build-ci/bench_grants.json <<'PYEOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    data = json.load(f)
+for flag in ("reachable_ledger_ok", "crosslink_ok", "partitioned_ledger_ok",
+             "vault_free_ok", "sibling_scoping_ok", "revoked_ledger_ok",
+             "healed_ledger_ok", "verifier_chain_ok", "tamper_ok",
+             "issuer_chain_ok"):
+    assert data[flag], f"bench_grants gate {flag} failed"
+ph = data["phases"]
+reach, part, heal = ph["reachable"], ph["partitioned"], ph["healed"]
+for name, p in ph.items():
+    assert p["resolved"] == p["submitted"], f"{name}: unresolved submissions"
+assert reach["granted"] == reach["submitted"], "reachable phase lost grants"
+assert part["granted"] == data["offline_grants"] + data["handoff_grants"], \
+    "partitioned phase accepted the wrong number of offline grants"
+assert part["offline"] == part["resolved"] - part["retry_exhausted"], \
+    "some partitioned resolutions bypassed the offline verifier"
+for cls in ("replay", "rollback", "bad_mac", "expired", "wrong_scope",
+            "unknown", "malformed", "retry_exhausted"):
+    assert part[cls] > 0, f"rejection class {cls} never fired during the partition"
+assert heal["granted"] == heal["submitted"], "healed phase lost grants"
+audit = data["audit"]
+assert audit["pinpointed"] == audit["tampered_index"], \
+    "audit fsck did not pinpoint the tampered record"
+assert data["revoked_refused"] > 0, "revocation propagation never refused a token"
+print(f"bench_grants ok: offline_granted={part['granted']}, "
+      f"typed_rejections={part['resolved'] - part['granted']}, "
+      f"verifier_records={audit['verifier_records']}, "
+      f"issuer_records={audit['issuer_records']}, "
+      f"tamper pinpointed at {audit['pinpointed']}")
+PYEOF
+}
+
 perf_gate() {
   # Release (-O3) leg: measure the gated hot-path benchmarks and compare
   # against the committed baseline. Shared hosts drift through multi-minute
@@ -315,7 +362,7 @@ perf_gate() {
       --benchmark_repetitions=3 \
       --benchmark_min_time=0.05 \
       --benchmark_enable_random_interleaving=true \
-      --benchmark_filter='BM_Sha256_1KiB|BM_Fe25519_Pow|BM_Fe25519_GeneratorPow|BM_Fe25519_Square|BM_Fe25519_Inverse|BM_OtInstance|BM_OtSenderEncrypt|BM_ImuEncoderInference|BM_EncoderBatchedForward|BM_Conv1dForward|BM_DenseForward|BM_Gf256AddmulSlice|BM_RsEncode|BM_ChaCha20Block|BM_GemmF32|BM_ClusterFrame|BM_PartitionMapRoute|BM_EventLoopSpawn|BM_BufferPoolLease|BM_FramePooled|BM_FlatMapProbe|BM_VaultAuthorizeHot' \
+      --benchmark_filter='BM_Sha256_1KiB|BM_Fe25519_Pow|BM_Fe25519_GeneratorPow|BM_Fe25519_Square|BM_Fe25519_Inverse|BM_OtInstance|BM_OtSenderEncrypt|BM_ImuEncoderInference|BM_EncoderBatchedForward|BM_Conv1dForward|BM_DenseForward|BM_Gf256AddmulSlice|BM_RsEncode|BM_ChaCha20Block|BM_GemmF32|BM_ClusterFrame|BM_PartitionMapRoute|BM_EventLoopSpawn|BM_BufferPoolLease|BM_FramePooled|BM_FlatMapProbe|BM_VaultAuthorizeHot|BM_KdfDerive|BM_GrantVerifyOffline|BM_AuditAppend' \
       > "build-ci-release/bench_micro.attempt${attempt}.json"
     python3 - build-ci-release/bench_micro.json \
       "build-ci-release/bench_micro.attempt${attempt}.json" <<'PYEOF'
@@ -361,6 +408,7 @@ case "$MODE" in
     vault_gate
     cluster_gate
     async_gate
+    grants_gate
     ;;
 esac
 
@@ -388,10 +436,10 @@ case "$MODE" in
     echo "=== [tsan] build ==="
     cmake --build build-ci-tsan -j "$JOBS" \
       --target thread_pool_test pairing_engine_test kernel_equiv_test server_test cluster_test \
-               micro_batcher_test event_loop_test flat_map_test
+               grants_test micro_batcher_test event_loop_test flat_map_test
     echo "=== [tsan] ctest (concurrency suites) ==="
     ctest --test-dir build-ci-tsan --output-on-failure -j "$JOBS" \
-      -R 'ThreadPool|BoundedQueue|PairingEngine|TrainingDeterminism|KernelEquivalence|TensorArena|KeyVault|AccessServer|ReplayWindow|TokenBucket|TenantLimiter|AccessProtocol|MalformedInputFuzz|PartitionMap|ClusterWire|ClusterFuzz|VaultCluster|ReaderGateway|MicroBatcher|BatchedDenseKernel|BatchedInference|BatchedEncoderService|EventLoop|AsyncQueue|TaskCoroutine|BufferPool|FlatMap'
+      -R 'ThreadPool|BoundedQueue|PairingEngine|TrainingDeterminism|KernelEquivalence|TensorArena|KeyVault|AccessServer|ReplayWindow|TokenBucket|TenantLimiter|AccessProtocol|MalformedInputFuzz|PartitionMap|ClusterWire|ClusterFuzz|VaultCluster|ReaderGateway|MicroBatcher|BatchedDenseKernel|BatchedInference|BatchedEncoderService|EventLoop|AsyncQueue|TaskCoroutine|BufferPool|FlatMap|KdfTree|CounterAdvance|GrantToken|GrantFuzz|OfflineVerifier|GrantIssuer|AuditLog|ClusterAudit|GatewayOffline'
     ;;
 esac
 
